@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Because
+pytest captures stdout, each benchmark also writes its reproduced
+rows/series to ``benchmarks/results/<name>.txt`` so the artefacts
+survive the run; EXPERIMENTS.md records the paper-vs-measured
+comparison.
+
+Search budgets here are deliberately small (minutes, not the paper's
+6-30 hours): the assertions target the *shape* of each result — who
+wins, in which direction a knob pushes, roughly what factor separates
+designs — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+from repro.explore.ga import GAConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Budget for searches inside benchmarks (HW evaluations ~= 18).
+BENCH_GA = GAConfig(population_size=6, generations=3, seed=0)
+
+#: Slightly larger budget for the headline comparisons.
+BENCH_GA_WIDE = GAConfig(population_size=10, generations=5, seed=0)
+
+
+def write_result(name: str, lines: Iterable[str]) -> pathlib.Path:
+    """Persist a reproduced table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print(text)
+    return path
+
+
+def improvement_pct(baseline: float, ours: float) -> float:
+    """Relative improvement of ``ours`` over ``baseline`` (positive =
+    better, for lower-is-better metrics), in percent."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - ours) / baseline
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration."""
+
+import sys
+import pathlib
+
+# Make the sibling _common helpers importable when pytest is invoked
+# from the repository root.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

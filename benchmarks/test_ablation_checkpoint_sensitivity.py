@@ -1,0 +1,86 @@
+"""Ablation: checkpoint-model sensitivity (r_exc and live fraction).
+
+Eq. 5 charges every tile ``(1 + r_exc)`` checkpoint rounds; this bench
+sweeps the exception rate and the live-state fraction and verifies the
+monotone response of latency and checkpoint energy — the sensitivity
+the paper's simplification ("we assume r_exc to be a static coefficient
+based on the specific scenario") rests on.
+"""
+
+from _common import run_once, write_result
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.explore.mapper_search import MappingOptimizer
+from repro.hardware.checkpoint import CheckpointModel
+from repro.hardware.memory import FRAM
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.units import uF
+from repro.workloads import zoo
+
+EXCEPTION_RATES = [0.0, 0.05, 0.2, 0.5, 1.0]
+LIVE_FRACTIONS = [0.05, 0.25, 0.6, 1.0]
+
+
+def evaluate_with(checkpoint, network, design):
+    evaluator = ChrysalisEvaluator(network, checkpoint=checkpoint)
+    return evaluator.evaluate_average(design)
+
+
+def run_experiment():
+    network = zoo.cifar10_cnn()
+    energy = EnergyDesign(panel_area_cm2=8.0, capacitance_f=uF(470))
+    inference = InferenceDesign.msp430()
+    # Feasible intermittent mappings under the stress-corner checkpoint
+    # model, held fixed across the sweep so only the checkpoint model
+    # varies.
+    mappings = MappingOptimizer(
+        network,
+        checkpoint=CheckpointModel(nvm=FRAM, exception_rate=1.0,
+                                   live_fraction=1.0),
+    ).optimize(energy, inference)
+    assert mappings is not None
+    design = AuTDesign(energy=energy, inference=inference,
+                       mappings=mappings)
+
+    by_rate = []
+    for rate in EXCEPTION_RATES:
+        metrics = evaluate_with(
+            CheckpointModel(nvm=FRAM, exception_rate=rate), network, design)
+        by_rate.append((rate, metrics.sustained_period,
+                        metrics.energy.checkpoint * 1e3))
+
+    by_fraction = []
+    for fraction in LIVE_FRACTIONS:
+        metrics = evaluate_with(
+            CheckpointModel(nvm=FRAM, live_fraction=fraction),
+            network, design)
+        by_fraction.append((fraction, metrics.sustained_period,
+                            metrics.energy.checkpoint * 1e3))
+    return {"by_rate": by_rate, "by_fraction": by_fraction}
+
+
+def test_ablation_checkpoint_sensitivity(benchmark):
+    r = run_once(benchmark, run_experiment)
+
+    lines = ["Ablation | checkpoint sensitivity (CIFAR-10, MSP430, "
+             "8 tiles/layer)",
+             "  r_exc sweep (rate, latency s, ckpt mJ):"]
+    lines += [f"    {rate:>5.2f}  {lat:>9.3f}  {ckpt:>8.4f}"
+              for rate, lat, ckpt in r["by_rate"]]
+    lines.append("  live-fraction sweep (fraction, latency s, ckpt mJ):")
+    lines += [f"    {frac:>5.2f}  {lat:>9.3f}  {ckpt:>8.4f}"
+              for frac, lat, ckpt in r["by_fraction"]]
+    write_result("ablation_checkpoint_sensitivity", lines)
+
+    # Monotone in r_exc: more exceptions, more checkpoint energy and
+    # longer sustained latency.
+    ckpts = [c for _, _, c in r["by_rate"]]
+    lats = [l for _, l, _ in r["by_rate"]]
+    assert ckpts == sorted(ckpts)
+    assert lats == sorted(lats)
+    # Monotone in live fraction too.
+    ckpts_f = [c for _, _, c in r["by_fraction"]]
+    assert ckpts_f == sorted(ckpts_f)
+    # The default operating point keeps checkpointing a minor overhead
+    # relative to the stress corner (r_exc = 1: every tile fails once).
+    _, _, default_ckpt = r["by_rate"][1]
+    assert 0.0 < default_ckpt < ckpts[-1]

@@ -1,0 +1,81 @@
+"""Ablation: eager boundary checkpoints vs just-in-time saves.
+
+The paper's Table III implements the iNAS-like eager strategy ("Tile
+Partition, ckpt."); the intermittent-computing literature it cites also
+contains JIT approaches (HAWAII's footprints, DICE).  This bench
+quantifies the tradeoff in our framework: JIT skips all planned
+checkpoint work (faster in calm conditions) but pays a full-working-set
+save per actual power failure.
+"""
+
+from _common import run_once, write_result
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.explore.mapper_search import MappingOptimizer
+from repro.hardware.checkpoint import CheckpointModel, CheckpointStrategy
+from repro.hardware.memory import FRAM
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.units import uF
+from repro.workloads import zoo
+
+NETWORKS = ["cifar10", "har", "kws"]
+
+
+def run_network(name):
+    network = zoo.workload_by_name(name)
+    energy = EnergyDesign(panel_area_cm2=6.0, capacitance_f=uF(470))
+    inference = InferenceDesign.msp430()
+    row = {}
+    for label, strategy in (("eager", CheckpointStrategy.EAGER),
+                            ("jit", CheckpointStrategy.JIT)):
+        checkpoint = CheckpointModel(nvm=FRAM, strategy=strategy)
+        mappings = MappingOptimizer(network, checkpoint=checkpoint).optimize(
+            energy, inference)
+        if mappings is None:
+            row[label] = None
+            continue
+        design = AuTDesign(energy=energy, inference=inference,
+                           mappings=mappings)
+        evaluator = ChrysalisEvaluator(network, checkpoint=checkpoint)
+        analytical = evaluator.evaluate_average(design)
+        stepped = evaluator.simulate(design, LightEnvironment.darker())
+        row[label] = {
+            "latency_s": analytical.sustained_period,
+            "ckpt_mj": analytical.energy.checkpoint * 1e3,
+            "step_exceptions": stepped.metrics.exceptions,
+            "step_feasible": stepped.metrics.feasible,
+        }
+    return row
+
+
+def run_experiment():
+    return {name: run_network(name) for name in NETWORKS}
+
+
+def test_ablation_checkpoint_strategy(benchmark):
+    table = run_once(benchmark, run_experiment)
+
+    lines = ["Ablation | eager vs JIT checkpointing (MSP430, 6 cm^2, "
+             "470 uF, two-env average)",
+             f"{'net':<10}{'strategy':<8}{'latency s':>11}{'ckpt mJ':>9}"
+             f"{'step exc':>9}"]
+    for name, row in table.items():
+        for label in ("eager", "jit"):
+            cell = row[label]
+            if cell is None:
+                lines.append(f"{name:<10}{label:<8}{'--':>11}")
+                continue
+            lines.append(
+                f"{name:<10}{label:<8}{cell['latency_s']:>11.3f}"
+                f"{cell['ckpt_mj']:>9.4f}{cell['step_exceptions']:>9}")
+    write_result("ablation_checkpoint_strategy", lines)
+
+    for name, row in table.items():
+        eager, jit = row["eager"], row["jit"]
+        assert eager is not None and jit is not None, name
+        # JIT carries less planned-checkpoint energy...
+        assert jit["ckpt_mj"] <= eager["ckpt_mj"] + 1e-9, name
+        # ...and is therefore at least as fast analytically.
+        assert jit["latency_s"] <= eager["latency_s"] * 1.0001, name
+        # Both strategies survive the step-simulated darker environment.
+        assert eager["step_feasible"] and jit["step_feasible"], name

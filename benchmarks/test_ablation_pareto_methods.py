@@ -1,0 +1,63 @@
+"""Ablation: how to obtain the Fig. 6 tradeoff curve.
+
+The paper harvests its Pareto scatter from the points a scalarised
+(lat*sp) search happens to evaluate.  This bench compares that approach
+against the dedicated NSGA-II multi-objective search at a similar
+evaluation budget, scoring both by dominated hypervolume.
+"""
+
+from _common import run_once, write_result
+from repro.explore.bilevel import BilevelExplorer
+from repro.explore.ga import GAConfig
+from repro.explore.nsga2 import ParetoExplorer
+from repro.explore.objectives import Objective
+from repro.explore.pareto import hypervolume_2d, pareto_front
+from repro.explore.space import DesignSpace
+from repro.workloads import zoo
+
+REFERENCE = (30.0, 30.0)  # worst corner: max panel, 30 s latency
+
+
+def run_experiment():
+    network = zoo.har_cnn()
+    space = DesignSpace.existing_aut()
+
+    scalar = BilevelExplorer(
+        network, space, Objective.lat_sp(),
+        ga_config=GAConfig(population_size=12, generations=6, seed=0))
+    scalar.run()
+    scalar_front = pareto_front(scalar.evaluated)
+
+    nsga = ParetoExplorer(
+        network, space,
+        ga_config=GAConfig(population_size=12, generations=6, seed=0))
+    nsga_front = nsga.run()
+
+    return {
+        "scalar_front": [(round(p.values[0], 2), round(p.values[1], 3))
+                         for p in scalar_front],
+        "nsga_front": [(round(p.values[0], 2), round(p.values[1], 3))
+                       for p in nsga_front],
+        "scalar_hv": hypervolume_2d(scalar_front, REFERENCE),
+        "nsga_hv": hypervolume_2d(nsga_front, REFERENCE),
+    }
+
+
+def test_ablation_pareto_methods(benchmark):
+    r = run_once(benchmark, run_experiment)
+    write_result("ablation_pareto_methods", [
+        "Ablation | Pareto-front quality (HAR, existing space, "
+        "hypervolume vs (30 cm^2, 30 s))",
+        f"  scalarised GA byproduct: {len(r['scalar_front'])} points, "
+        f"HV = {r['scalar_hv']:.1f}",
+        f"    {r['scalar_front']}",
+        f"  NSGA-II               : {len(r['nsga_front'])} points, "
+        f"HV = {r['nsga_hv']:.1f}",
+        f"    {r['nsga_front']}",
+    ])
+    # Both produce genuine fronts...
+    assert len(r["scalar_front"]) >= 2
+    assert len(r["nsga_front"]) >= 2
+    # ...and the dedicated multi-objective search covers at least as
+    # much of the tradeoff space (it optimises for exactly that).
+    assert r["nsga_hv"] >= 0.9 * r["scalar_hv"]

@@ -1,0 +1,75 @@
+"""Fig. 11: energy efficiency (E_infer / E_eh) of the found designs.
+
+The paper compares the efficiency of the configurations each search
+method lands on: CHRYSALIS "can consistently maintain at a high level",
+while methods that ignore energy harvesting "often yield lower energy
+efficiency in some scenarios ... primarily due to the mismatch between
+the design of the SP and Cap components and the current inference
+subsystem".
+"""
+
+import math
+
+from _common import BENCH_GA, run_once, write_result
+from repro.errors import SearchError
+from repro.explore.baselines import baseline_space
+from repro.explore.bilevel import BilevelExplorer
+from repro.explore.objectives import Objective
+from repro.explore.space import DesignSpace
+from repro.hardware.accelerators import AcceleratorFamily
+from repro.workloads import zoo
+
+NETWORKS = ["alexnet", "resnet18", "vgg16", "bert"]
+ARCHS = {"tpu": AcceleratorFamily.TPU, "eyeriss": AcceleratorFamily.EYERISS}
+METHODS = ["full", "wo/Cap", "wo/SP", "wo/EA", "wo/IA"]
+
+
+def efficiency_of(network, family, method):
+    space = baseline_space(method, DesignSpace.future_aut(families=(family,)))
+    explorer = BilevelExplorer(network, space, Objective.lat_sp(),
+                               ga_config=BENCH_GA)
+    try:
+        result = explorer.run()
+    except SearchError:
+        return math.nan
+    return result.average.system_efficiency
+
+
+def run_experiment():
+    table = {}
+    for net_name in NETWORKS:
+        network = zoo.workload_by_name(net_name)
+        for arch_name, family in ARCHS.items():
+            table[(net_name, arch_name)] = {
+                method: efficiency_of(network, family, method)
+                for method in METHODS
+            }
+    return table
+
+
+def test_fig11_energy_efficiency(benchmark):
+    table = run_once(benchmark, run_experiment)
+
+    lines = ["Fig. 11 | system efficiency E_infer/E_eh of the best lat*sp "
+             "design per method",
+             f"{'cell':<20}" + "".join(f"{m:>9}" for m in METHODS)]
+    for (net, arch), row in table.items():
+        text = f"{net}/{arch:<9}"[:20].ljust(20)
+        text += "".join(
+            f"{row[m]:>9.3f}" if not math.isnan(row[m]) else f"{'--':>9}"
+            for m in METHODS)
+        lines.append(text)
+    write_result("fig11_energy_efficiency", lines)
+
+    full_values = [row["full"] for row in table.values()
+                   if not math.isnan(row["full"])]
+    assert full_values
+    # CHRYSALIS maintains consistently high efficiency everywhere.
+    assert min(full_values) > 0.15
+    # Aggregate: full at least matches the EH-blind method on average.
+    pairs = [(row["full"], row["wo/EA"]) for row in table.values()
+             if not math.isnan(row["wo/EA"])]
+    if pairs:
+        mean_full = sum(f for f, _ in pairs) / len(pairs)
+        mean_ablated = sum(a for _, a in pairs) / len(pairs)
+        assert mean_full >= mean_ablated * 0.9

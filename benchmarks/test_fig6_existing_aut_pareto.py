@@ -1,0 +1,99 @@
+"""Fig. 6: searching the existing-AuT (MSP430) design space.
+
+The paper scatter-plots every evaluated (solar-panel, latency) point for
+the four Table IV applications, highlights the Pareto-optimal curve, and
+reports that the lat*sp-best point improves on the original iNAS
+configuration by ~50.8 % (CIFAR-10).
+
+Here: a bi-level search per application over the Table IV space; the
+iNAS-like reference is the configuration that design flow would deploy —
+a fixed 10 cm^2 panel and a fixed 1 mF capacitor (iNAS searches neither;
+the Fig. 7 caption derives "P_in = 6 mW, C >= 1 mF" for it) with only
+the intermittent mapping optimised.
+"""
+
+from _common import BENCH_GA_WIDE, improvement_pct, run_once, write_result
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.explore.bilevel import BilevelExplorer
+from repro.explore.mapper_search import MappingOptimizer
+from repro.explore.objectives import Objective
+from repro.explore.pareto import pareto_front
+from repro.explore.space import DesignSpace
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.units import mF
+from repro.workloads import zoo
+
+APPS = ["simple_conv", "cifar10", "har", "kws"]
+INAS_PANEL_CM2 = 10.0
+INAS_CAPACITANCE = mF(1)
+
+
+def search(network, space):
+    explorer = BilevelExplorer(network, space, Objective.lat_sp(),
+                               ga_config=BENCH_GA_WIDE)
+    return explorer.run()
+
+
+def inas_reference_score(network, objective):
+    """lat*sp of the fixed iNAS-style configuration (mapping optimised)."""
+    energy = EnergyDesign(panel_area_cm2=INAS_PANEL_CM2,
+                          capacitance_f=INAS_CAPACITANCE)
+    inference = InferenceDesign.msp430()
+    mappings = MappingOptimizer(network).optimize(energy, inference)
+    assert mappings is not None
+    design = AuTDesign(energy=energy, inference=inference, mappings=mappings)
+    metrics = ChrysalisEvaluator(network).evaluate_average(design)
+    return objective.score(design, metrics)
+
+
+def run_experiment():
+    base = DesignSpace.existing_aut()
+    objective = Objective.lat_sp()
+    results = {}
+    for app in APPS:
+        network = zoo.workload_by_name(app)
+        ours = search(network, base)
+        inas = inas_reference_score(network, objective)
+        front = pareto_front(ours.evaluated)
+        results[app] = {
+            "ours": ours.score,
+            "inas": inas,
+            "improvement_pct": improvement_pct(inas, ours.score),
+            "points": len(ours.evaluated),
+            "front": [(round(p.values[0], 2), round(p.values[1], 3))
+                      for p in front],
+            "best_sp": ours.design.energy.panel_area_cm2,
+            "best_lat": ours.average.sustained_period,
+        }
+    return results
+
+
+def test_fig6_existing_aut_pareto(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    lines = ["Fig. 6 | lat*sp (s*cm^2): CHRYSALIS vs iNAS-like (wo/SP)",
+             f"{'app':<12}{'ours':>10}{'iNAS-like':>12}{'improv.':>9}"
+             f"{'points':>8}  Pareto front (sp, lat)"]
+    for app, r in results.items():
+        lines.append(
+            f"{app:<12}{r['ours']:>10.3f}{r['inas']:>12.3f}"
+            f"{r['improvement_pct']:>8.1f}%{r['points']:>8}  "
+            f"{r['front'][:4]}")
+    lines.append("paper  | CIFAR-10: 50.8% improvement over the original "
+                 "iNAS configuration")
+    write_result("fig6_existing_aut_pareto", lines)
+
+    for app, r in results.items():
+        # Co-design beats the fixed iNAS-style configuration on every
+        # Table IV application (direction of the paper's Fig. 6).
+        assert r["improvement_pct"] > 5.0, app
+        # The Pareto front is a real tradeoff curve, not a point cloud.
+        assert len(r["front"]) >= 2, app
+        assert 1.0 <= r["best_sp"] <= 30.0, app
+        # Front latencies fall as panel area grows (the Fig. 6 shape).
+        latencies = [lat for _, lat in r["front"]]
+        assert latencies == sorted(latencies, reverse=True), app
+    # The paper's headline case (50.8 % on CIFAR-10 vs the *unoptimised*
+    # original configuration); our reference has an optimised mapping,
+    # so the margin is smaller but must remain clearly positive.
+    assert results["cifar10"]["improvement_pct"] > 8.0

@@ -1,0 +1,150 @@
+"""Fig. 7: validating the model against the "real platform".
+
+The paper builds the searched design on actual hardware (BQ25570 +
+MSP430FR5994 + custom PCB), sweeps capacitor configurations and shows
+(1) measured latency trends match the simulation, and (2) the searched
+system beats the iNAS-style design point (P_in = 6 mW, C >= 1 mF) by
+79.7 % at the same panel size and 82.3 % with a bigger (15 cm^2) panel.
+
+No hardware exists in this environment, so the "real platform" is the
+step-based simulator with multiplicative measurement noise
+(DESIGN.md §3) — preserving exactly the trend-matching and speedup
+claims being tested.  Latencies are cold-start (capacitor charged from
+empty), matching how a bench measurement of a deployed system works and
+exposing the oversized-capacitor charging penalty the paper's intro
+describes.
+"""
+
+import math
+import random
+
+from _common import improvement_pct, run_once, write_result
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.explore.mapper_search import MappingOptimizer
+from repro.sim.analytical import AnalyticalModel
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.units import uF, mF
+from repro.workloads import zoo
+from repro.workloads.layers import Conv2D
+from repro.workloads.network import Network
+
+CAPACITORS = [uF(47), uF(100), uF(220), uF(470), mF(1), mF(2.2), mF(4.7)]
+#: Panel matching the iNAS point's P_in ~ 6 mW in the brighter env.
+INAS_PANEL_CM2 = 3.7
+BIG_PANEL_CM2 = 15.0
+
+
+def single_conv_layer():
+    """The paper's demonstrator: one real convolution layer."""
+    return Network.chain("single_conv", (3, 32, 32), [
+        Conv2D("conv", in_channels=3, out_channels=16, in_height=32,
+               in_width=32, kernel=3, padding=1),
+    ])
+
+
+def optimised_design(network, panel_cm2, capacitance, env):
+    energy = EnergyDesign(panel_area_cm2=panel_cm2, capacitance_f=capacitance)
+    inference = InferenceDesign.msp430()
+    mappings = MappingOptimizer(network, environments=[env]).optimize(
+        energy, inference)
+    if mappings is None:
+        return None
+    return AuTDesign(energy=energy, inference=inference, mappings=mappings)
+
+
+def cold_start_measured(evaluator, design, env, rng, sigma=0.05):
+    result = evaluator.simulate(design, env, initial_voltage=0.0)
+    if not result.metrics.feasible:
+        return math.inf
+    return result.metrics.e2e_latency * rng.gauss(1.0, sigma)
+
+
+def run_experiment():
+    network = single_conv_layer()
+    env = LightEnvironment.brighter()
+    evaluator = ChrysalisEvaluator(network, environments=[env])
+    rng = random.Random(42)
+
+    simulated, measured = [], []
+    designs = {}
+    for capacitance in CAPACITORS:
+        design = optimised_design(network, INAS_PANEL_CM2, capacitance, env)
+        designs[capacitance] = design
+        if design is None:
+            simulated.append(math.inf)
+            measured.append(math.inf)
+            continue
+        model = AnalyticalModel(design, network, env)
+        simulated.append(model.cold_start_latency())
+        measured.append(cold_start_measured(evaluator, design, env, rng))
+
+    # iNAS-style point ("P_in = 6 mW, C >= 1 mF"): a single-tile mapping
+    # needs the capacitor big enough to bank the whole layer's energy,
+    # which the C >= 1 mF rule satisfies at 2.2 mF.
+    inas_design = AuTDesign.with_default_mappings(
+        EnergyDesign(panel_area_cm2=INAS_PANEL_CM2, capacitance_f=mF(2.2)),
+        InferenceDesign.msp430(), network, n_tiles=1)
+    inas_latency = cold_start_measured(evaluator, inas_design, env,
+                                       rng, sigma=0.0)
+
+    def best_latency(panel_cm2):
+        latencies = []
+        for c in CAPACITORS:
+            design = optimised_design(network, panel_cm2, c, env)
+            if design is not None:
+                latencies.append(cold_start_measured(
+                    evaluator, design, env, rng, sigma=0.0))
+        return min(latencies)
+
+    return {
+        "caps_uF": [c * 1e6 for c in CAPACITORS],
+        "simulated": simulated,
+        "measured": measured,
+        "inas_latency": inas_latency,
+        "best_same_panel": best_latency(INAS_PANEL_CM2),
+        "best_big_panel": best_latency(BIG_PANEL_CM2),
+    }
+
+
+def pearson(xs, ys):
+    pairs = [(x, y) for x, y in zip(xs, ys)
+             if math.isfinite(x) and math.isfinite(y)]
+    n = len(pairs)
+    mx = sum(x for x, _ in pairs) / n
+    my = sum(y for _, y in pairs) / n
+    cov = sum((x - mx) * (y - my) for x, y in pairs)
+    vx = sum((x - mx) ** 2 for x, _ in pairs)
+    vy = sum((y - my) ** 2 for _, y in pairs)
+    return cov / math.sqrt(vx * vy)
+
+
+def test_fig7_platform_validation(benchmark):
+    r = run_once(benchmark, run_experiment)
+
+    same = improvement_pct(r["inas_latency"], r["best_same_panel"])
+    big = improvement_pct(r["inas_latency"], r["best_big_panel"])
+    corr = pearson(r["simulated"], r["measured"])
+
+    lines = [f"Fig. 7 | single conv layer, cold start, panel="
+             f"{INAS_PANEL_CM2} cm^2 (P_in ~ 6 mW), brighter env",
+             f"{'cap [uF]':>10}{'simulated [s]':>16}{'measured [s]':>16}"]
+    for c, s, m in zip(r["caps_uF"], r["simulated"], r["measured"]):
+        lines.append(f"{c:>10.0f}{s:>16.4f}{m:>16.4f}")
+    lines += [
+        f"iNAS point latency      : {r['inas_latency']:.4f} s",
+        f"best @ same panel       : {r['best_same_panel']:.4f} s "
+        f"({same:.1f}% faster; paper: 79.7%)",
+        f"best @ 15 cm^2 panel    : {r['best_big_panel']:.4f} s "
+        f"({big:.1f}% faster; paper: 82.3%)",
+        f"sim-vs-measured Pearson : {corr:.3f}",
+    ]
+    write_result("fig7_platform_validation", lines)
+
+    # (1) Trend agreement between the model and the noisy platform.
+    assert corr > 0.9
+    # (2) The searched design beats the iNAS point at the same panel...
+    assert same > 20.0
+    # ...and by more with the bigger panel (paper: 79.7% -> 82.3%).
+    assert big > same
+    assert big > 50.0

@@ -1,0 +1,99 @@
+"""Tour of the energy subsystem: harvesting, storage and intermittency.
+
+A standalone walk through the EA-domain models — useful when you only
+need the energy-harvesting substrate (panel + capacitor + PMIC + MPPT)
+without the inference layer on top:
+
+1. the diurnal irradiance profile behind k_eh;
+2. perturb-and-observe MPPT converging on the panel's power curve;
+3. charge/discharge cycles of an intermittent system under load;
+4. how capacitor sizing trades charging latency against leakage.
+
+Run:  python examples/energy_subsystem_tour.py
+"""
+
+from repro.energy.capacitor import Capacitor
+from repro.energy.controller import EnergyController
+from repro.energy.environment import LightEnvironment
+from repro.energy.harvester import SolarHarvester
+from repro.energy.mppt import PerturbObserveTracker
+from repro.energy.pmic import PowerManagementIC
+from repro.energy.solar_panel import SolarPanel
+from repro.units import uF, mF
+
+
+def diurnal_profile() -> None:
+    print("1) diurnal harvest profile (8 cm^2 panel)")
+    env = LightEnvironment.brighter()
+    panel = SolarPanel(area_cm2=8.0)
+    for hour in range(5, 21, 2):
+        power_mw = panel.power(env.k_eh_at(float(hour))) * 1e3
+        bar = "#" * int(power_mw * 2)
+        print(f"   {hour:02d}:00  {power_mw:6.2f} mW  {bar}")
+    print()
+
+
+def mppt_convergence() -> None:
+    print("2) perturb-and-observe MPPT")
+    panel = SolarPanel(area_cm2=8.0)
+    tracker = PerturbObserveTracker(panel, step_voltage=0.05)
+    k_eh = LightEnvironment.brighter().k_eh
+    milestones = {1, 5, 20, 80, 200}
+    for step in range(1, 201):
+        tracker.step(k_eh)
+        if step in milestones:
+            print(f"   after {step:>3} steps: operating at "
+                  f"{tracker.operating_voltage:.2f} V "
+                  f"(MPP is {panel.v_mpp:.2f} V)")
+    efficiency = PerturbObserveTracker(panel).tracking_efficiency(k_eh)
+    print(f"   steady-state tracking efficiency: {efficiency:.1%}")
+    print()
+
+
+def intermittent_cycles() -> None:
+    print("3) intermittent operation under a 10 mW load (2 cm^2 panel)")
+    controller = EnergyController(
+        harvester=SolarHarvester(SolarPanel(area_cm2=2.0),
+                                 LightEnvironment.brighter()),
+        capacitor=Capacitor(capacitance=uF(470), rated_voltage=5.0),
+        pmic=PowerManagementIC(),
+    )
+    for _ in range(6):
+        wait = controller.fast_forward_to_on()
+        on_time = 0.0
+        while controller.rail_on():
+            controller.step(0.001, load_power=10e-3)
+            on_time += 0.001
+        print(f"   charged {wait:6.3f} s -> ran {on_time * 1e3:6.1f} ms")
+    acct = controller.accounting
+    print(f"   harvested {acct.harvested * 1e3:.2f} mJ, delivered "
+          f"{acct.delivered * 1e3:.2f} mJ, leaked {acct.leaked * 1e6:.1f} uJ")
+    print()
+
+
+def capacitor_sizing() -> None:
+    print("4) capacitor sizing: charge latency vs leakage (8 cm^2 panel)")
+    env = LightEnvironment.brighter()
+    pmic = PowerManagementIC()
+    panel = SolarPanel(area_cm2=8.0)
+    charge_power = pmic.charge_power(panel.power(env.k_eh))
+    print(f"   {'cap':>9} {'0->U_on':>10} {'cycle energy':>13} "
+          f"{'leak @U_on':>11}")
+    for capacitance in (uF(47), uF(220), mF(1), mF(4.7), mF(10)):
+        cap = Capacitor(capacitance=capacitance, rated_voltage=5.0)
+        t_charge = cap.time_to_reach(pmic.v_on, charge_power)
+        cycle = pmic.usable_cycle_energy(capacitance)
+        leak = cap.leakage_power(pmic.v_on)
+        print(f"   {capacitance * 1e6:7.0f}uF {t_charge:9.2f}s "
+              f"{cycle * 1e3:11.3f}mJ {leak * 1e6:9.1f}uW")
+
+
+def main() -> None:
+    diurnal_profile()
+    mppt_convergence()
+    intermittent_cycles()
+    capacitor_sizing()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+wheels cannot be built; ``pip install -e .`` falls back to this shim
+(``setup.py develop``).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

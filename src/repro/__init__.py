@@ -1,0 +1,70 @@
+"""CHRYSALIS — automated EA/IA co-design for Autonomous Things.
+
+Reproduction of "A Tale of Two Domains: Exploring Efficient Architecture
+Design for Truly Autonomous Things" (ISCA 2024).
+
+Quickstart::
+
+    from repro import Chrysalis, Objective, zoo
+
+    tool = Chrysalis(zoo.har_cnn(), setup="existing",
+                     objective=Objective.lat_sp())
+    solution = tool.generate()
+    print(solution.report())
+
+Package map
+-----------
+``repro.energy``     energy subsystem (harvesting, storage, PMIC, MPPT)
+``repro.workloads``  DNN layer IR + the paper's workload zoo
+``repro.dataflow``   data-centric mapping directives + cost model
+``repro.hardware``   MSP430/LEA and TPU/Eyeriss-like hardware models
+``repro.sim``        analytical (Eqs. 1-9) and step-based evaluation
+``repro.explore``    design spaces, objectives, GA, bi-level explorer
+``repro.core``       the Table II usage-model API
+"""
+
+from repro.core.chrysalis import Chrysalis
+from repro.core.result import AuTSolution
+from repro.core.scenarios import SCENARIOS, Scenario
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.explore.nsga2 import ParetoExplorer
+from repro.explore.objectives import Objective, ObjectiveKind
+from repro.explore.space import DesignSpace
+from repro.explore.sweeps import grid_sweep, sweep
+from repro.serialize import (
+    design_from_json,
+    design_to_json,
+    solution_to_dict,
+)
+from repro.sim.evaluator import ChrysalisEvaluator, EvaluationMode
+from repro.sim.mix import WorkloadMix, early_exit_mix
+from repro.workloads import zoo
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuTDesign",
+    "AuTSolution",
+    "Chrysalis",
+    "ChrysalisEvaluator",
+    "DesignSpace",
+    "EnergyDesign",
+    "EvaluationMode",
+    "InferenceDesign",
+    "LightEnvironment",
+    "Objective",
+    "ObjectiveKind",
+    "ParetoExplorer",
+    "SCENARIOS",
+    "Scenario",
+    "WorkloadMix",
+    "__version__",
+    "design_from_json",
+    "design_to_json",
+    "early_exit_mix",
+    "grid_sweep",
+    "solution_to_dict",
+    "sweep",
+    "zoo",
+]

@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``workloads``
+    List the paper's workload zoo with layer/parameter/op counts.
+``search``
+    Run a CHRYSALIS search for one workload and print the solution.
+``describe``
+    Lower a named workload + explicit design knobs into the HW/SW
+    describer output (no search).
+``simulate``
+    Step-simulate an explicit design and print metrics plus the head of
+    the event trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.core.chrysalis import Chrysalis
+from repro.core.describer import describe_design
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.errors import ChrysalisError
+from repro.explore.ga import GAConfig
+from repro.explore.mapper_search import MappingOptimizer
+from repro.explore.objectives import Objective
+from repro.hardware.accelerators import AcceleratorFamily
+from repro.serialize import (
+    design_from_json,
+    design_to_json,
+    solution_to_dict,
+)
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.workloads import zoo
+
+
+def _build_objective(args: argparse.Namespace) -> Objective:
+    if args.objective == "lat":
+        if args.sp_cap is None:
+            raise ChrysalisError("--objective lat requires --sp-cap")
+        return Objective.lat(args.sp_cap)
+    if args.objective == "sp":
+        if args.lat_cap is None:
+            raise ChrysalisError("--objective sp requires --lat-cap")
+        return Objective.sp(args.lat_cap)
+    return Objective.lat_sp()
+
+
+def _inference_design(args: argparse.Namespace) -> InferenceDesign:
+    if args.arch == "msp430":
+        return InferenceDesign.msp430()
+    family = AcceleratorFamily(args.arch)
+    return InferenceDesign(family=family, n_pes=args.pes,
+                           cache_bytes_per_pe=args.cache)
+
+
+def _explicit_design(args: argparse.Namespace, network) -> AuTDesign:
+    if getattr(args, "design", None):
+        design = design_from_json(
+            pathlib.Path(args.design).read_text())
+        design.validate_against(network)
+        return design
+    energy = EnergyDesign(panel_area_cm2=args.panel,
+                          capacitance_f=args.cap * 1e-6)
+    inference = _inference_design(args)
+    mappings = MappingOptimizer(network).optimize(energy, inference)
+    if mappings is None:
+        raise ChrysalisError(
+            "no feasible intermittent mapping for this design; "
+            "try a bigger capacitor or panel"
+        )
+    return AuTDesign(energy=energy, inference=inference, mappings=mappings)
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    groups = (("existing", zoo.EXISTING_AUT_WORKLOADS),
+              ("future", zoo.FUTURE_AUT_WORKLOADS),
+              ("extension", zoo.EXTENSION_WORKLOADS))
+    print(f"{'name':<14}{'setup':<11}{'layers':>7}{'params':>12}{'MACs':>14}")
+    for setup, registry in groups:
+        for name in registry:
+            network = zoo.workload_by_name(name)
+            print(f"{name:<14}{setup:<11}{network.num_weight_layers:>7}"
+                  f"{network.params:>12,}{network.macs:>14,}")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    network = zoo.workload_by_name(args.workload)
+    tool = Chrysalis(
+        network,
+        setup=args.setup,
+        objective=_build_objective(args),
+        ga_config=GAConfig(population_size=args.population,
+                           generations=args.generations, seed=args.seed),
+    )
+    solution = tool.generate()
+    print(solution.report())
+    if args.output:
+        path = pathlib.Path(args.output)
+        path.write_text(json.dumps(solution_to_dict(solution), indent=2))
+        print(f"\nsolution written to {path}")
+    if args.design_output:
+        path = pathlib.Path(args.design_output)
+        path.write_text(design_to_json(solution.design))
+        print(f"design written to {path}")
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    network = zoo.workload_by_name(args.workload)
+    design = _explicit_design(args, network)
+    print(describe_design(design, network, loop_nests=args.loop_nests))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    network = zoo.workload_by_name(args.workload)
+    design = _explicit_design(args, network)
+    environment = {
+        "brighter": LightEnvironment.brighter,
+        "darker": LightEnvironment.darker,
+        "indoor": LightEnvironment.indoor,
+    }[args.environment]()
+    evaluator = ChrysalisEvaluator(network)
+    result = evaluator.simulate(design, environment)
+    metrics = result.metrics
+    if not metrics.feasible:
+        print(f"infeasible: {metrics.infeasible_reason}")
+        return 1
+    print(f"e2e latency      : {metrics.e2e_latency:.4f} s "
+          f"(busy {metrics.busy_time:.4f} s, "
+          f"charge {metrics.charge_time:.4f} s)")
+    print(f"sustained period : {metrics.sustained_period:.4f} s")
+    print(f"total energy     : {metrics.total_energy * 1e3:.4f} mJ "
+          f"(ckpt {metrics.energy.checkpoint * 1e3:.4f} mJ)")
+    print(f"power cycles     : {metrics.power_cycles}, "
+          f"exceptions: {metrics.exceptions}")
+    print(f"system efficiency: {metrics.system_efficiency:.3f}")
+    print()
+    print(result.trace.render(limit=args.trace))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CHRYSALIS: EA/IA co-design for Autonomous Things",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the workload zoo")
+
+    search = sub.add_parser("search", help="run a CHRYSALIS search")
+    search.add_argument("workload")
+    search.add_argument("--setup", choices=("existing", "future"),
+                        default="existing")
+    search.add_argument("--objective", choices=("lat", "sp", "lat*sp"),
+                        default="lat*sp")
+    search.add_argument("--sp-cap", type=float, default=None,
+                        help="panel-area cap (cm^2) for --objective lat")
+    search.add_argument("--lat-cap", type=float, default=None,
+                        help="latency cap (s) for --objective sp")
+    search.add_argument("--population", type=int, default=12)
+    search.add_argument("--generations", type=int, default=8)
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--output", default=None,
+                        help="write the full solution as JSON")
+    search.add_argument("--design-output", default=None,
+                        help="write just the design (loadable via "
+                             "--design) as JSON")
+
+    def add_design_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("workload")
+        p.add_argument("--design", default=None,
+                       help="load a serialized design JSON instead of "
+                            "building one from the knobs below")
+        p.add_argument("--panel", type=float, default=8.0,
+                       help="solar panel area, cm^2")
+        p.add_argument("--cap", type=float, default=470.0,
+                       help="capacitance, uF")
+        p.add_argument("--arch",
+                       choices=("msp430", "tpu", "eyeriss"),
+                       default="msp430")
+        p.add_argument("--pes", type=int, default=64)
+        p.add_argument("--cache", type=int, default=512,
+                       help="per-PE cache, bytes")
+
+    describe = sub.add_parser("describe",
+                              help="render the HW/SW describer output")
+    add_design_args(describe)
+    describe.add_argument("--loop-nests", action="store_true")
+
+    simulate = sub.add_parser("simulate",
+                              help="step-simulate an explicit design")
+    add_design_args(simulate)
+    simulate.add_argument("--environment",
+                          choices=("brighter", "darker", "indoor"),
+                          default="brighter")
+    simulate.add_argument("--trace", type=int, default=10,
+                          help="trace events to print")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "workloads": cmd_workloads,
+        "search": cmd_search,
+        "describe": cmd_describe,
+        "simulate": cmd_simulate,
+    }
+    try:
+        return handlers[args.command](args)
+    except ChrysalisError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""CHRYSALIS core: the usage-model API of §III-A / Table II.
+
+:class:`~repro.core.chrysalis.Chrysalis` is the front door: give it a
+DNN workload, platform constraints, an objective and (optionally) a
+SWaP scenario, and it returns the ideal AuT architecture.
+"""
+
+from repro.core.chrysalis import Chrysalis
+from repro.core.describer import describe_design
+from repro.core.result import AuTSolution, LayerPlanRow
+from repro.core.scenarios import SCENARIOS, Scenario
+
+__all__ = [
+    "AuTSolution",
+    "Chrysalis",
+    "LayerPlanRow",
+    "SCENARIOS",
+    "Scenario",
+    "describe_design",
+]

@@ -1,0 +1,61 @@
+"""The AuT HW & SW Describer — renders a design as its component stack.
+
+§III-C: "the AuT HW and SW Describer ... encompasses the hardware and
+software aspects, capturing the intricacies of the system's
+architecture."  In this reproduction the *descriptions* are the model
+objects themselves; this module renders them (including the per-layer
+mapping directives and their Fig. 4 loop nests) for inspection,
+documentation and debugging.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dataflow.loopnest import LoopNest
+from repro.design import AuTDesign
+from repro.workloads.network import Network
+
+
+def describe_design(design: AuTDesign, network: Network,
+                    loop_nests: bool = False) -> str:
+    """Multi-section textual description of a candidate architecture."""
+    design.validate_against(network)
+    hardware = design.inference.build()
+    energy = design.energy
+
+    lines: List[str] = []
+    lines.append("=== Energy subsystem describer ===")
+    lines.append(f"harvester  : solar panel, {energy.panel_area_cm2:.2f} cm^2")
+    lines.append(f"storage    : {energy.capacitance_f * 1e6:.1f} uF capacitor "
+                 f"(k_cap={energy.k_cap:g} /s)")
+    lines.append(f"controller : PMIC U_on={energy.pmic.v_on} V, "
+                 f"U_off={energy.pmic.v_off} V, "
+                 f"boost {energy.pmic.boost_efficiency:.0%} / "
+                 f"buck {energy.pmic.buck_efficiency:.0%}")
+    lines.append("")
+    lines.append("=== Inference subsystem describer ===")
+    lines.append(f"hardware   : {hardware.name} ({hardware.family.value})")
+    lines.append(f"PE array   : {hardware.pes.n_pes} PEs x "
+                 f"{hardware.pes.cache_bytes_per_pe} B cache, "
+                 f"{hardware.pes.mac_energy * 1e12:.2f} pJ/MAC @ "
+                 f"{hardware.pes.clock_hz / 1e6:.0f} MHz")
+    lines.append(f"VM         : {hardware.vm.size_bytes} B "
+                 f"{hardware.vm.technology.name}")
+    lines.append(f"NVM        : {hardware.nvm.size_bytes} B "
+                 f"{hardware.nvm.technology.name}")
+    lines.append("")
+    lines.append("=== Mapping describer ===")
+    for layer, mapping in zip(network, design.mappings):
+        directives = mapping.clamped(layer).to_directives(
+            layer, hardware.pes.n_pes
+        )
+        lines.append(f"-- {layer.name} ({layer.kind.value}, "
+                     f"{layer.macs:,} MACs)")
+        for directive in directives:
+            lines.append(f"   {directive.render()}")
+        if loop_nests:
+            nest = LoopNest.from_mapping(directives, layer)
+            for nest_line in nest.render().splitlines():
+                lines.append(f"   | {nest_line}")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""SWaP scenario presets for the application domains the paper motivates.
+
+"Many AuT systems are part of mission-critical infrastructures in land,
+sea, air, and space.  Each of the AuT faces rigorous and specific Space,
+Weight, and Power (SWaP) constraints" (§I).  A :class:`Scenario` bundles
+such constraints plus the environments to qualify in, and produces the
+matching objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.energy.environment import LightEnvironment
+from repro.errors import ConfigurationError
+from repro.explore.objectives import Objective
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A deployment scenario with SWaP constraints.
+
+    ``max_panel_cm2`` caps the harvester footprint (size/weight proxy);
+    ``max_latency_s`` caps single-inference latency (mission deadline).
+    At least one must be set; when both are, the objective minimises the
+    constrained quantity with the other as the cap.
+    """
+
+    name: str
+    description: str
+    environments: Tuple[LightEnvironment, ...]
+    max_panel_cm2: Optional[float] = None
+    max_latency_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_panel_cm2 is None and self.max_latency_s is None:
+            raise ConfigurationError(
+                f"scenario {self.name!r} needs at least one SWaP constraint"
+            )
+
+    def objective(self) -> Objective:
+        """The objective this scenario's constraints imply."""
+        if self.max_panel_cm2 is not None and self.max_latency_s is not None:
+            # Both constrained: minimise latency under the size cap (the
+            # latency cap is then verified on the returned solution).
+            return Objective.lat(self.max_panel_cm2)
+        if self.max_panel_cm2 is not None:
+            return Objective.lat(self.max_panel_cm2)
+        return Objective.sp(self.max_latency_s)
+
+    def satisfied_by(self, panel_cm2: float, latency_s: float) -> bool:
+        if self.max_panel_cm2 is not None and panel_cm2 > self.max_panel_cm2:
+            return False
+        if self.max_latency_s is not None and latency_s > self.max_latency_s:
+            return False
+        return True
+
+
+def _both() -> Tuple[LightEnvironment, LightEnvironment]:
+    return LightEnvironment.paper_environments()
+
+
+#: Ready-made scenarios for the paper's motivating domains.
+SCENARIOS: Dict[str, Scenario] = {
+    "wearable": Scenario(
+        name="wearable",
+        description="Body-worn health sensor: tiny harvester, relaxed "
+                    "latency (continuous glucose-style monitoring).",
+        environments=_both(),
+        max_panel_cm2=4.0,
+    ),
+    "volcano-monitor": Scenario(
+        name="volcano-monitor",
+        description="Autonomous hazard-monitoring station: generous "
+                    "footprint, hard detection deadline.",
+        environments=_both(),
+        max_latency_s=30.0,
+    ),
+    "uav": Scenario(
+        name="uav",
+        description="Micro-UAV perception: strict weight (panel) cap and "
+                    "a flight-control latency deadline.",
+        environments=(LightEnvironment.brighter(),),
+        max_panel_cm2=12.0,
+        max_latency_s=10.0,
+    ),
+    "smart-city": Scenario(
+        name="smart-city",
+        description="Street-level sensing node: moderate footprint, "
+                    "overcast-tolerant.",
+        environments=(LightEnvironment.darker(),),
+        max_panel_cm2=20.0,
+    ),
+    "space-probe": Scenario(
+        name="space-probe",
+        description="Deep-space IoAT payload: footprint is everything; "
+                    "latency is negotiable.",
+        environments=(LightEnvironment.indoor(),),  # weak-light proxy
+        max_panel_cm2=8.0,
+    ),
+}

@@ -1,0 +1,170 @@
+"""Data-centric mapping directives (MAESTRO style + InterTempMap).
+
+A mapping is described by an ordered list of directives, outermost
+first.  Each directive binds one loop dimension of the layer's
+iteration space:
+
+* :class:`TemporalMap` — the dimension is executed sequentially on the
+  same hardware, ``size`` iterations at a time;
+* :class:`SpatialMap` — the dimension is distributed across PEs,
+  ``size`` iterations per PE;
+* :class:`InterTempMap` — the paper's new directive: the dimension is
+  partitioned across *energy cycles*.  A power interruption may occur
+  between consecutive chunks, so no volatile state survives the
+  boundary and all inter-chunk data must round-trip through NVM.
+
+The dataflow-style taxonomy (§III-A input 4) labels which operand stays
+resident in the PE: weight-stationary (WS), output-stationary (OS) or
+input-stationary (IS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Tuple
+
+from repro.errors import MappingError
+from repro.workloads.layers import DIM_NAMES
+
+
+class DataflowStyle(Enum):
+    """Which operand a PE keeps resident across its temporal loop."""
+
+    WEIGHT_STATIONARY = "ws"
+    OUTPUT_STATIONARY = "os"
+    INPUT_STATIONARY = "is"
+
+    @classmethod
+    def from_string(cls, text: str) -> "DataflowStyle":
+        for style in cls:
+            if style.value == text.lower():
+                return style
+        raise MappingError(
+            f"unknown dataflow style {text!r}; expected one of "
+            f"{[s.value for s in cls]}"
+        )
+
+
+@dataclass(frozen=True)
+class Directive:
+    """Base mapping directive: bind ``dim`` with chunk size ``size``.
+
+    ``offset`` is the step between consecutive chunks; it equals ``size``
+    for non-overlapping dimensions and may be smaller for the sliding
+    filter dimensions (R/S), matching MAESTRO's semantics.
+    """
+
+    dim: str
+    size: int
+    offset: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.dim not in DIM_NAMES:
+            raise MappingError(
+                f"unknown dimension {self.dim!r}; expected one of {DIM_NAMES}"
+            )
+        if self.size <= 0:
+            raise MappingError(f"directive size must be positive, got {self.size}")
+        if self.offset is not None and self.offset <= 0:
+            raise MappingError(
+                f"directive offset must be positive, got {self.offset}"
+            )
+
+    @property
+    def step(self) -> int:
+        return self.size if self.offset is None else self.offset
+
+    @property
+    def keyword(self) -> str:
+        raise NotImplementedError
+
+    def render(self) -> str:
+        """MAESTRO-like textual form, e.g. ``TemporalMap(4, 4) K``."""
+        return f"{self.keyword}({self.size}, {self.step}) {self.dim}"
+
+
+@dataclass(frozen=True)
+class TemporalMap(Directive):
+    """Execute chunks of ``dim`` one after another on the same hardware."""
+
+    @property
+    def keyword(self) -> str:
+        return "TemporalMap"
+
+
+@dataclass(frozen=True)
+class SpatialMap(Directive):
+    """Distribute chunks of ``dim`` across PEs."""
+
+    @property
+    def keyword(self) -> str:
+        return "SpatialMap"
+
+
+@dataclass(frozen=True)
+class InterTempMap(Directive):
+    """Partition ``dim`` across energy cycles (checkpoint boundaries)."""
+
+    @property
+    def keyword(self) -> str:
+        return "InterTempMap"
+
+
+@dataclass(frozen=True)
+class MappingDirectives:
+    """An ordered directive list, outermost first.
+
+    Validity rules enforced here:
+
+    * at most one directive per dimension;
+    * every :class:`InterTempMap` must be outermost — energy-cycle
+      partitioning wraps everything else (Fig. 4's loop nest puts the
+      ``cpkt`` tile at the top; a multi-dimensional cpkt tile is a run
+      of leading InterTempMaps);
+    * at most one :class:`SpatialMap` (1-D PE array abstraction, as in
+      the paper's Table V spaces).
+    """
+
+    directives: Tuple[Directive, ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for directive in self.directives:
+            if directive.dim in seen:
+                raise MappingError(
+                    f"dimension {directive.dim!r} mapped more than once"
+                )
+            seen.add(directive.dim)
+        inter_positions = [i for i, d in enumerate(self.directives)
+                           if isinstance(d, InterTempMap)]
+        if inter_positions and inter_positions != list(
+                range(len(inter_positions))):
+            raise MappingError(
+                "InterTempMap directives must form the outermost run"
+            )
+        spatial = [d for d in self.directives if isinstance(d, SpatialMap)]
+        if len(spatial) > 1:
+            raise MappingError("at most one SpatialMap is allowed")
+
+    def __iter__(self) -> Iterator[Directive]:
+        return iter(self.directives)
+
+    def __len__(self) -> int:
+        return len(self.directives)
+
+    @property
+    def intermittent(self) -> InterTempMap | None:
+        first = self.directives[0] if self.directives else None
+        return first if isinstance(first, InterTempMap) else None
+
+    @property
+    def spatial(self) -> SpatialMap | None:
+        for directive in self.directives:
+            if isinstance(directive, SpatialMap):
+                return directive
+        return None
+
+    def render(self) -> str:
+        """Multi-line textual mapping description as in Fig. 4."""
+        return "\n".join(d.render() for d in self.directives)

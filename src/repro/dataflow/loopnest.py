@@ -1,0 +1,107 @@
+"""Loop-nest view of a mapping, as drawn in Fig. 4 of the paper.
+
+The figure shows the mapping description lowered to a loop nest whose
+outermost ``cpkt`` loop corresponds to the ``InterTempMap`` directive.
+:class:`LoopNest` performs that lowering for inspection, documentation
+and validation: its trip-count product must cover the layer's full
+iteration space exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.dataflow.directives import (
+    InterTempMap,
+    MappingDirectives,
+    SpatialMap,
+)
+from repro.errors import MappingError
+from repro.workloads.layers import DIM_NAMES, Layer
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One level of the nest."""
+
+    dim: str
+    trip_count: int
+    chunk: int
+    kind: str  # "ckpt" | "spatial" | "temporal"
+
+    def render(self, indent: int) -> str:
+        pad = "  " * indent
+        if self.kind == "ckpt":
+            head = f"for {self.dim.lower()}_ckpt in range({self.trip_count})"
+            note = "# InterTempMap: energy-cycle tile"
+        elif self.kind == "spatial":
+            head = f"parallel_for {self.dim.lower()}_pe in range({self.trip_count})"
+            note = "# SpatialMap: across PEs"
+        else:
+            head = f"for {self.dim.lower()} in range({self.trip_count})"
+            note = "# TemporalMap"
+        return f"{pad}{head}:  {note}"
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """The lowered nest: outermost loop first."""
+
+    loops: Tuple[Loop, ...]
+
+    @classmethod
+    def from_mapping(cls, directives: MappingDirectives,
+                     layer: Layer) -> "LoopNest":
+        dims = layer.dims()
+        loops: List[Loop] = []
+        covered = {}
+        for directive in directives:
+            total = dims[directive.dim]
+            trips = math.ceil(total / directive.size)
+            if isinstance(directive, InterTempMap):
+                kind = "ckpt"
+            elif isinstance(directive, SpatialMap):
+                kind = "spatial"
+            else:
+                kind = "temporal"
+            loops.append(Loop(directive.dim, trips, directive.size, kind))
+            covered[directive.dim] = covered.get(directive.dim, 1) * trips
+        # Implicit innermost loops: chunks introduced by each directive
+        # still iterate internally; also any dimension never mentioned.
+        for directive in directives:
+            if directive.size > 1:
+                loops.append(
+                    Loop(directive.dim, directive.size, 1, "temporal")
+                )
+        for name in DIM_NAMES:
+            if dims[name] > 1 and name not in covered:
+                loops.append(Loop(name, dims[name], 1, "temporal"))
+        nest = cls(tuple(loops))
+        nest._validate_against(dims)
+        return nest
+
+    def _validate_against(self, dims) -> None:
+        product = 1
+        for loop in self.loops:
+            product *= loop.trip_count
+        full = math.prod(dims.values())
+        if product < full:
+            raise MappingError(
+                f"loop nest covers {product} iterations but the layer "
+                f"has {full}"
+            )
+
+    @property
+    def trip_count(self) -> int:
+        product = 1
+        for loop in self.loops:
+            product *= loop.trip_count
+        return product
+
+    def render(self) -> str:
+        """Source-like rendering, outermost loop first."""
+        lines = [loop.render(indent) for indent, loop in enumerate(self.loops)]
+        lines.append("  " * len(self.loops) + "MAC(...)")
+        return "\n".join(lines)

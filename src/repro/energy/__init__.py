@@ -1,0 +1,51 @@
+"""Energy subsystem of an AuT: harvesting, storage, and power management.
+
+The paper (§III-B-1) models the energy subsystem as an energy harvester
+(solar panel), a small capacitor, and a management IC that implements the
+on/off voltage thresholds.  This package provides:
+
+* :mod:`repro.energy.environment` — sunlight model producing the light
+  coefficient ``k_eh`` (substitute for pvlib).
+* :mod:`repro.energy.solar_panel` — Eq. 1, ``P_eh = A_eh * k_eh``, plus a
+  lightweight P-V curve for MPPT experiments.
+* :mod:`repro.energy.capacitor` — storage physics with the leakage model
+  of Eq. 2 and the analytic charge ODE used for fast-forwarding.
+* :mod:`repro.energy.pmic` — BQ25570-like power-management IC.
+* :mod:`repro.energy.mppt` — perturb-and-observe maximum-power-point
+  tracking.
+* :mod:`repro.energy.harvester` — harvester interface with solar, thermal
+  and RF implementations (the paper's extension point).
+* :mod:`repro.energy.controller` — the intermittent-power state machine
+  driving ON/OFF energy cycles.
+"""
+
+from repro.energy.capacitor import Capacitor
+from repro.energy.controller import EnergyController, PowerState
+from repro.energy.environment import LightEnvironment
+from repro.energy.harvester import (
+    CompositeHarvester,
+    FluctuatingHarvester,
+    Harvester,
+    RFHarvester,
+    SolarHarvester,
+    ThermalHarvester,
+)
+from repro.energy.mppt import PerturbObserveTracker
+from repro.energy.pmic import PowerManagementIC
+from repro.energy.solar_panel import SolarPanel
+
+__all__ = [
+    "Capacitor",
+    "CompositeHarvester",
+    "EnergyController",
+    "FluctuatingHarvester",
+    "Harvester",
+    "LightEnvironment",
+    "PerturbObserveTracker",
+    "PowerManagementIC",
+    "PowerState",
+    "RFHarvester",
+    "SolarHarvester",
+    "SolarPanel",
+    "ThermalHarvester",
+]

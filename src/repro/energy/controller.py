@@ -1,0 +1,198 @@
+"""Energy controller — the intermittent-power state machine.
+
+The paper's energy subsystem describer includes "an energy controller
+responsible for implementing the logic of the energy subsystem ...
+[which] emulates the intermittent computing power logic and communicates
+with the inference subsystem describer."  This module is that component.
+
+The controller owns a harvester, a capacitor and a PMIC, and exposes:
+
+* :meth:`EnergyController.step` — advance by ``dt`` while the load draws
+  ``load_power``; reports whether the rail stayed up;
+* :meth:`EnergyController.fast_forward_to_on` — analytically skip a
+  charging phase (the step simulator uses this so that searches remain
+  fast without losing the step-based semantics during computation);
+* cumulative accounting of harvested / delivered / leaked energy, and
+  the number of power cycles — the quantities Figs. 8, 9 and 11 plot.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.energy.capacitor import Capacitor
+from repro.energy.harvester import Harvester
+from repro.energy.pmic import PowerManagementIC
+from repro.errors import ConfigurationError
+
+
+class PowerState(enum.Enum):
+    """Rail state of the intermittent system."""
+
+    OFF = "off"  # charging; load rail disabled
+    ON = "on"  # load rail enabled; computation may proceed
+
+
+@dataclass
+class EnergyAccounting:
+    """Cumulative energy bookkeeping, all in joules."""
+
+    harvested: float = 0.0  # electrical energy out of the harvester
+    stored: float = 0.0  # energy that actually entered the capacitor
+    delivered: float = 0.0  # load-side energy consumed by computation
+    leaked: float = 0.0  # lost to capacitor leakage
+    conversion_loss: float = 0.0  # lost in the PMIC's converters
+    curtailed: float = 0.0  # harvest discarded at the rated-voltage clamp
+    power_cycles: int = 0  # number of OFF -> ON transitions
+
+
+@dataclass
+class EnergyController:
+    """State machine tying harvester, capacitor and PMIC together."""
+
+    harvester: Harvester
+    capacitor: Capacitor
+    pmic: PowerManagementIC = field(default_factory=PowerManagementIC)
+    time: float = 0.0
+    state: PowerState = PowerState.OFF
+    accounting: EnergyAccounting = field(default_factory=EnergyAccounting)
+
+    def __post_init__(self) -> None:
+        if self.pmic.v_on > self.capacitor.rated_voltage:
+            raise ConfigurationError(
+                f"PMIC v_on={self.pmic.v_on} exceeds capacitor rating "
+                f"{self.capacitor.rated_voltage}"
+            )
+        self._sync_state()
+
+    # -- observers ---------------------------------------------------------------
+
+    @property
+    def voltage(self) -> float:
+        """Current storage voltage, V."""
+        return self.capacitor.voltage
+
+    def rail_on(self) -> bool:
+        return self.state is PowerState.ON
+
+    def available_cycle_energy(self) -> float:
+        """Load-side energy remaining before the rail cuts off, J.
+
+        From the current voltage down to ``U_off``, through the buck.
+        Zero when the rail is off.
+        """
+        if not self.rail_on():
+            return 0.0
+        raw = self.capacitor.energy_between(self.voltage, self.pmic.v_off)
+        return raw * self.pmic.buck_efficiency
+
+    # -- dynamics -----------------------------------------------------------------
+
+    def step(self, dt: float, load_power: float = 0.0) -> PowerState:
+        """Advance the subsystem by ``dt`` seconds.
+
+        ``load_power`` is the rail-side power the inference subsystem is
+        drawing; it is only honoured while the rail is on (an off rail
+        delivers nothing).  Returns the state *after* the step.
+        """
+        if dt < 0:
+            raise ConfigurationError(f"dt must be non-negative, got {dt}")
+        if load_power < 0:
+            raise ConfigurationError(
+                f"load_power must be non-negative, got {load_power}"
+            )
+        harvested_power = self.harvester.power_at(self.time)
+        charge_power = self.pmic.charge_power(harvested_power)
+        if self.rail_on() and load_power > 0:
+            drain_power = self.pmic.drain_power(load_power)
+        else:
+            load_power = 0.0
+            drain_power = 0.0
+
+        # If the load will drag the storage down to U_off before the
+        # step ends, split the step at the crossing: the rail (and the
+        # load) cut exactly there, and the remainder charges load-free.
+        if drain_power > charge_power:
+            t_off = self.capacitor.time_until(self.pmic.v_off,
+                                              charge_power - drain_power)
+            if t_off < dt:
+                self._advance(t_off, harvested_power, charge_power,
+                              drain_power, load_power)
+                self.state = PowerState.OFF
+                return self.step(dt - t_off, load_power=0.0)
+
+        self._advance(dt, harvested_power, charge_power, drain_power,
+                      load_power)
+        self._transition(v_before=self.voltage)
+        return self.state
+
+    def _advance(self, dt: float, harvested_power: float,
+                 charge_power: float, drain_power: float,
+                 load_power: float) -> None:
+        """Integrate the capacitor and update the energy accounting."""
+        energy_before = self.capacitor.stored_energy()
+        leak_before = self.capacitor.leakage_power()
+        self.capacitor.step(charge_power - drain_power, dt)
+        leak_after = self.capacitor.leakage_power()
+        energy_after = self.capacitor.stored_energy()
+
+        leak_energy = 0.5 * (leak_before + leak_after) * dt
+        # Anything the charger pushed that neither ended up stored, nor
+        # served the load, nor leaked, was curtailed at the voltage clamp.
+        curtailed = ((charge_power - drain_power) * dt - leak_energy
+                     - (energy_after - energy_before))
+
+        self.time += dt
+        self.accounting.harvested += harvested_power * dt
+        self.accounting.stored += charge_power * dt
+        self.accounting.delivered += load_power * dt
+        self.accounting.leaked += leak_energy
+        self.accounting.curtailed += max(curtailed, 0.0)
+        self.accounting.conversion_loss += (
+            (harvested_power - charge_power) + (drain_power - load_power)
+        ) * dt
+
+    def fast_forward_to_on(self, max_wait: float = math.inf) -> float:
+        """Charge with no load until the rail turns on; returns elapsed s.
+
+        Uses the capacitor's closed-form charging solution, so the cost
+        is O(1) regardless of how long the charge takes.  If the
+        harvester cannot reach ``v_on`` within ``max_wait`` (for example
+        leakage outpaces the panel) the method returns ``math.inf`` and
+        leaves the state untouched so the caller can flag the design as
+        infeasible.
+        """
+        if self.rail_on():
+            return 0.0
+        harvested_power = self.harvester.power_at(self.time)
+        charge_power = self.pmic.charge_power(harvested_power)
+        wait = self.capacitor.time_to_reach(self.pmic.v_on, charge_power)
+        if math.isinf(wait) or wait > max_wait:
+            return math.inf
+        self._advance(wait, harvested_power, charge_power, 0.0, 0.0)
+        # Snap away the one-ulp float shortfall of the closed-form
+        # inversion so the comparator sees exactly U_on.
+        if self.capacitor.voltage < self.pmic.v_on:
+            self.capacitor.voltage = min(self.pmic.v_on,
+                                         self.capacitor.rated_voltage)
+        self._transition(v_before=0.0)
+        return wait
+
+    # -- internals -------------------------------------------------------------------
+
+    def _transition(self, v_before: float) -> None:
+        was_on = self.rail_on()
+        now_on = self.pmic.rail_enabled(self.voltage, currently_on=was_on)
+        if now_on and not was_on:
+            self.accounting.power_cycles += 1
+        self.state = PowerState.ON if now_on else PowerState.OFF
+
+    def _sync_state(self) -> None:
+        if self.pmic.rail_enabled(self.voltage, currently_on=False):
+            self.state = PowerState.ON
+            # Starting charged counts as the first energy cycle.
+            self.accounting.power_cycles += 1
+        else:
+            self.state = PowerState.OFF

@@ -1,0 +1,207 @@
+"""Harvester interface and implementations.
+
+The paper stresses that CHRYSALIS is interface-oriented so that "other
+energy harvesters" can be substituted for the default solar panel.
+:class:`Harvester` is that interface: anything that can report its
+instantaneous output power and its physical footprint.  Three concrete
+implementations are provided:
+
+* :class:`SolarHarvester` — the paper's default (panel + environment,
+  optionally de-rated by an MPPT tracking efficiency);
+* :class:`ThermalHarvester` — a thermoelectric generator, the kind used
+  by the volcano-monitoring motivation in the paper's introduction;
+* :class:`RFHarvester` — WISP-style radio-frequency harvesting.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.energy.environment import LightEnvironment
+from repro.energy.mppt import PerturbObserveTracker
+from repro.energy.solar_panel import SolarPanel
+from repro.errors import ConfigurationError
+
+
+@runtime_checkable
+class Harvester(Protocol):
+    """Anything that harvests ambient energy.
+
+    ``power_at(t)`` reports the electrical output power (W) at simulation
+    time ``t`` seconds; ``footprint_cm2`` is the physical size used for
+    SWaP accounting.
+    """
+
+    footprint_cm2: float
+
+    def power_at(self, t: float) -> float:
+        """Electrical output power at time ``t``, W."""
+        ...
+
+
+@dataclass(frozen=True)
+class SolarHarvester:
+    """Solar panel in a light environment — the paper's Eq. 1 source.
+
+    The environment's ``k_eh`` is treated as constant during one
+    inference (the paper's assumption); pass ``diurnal=True`` to follow
+    the full day profile instead, with ``t`` interpreted as seconds from
+    midnight.
+    """
+
+    panel: SolarPanel
+    environment: LightEnvironment
+    mppt_efficiency: float = 1.0
+    diurnal: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.mppt_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"mppt_efficiency must be in (0, 1], got {self.mppt_efficiency}"
+            )
+
+    @property
+    def footprint_cm2(self) -> float:
+        return self.panel.area_cm2
+
+    def power_at(self, t: float) -> float:
+        if self.diurnal:
+            hour = (t / 3600.0) % 24.0
+            k_eh = self.environment.k_eh_at(hour)
+        else:
+            k_eh = self.environment.k_eh
+        return self.panel.power(k_eh) * self.mppt_efficiency
+
+    @classmethod
+    def with_tracked_mppt(
+        cls, panel: SolarPanel, environment: LightEnvironment
+    ) -> "SolarHarvester":
+        """Build a harvester whose MPPT efficiency comes from running the
+        perturb-and-observe tracker on this panel's actual P-V curve."""
+        tracker = PerturbObserveTracker(panel)
+        efficiency = tracker.tracking_efficiency(environment.k_eh)
+        return cls(panel, environment, mppt_efficiency=efficiency)
+
+
+@dataclass(frozen=True)
+class ThermalHarvester:
+    """Thermoelectric generator across a temperature gradient.
+
+    Output follows the standard TEG quadratic: ``P = k * dT^2`` per cm^2
+    of module, with ``k`` the Seebeck figure folded into one coefficient.
+    """
+
+    area_cm2: float
+    delta_t_kelvin: float
+    k_teg_w_per_cm2_k2: float = 2.5e-6
+
+    def __post_init__(self) -> None:
+        if self.area_cm2 <= 0:
+            raise ConfigurationError(f"area must be positive, got {self.area_cm2}")
+        if self.delta_t_kelvin < 0:
+            raise ConfigurationError(
+                f"temperature delta must be non-negative, got {self.delta_t_kelvin}"
+            )
+
+    @property
+    def footprint_cm2(self) -> float:
+        return self.area_cm2
+
+    def power_at(self, t: float) -> float:
+        return self.area_cm2 * self.k_teg_w_per_cm2_k2 * self.delta_t_kelvin**2
+
+
+@dataclass(frozen=True)
+class CompositeHarvester:
+    """Several harvesters feeding one storage node.
+
+    The paper's extension point "additional energy harvesting devices":
+    e.g. a solar panel plus a thermoelectric module on a volcano
+    station.  Powers add; footprints add.
+    """
+
+    harvesters: tuple
+
+    def __post_init__(self) -> None:
+        if not self.harvesters:
+            raise ConfigurationError("CompositeHarvester needs at least one")
+
+    @property
+    def footprint_cm2(self) -> float:
+        return sum(h.footprint_cm2 for h in self.harvesters)
+
+    def power_at(self, t: float) -> float:
+        return sum(h.power_at(t) for h in self.harvesters)
+
+
+@dataclass(frozen=True)
+class FluctuatingHarvester:
+    """A harvester under stochastic shading (passing clouds, foliage).
+
+    Realises the paper's "variable source during inference" extension:
+    the base harvester's output is modulated by a piecewise-constant
+    random attenuation that redraws every ``correlation_time_s`` seconds
+    (deterministic in ``seed``, so simulations are repeatable).  The
+    attenuation is log-normal with median 1, clipped to [floor, 1]:
+    shading can only remove power.
+    """
+
+    base: "Harvester"
+    sigma: float = 0.4
+    correlation_time_s: float = 30.0
+    floor: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {self.sigma}")
+        if self.correlation_time_s <= 0:
+            raise ConfigurationError("correlation_time_s must be positive")
+        if not 0 < self.floor <= 1:
+            raise ConfigurationError(f"floor must be in (0, 1], got {self.floor}")
+
+    @property
+    def footprint_cm2(self) -> float:
+        return self.base.footprint_cm2
+
+    def attenuation_at(self, t: float) -> float:
+        if self.sigma == 0.0:
+            return 1.0
+        bucket = int(t / self.correlation_time_s)
+        rng = random.Random(self.seed * 1_000_003 + bucket)
+        draw = rng.lognormvariate(0.0, self.sigma)
+        return min(1.0, max(self.floor, draw))
+
+    def power_at(self, t: float) -> float:
+        return self.base.power_at(t) * self.attenuation_at(t)
+
+
+@dataclass(frozen=True)
+class RFHarvester:
+    """WISP-style RF harvesting from a reader at a given distance.
+
+    Friis free-space path loss: received power falls with the square of
+    distance.  Defaults model a 30 dBm (1 W) UHF RFID reader and a 2 dBi
+    tag antenna with 50 % rectifier efficiency.
+    """
+
+    distance_m: float
+    tx_power_w: float = 1.0
+    wavelength_m: float = 0.327  # 915 MHz
+    antenna_gain: float = 1.58  # 2 dBi
+    rectifier_efficiency: float = 0.5
+    footprint_cm2: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0:
+            raise ConfigurationError(
+                f"distance must be positive, got {self.distance_m}"
+            )
+
+    def power_at(self, t: float) -> float:
+        path_gain = (self.wavelength_m / (4.0 * math.pi * self.distance_m)) ** 2
+        received = self.tx_power_w * self.antenna_gain**2 * path_gain
+        return received * self.rectifier_efficiency

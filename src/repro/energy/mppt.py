@@ -1,0 +1,67 @@
+"""Perturb-and-observe maximum-power-point tracking.
+
+The paper's related-work section surveys MPPT algorithms [17], [19]; the
+BQ25570 itself performs fractional-V_oc MPPT in hardware.  This module
+implements the classic perturb & observe (P&O) hill climber so the
+harvester model can report a realistic tracking efficiency rather than
+assuming the panel always sits exactly at its maximum power point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.solar_panel import SolarPanel
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class PerturbObserveTracker:
+    """Hill-climbing MPPT over a panel's P-V curve.
+
+    Each call to :meth:`step` perturbs the operating voltage by
+    ``step_voltage`` in the current direction; if the observed power
+    decreased the direction is reversed.  At steady state the operating
+    point oscillates around the MPP, which is why tracking efficiency is
+    slightly below 1.
+    """
+
+    panel: SolarPanel
+    step_voltage: float = 0.05
+    operating_voltage: float = field(default=0.0)
+    _direction: int = field(default=1, repr=False)
+    _last_power: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.step_voltage <= 0:
+            raise ConfigurationError(
+                f"step_voltage must be positive, got {self.step_voltage}"
+            )
+        if self.operating_voltage == 0.0:
+            # Start tracking from the fractional-V_oc heuristic the
+            # BQ25570 uses (~80 % of open-circuit voltage).
+            self.operating_voltage = 0.8 * self.panel.v_oc
+
+    def step(self, k_eh: float) -> float:
+        """One P&O iteration; returns the power now being extracted, W."""
+        power = self.panel.power_at_voltage(k_eh, self.operating_voltage)
+        if power < self._last_power:
+            self._direction = -self._direction
+        self._last_power = power
+        next_v = self.operating_voltage + self._direction * self.step_voltage
+        self.operating_voltage = min(max(next_v, 0.0), self.panel.v_oc)
+        return power
+
+    def tracking_efficiency(self, k_eh: float, iterations: int = 200) -> float:
+        """Average extracted power over ``iterations`` steps, as a fraction
+        of the panel's true maximum power.
+
+        Returns 1.0 when there is no light (nothing to track).
+        """
+        p_max = self.panel.power(k_eh)
+        if p_max == 0.0:
+            return 1.0
+        total = 0.0
+        for _ in range(iterations):
+            total = total + self.step(k_eh)
+        return (total / iterations) / p_max

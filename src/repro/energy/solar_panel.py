@@ -1,0 +1,74 @@
+"""Solar panel model — Eq. 1 of the paper plus a lightweight P-V curve.
+
+The paper reduces the panel to ``P_eh = A_eh * k_eh`` where ``A_eh`` is
+the panel area (cm^2) and ``k_eh`` the environment coefficient (W/cm^2).
+:meth:`SolarPanel.power` implements exactly that.
+
+For the MPPT experiments we additionally expose a concave power-voltage
+curve: a real panel only delivers its maximum power when operated at the
+maximum-power-point voltage ``V_mpp``; off-MPP operation wastes part of
+the available power.  The shape used here is the standard single-diode
+qualitative behaviour (power rises roughly linearly with voltage, then
+collapses near the open-circuit voltage).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SolarPanel:
+    """A photovoltaic panel of a given area.
+
+    Parameters
+    ----------
+    area_cm2:
+        Panel area in cm^2.  The paper's design space spans 1-30 cm^2.
+    v_mpp:
+        Maximum-power-point voltage of the panel, volts.
+    v_oc:
+        Open-circuit voltage, volts.  Must exceed ``v_mpp``.
+    """
+
+    area_cm2: float
+    v_mpp: float = 2.0
+    v_oc: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.area_cm2 <= 0:
+            raise ConfigurationError(f"panel area must be positive, got {self.area_cm2}")
+        if not 0 < self.v_mpp < self.v_oc:
+            raise ConfigurationError(
+                f"need 0 < v_mpp < v_oc, got v_mpp={self.v_mpp}, v_oc={self.v_oc}"
+            )
+
+    def power(self, k_eh: float) -> float:
+        """Maximum harvestable power under light coefficient ``k_eh`` (Eq. 1), W."""
+        if k_eh < 0:
+            raise ConfigurationError(f"k_eh must be non-negative, got {k_eh}")
+        return self.area_cm2 * k_eh
+
+    def power_at_voltage(self, k_eh: float, v_operating: float) -> float:
+        """Power delivered when operated at ``v_operating``, W.
+
+        The curve peaks at ``v_mpp`` with value ``power(k_eh)`` and falls
+        to zero at 0 V and at ``v_oc``.  Between 0 and ``v_mpp`` the rise
+        follows a saturating exponential (current-source region); above
+        ``v_mpp`` the fall is quadratic to zero at ``v_oc`` (diode
+        region).
+        """
+        p_max = self.power(k_eh)
+        if v_operating <= 0.0 or v_operating >= self.v_oc:
+            return 0.0
+        if v_operating <= self.v_mpp:
+            # Current-source region: I is nearly constant, P ~ V, with a
+            # gentle saturation so the curve is smooth at the MPP.
+            x = v_operating / self.v_mpp
+            return p_max * (1.0 - math.exp(-4.0 * x)) / (1.0 - math.exp(-4.0))
+        # Diode region: power collapses towards V_oc.
+        x = (self.v_oc - v_operating) / (self.v_oc - self.v_mpp)
+        return p_max * (2.0 * x - x * x)

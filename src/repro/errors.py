@@ -1,0 +1,41 @@
+"""Exception hierarchy for the CHRYSALIS reproduction.
+
+Every error raised by the library derives from :class:`ChrysalisError`
+so that callers can catch library failures with a single except clause
+while still distinguishing the failure family when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ChrysalisError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ChrysalisError):
+    """A component was constructed with physically meaningless parameters
+    (negative capacitance, zero PEs, off-threshold above on-threshold, ...)."""
+
+
+class DesignSpaceError(ChrysalisError):
+    """A design-space definition or a sampled point is malformed."""
+
+
+class MappingError(ChrysalisError):
+    """A dataflow mapping is invalid for the layer or hardware it targets
+    (tile does not divide the iteration space, buffer overflow, ...)."""
+
+
+class SimulationError(ChrysalisError):
+    """The step-based simulator reached an impossible state."""
+
+
+class InfeasibleDesignError(ChrysalisError):
+    """A candidate architecture can never complete the workload — for
+    example the largest admissible tile still needs more energy than one
+    full energy cycle can deliver (violates Eq. 8 of the paper)."""
+
+
+class SearchError(ChrysalisError):
+    """The explorer could not produce a feasible solution (empty design
+    space, every candidate infeasible, budget exhausted with no result)."""

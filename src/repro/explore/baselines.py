@@ -1,0 +1,73 @@
+"""The six ablated search methods of Table VI.
+
+Each baseline removes design dimensions from the full CHRYSALIS search
+and pins them at a representative fixed value (the paper: "do not
+perform a search ... but instead provide a fixed value"):
+
+============  =====================================================
+method        frozen dimensions
+============  =====================================================
+``wo/Cap``    capacitor size (fixed 100 uF)
+``wo/SP``     solar-panel size (fixed 10 cm^2) — the iNAS approach
+``wo/EA``     both energy knobs — the SONIC / HAWAII approach
+``wo/PE``     PE count (fixed 64)
+``wo/Cache``  per-PE cache (fixed 512 B)
+``wo/IA``     both inference knobs
+``full``      nothing — CHRYSALIS itself
+============  =====================================================
+
+The PE-side ablations only exist in the future-AuT space (Table V); on
+the existing-AuT space (Table IV) they degenerate to the full search
+because the MSP430's inference hardware is not searchable anyway.
+"""
+
+from __future__ import annotations
+
+
+
+from repro.errors import DesignSpaceError
+from repro.explore.space import DesignSpace
+from repro.units import uF
+
+#: Fixed values a baseline pins its frozen dimensions to.
+FIXED_CAPACITANCE_F = uF(100)
+FIXED_PANEL_CM2 = 10.0
+FIXED_N_PES = 64
+FIXED_CACHE_BYTES = 512
+
+#: Table VI rows, in the paper's order ("full" is CHRYSALIS itself).
+BASELINE_METHODS = (
+    "wo/Cap", "wo/SP", "wo/EA", "wo/PE", "wo/Cache", "wo/IA", "full",
+)
+
+
+def baseline_space(method: str, base: DesignSpace) -> DesignSpace:
+    """Restrict ``base`` according to a Table VI method name."""
+    searchable = set(base.names)
+
+    def freeze(**values: object) -> DesignSpace:
+        applicable = {name: value for name, value in values.items()
+                      if name in searchable}
+        if not applicable:
+            return base
+        return base.restricted(**applicable)
+
+    if method == "full":
+        return base
+    if method == "wo/Cap":
+        return freeze(capacitance_f=FIXED_CAPACITANCE_F)
+    if method == "wo/SP":
+        return freeze(panel_area_cm2=FIXED_PANEL_CM2)
+    if method == "wo/EA":
+        return freeze(capacitance_f=FIXED_CAPACITANCE_F,
+                      panel_area_cm2=FIXED_PANEL_CM2)
+    if method == "wo/PE":
+        return freeze(n_pes=FIXED_N_PES)
+    if method == "wo/Cache":
+        return freeze(cache_bytes_per_pe=FIXED_CACHE_BYTES)
+    if method == "wo/IA":
+        return freeze(n_pes=FIXED_N_PES,
+                      cache_bytes_per_pe=FIXED_CACHE_BYTES)
+    raise DesignSpaceError(
+        f"unknown baseline {method!r}; expected one of {BASELINE_METHODS}"
+    )

@@ -1,0 +1,172 @@
+"""Bi-level HW/SW search — the CHRYSALIS Explorer of §III-C.
+
+The HW-level optimizer (a genetic algorithm by default) proposes a
+hardware genome; for each proposal the SW-level optimizer
+(:class:`~repro.explore.mapper_search.MappingOptimizer`) finds the best
+per-layer mappings achievable on that hardware; the resulting design is
+priced by the evaluator under the paper's two-environment protocol and
+scored by the chosen objective.  The HW-level optimizer then continues
+from the returned score.
+
+Every evaluated point is retained as a :class:`ParetoPoint` of
+(panel area, latency) so the Fig. 6 tradeoff scatter can be regenerated.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+logger = logging.getLogger(__name__)
+
+from repro.dataflow.mapping import LayerMapping
+from repro.design import AuTDesign
+from repro.energy.environment import LightEnvironment
+from repro.errors import SearchError
+from repro.explore.ga import GAConfig, GAHistory, GeneticAlgorithm
+from repro.explore.mapper_search import MappingOptimizer
+from repro.explore.objectives import Objective
+from repro.explore.pareto import ParetoPoint
+from repro.explore.space import DesignSpace, Genome
+from repro.hardware.checkpoint import CheckpointModel
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.sim.metrics import InferenceMetrics
+from repro.workloads.network import Network
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one bi-level search."""
+
+    design: AuTDesign
+    score: float
+    average: InferenceMetrics
+    metrics_by_env: Dict[str, InferenceMetrics]
+    history: GAHistory
+    evaluated: List[ParetoPoint] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [
+            f"best design : {self.design.describe()}",
+            f"score       : {self.score:.4g}",
+            f"avg latency : {self.average.e2e_latency:.4g} s",
+            f"avg eff.    : {self.average.system_efficiency:.3f}",
+            f"evaluations : {self.history.evaluations}",
+        ]
+        return "\n".join(lines)
+
+
+class BilevelExplorer:
+    """Searches a design space for the best AuT architecture."""
+
+    def __init__(self, network: Network, space: DesignSpace,
+                 objective: Objective,
+                 environments: Optional[Sequence[LightEnvironment]] = None,
+                 ga_config: Optional[GAConfig] = None,
+                 checkpoint: Optional[CheckpointModel] = None) -> None:
+        self.network = network
+        self.space = space
+        self.objective = objective
+        self.environments = tuple(
+            environments
+            if environments is not None
+            else LightEnvironment.paper_environments()
+        )
+        self.ga_config = ga_config or GAConfig()
+        self.checkpoint = checkpoint
+        self.mapper = MappingOptimizer(network, self.environments,
+                                       checkpoint=checkpoint)
+        self.evaluator = ChrysalisEvaluator(network, self.environments,
+                                            checkpoint=checkpoint)
+        self.evaluated: List[ParetoPoint] = []
+        self._design_cache: Dict[int, AuTDesign] = {}
+
+    # -- fitness ---------------------------------------------------------------
+
+    def evaluate_genome(self, genome: Genome) -> float:
+        """Full bi-level fitness of one HW genome (lower is better)."""
+        design = self.lower_genome(genome)
+        if design is None:
+            return math.inf
+        metrics = self.evaluator.evaluate_average(design)
+        score = self.objective.score(design, metrics)
+        if metrics.feasible and math.isfinite(metrics.e2e_latency):
+            latency = metrics.sustained_period or metrics.e2e_latency
+            self.evaluated.append(ParetoPoint(
+                values=(design.energy.panel_area_cm2, latency),
+                payload=design,
+            ))
+        if math.isfinite(score):
+            self._design_cache[id(design.mappings)] = design
+        return score
+
+    def lower_genome(self, genome: Genome) -> Optional[AuTDesign]:
+        """Run the SW-level search for a genome; ``None`` if unmappable."""
+        seed_mappings = tuple(
+            LayerMapping.default(layer) for layer in self.network
+        )
+        seeded = self.space.to_design(genome, seed_mappings)
+        mappings = self.mapper.optimize(seeded.energy, seeded.inference)
+        if mappings is None:
+            return None
+        return self.space.to_design(genome, mappings)
+
+    # -- search ------------------------------------------------------------------
+
+    def _seed_genomes(self) -> List[Genome]:
+        """Space anchors plus objective-aware variants.
+
+        Under a panel-size cap the best designs sit at the cap (a bigger
+        panel is never slower), so seed copies pinned there.
+        """
+        seeds = self.space.seed_genomes()
+        cap = self.objective.sp_constraint_cm2
+        if cap is not None and "panel_area_cm2" in self.space.names:
+            spec = self.space.spec("panel_area_cm2")
+            pinned = min(max(cap, spec.low), spec.high)
+            seeds += [dict(seed, panel_area_cm2=pinned)
+                      for seed in seeds[:2]]
+        return seeds
+
+    def run(self) -> SearchResult:
+        algorithm = GeneticAlgorithm(self.space, self.evaluate_genome,
+                                     self.ga_config,
+                                     seeds=self._seed_genomes())
+        try:
+            best_genome, best_score = algorithm.run()
+        except SearchError:
+            raise SearchError(
+                f"bi-level search found no feasible design for "
+                f"{self.network.name!r} under {self.objective.kind.value!r}"
+            ) from None
+        if not self.objective.is_compliant_score(best_score):
+            raise SearchError(
+                f"bi-level search found no design satisfying the "
+                f"{self.objective.kind.value!r} constraint for "
+                f"{self.network.name!r} (best score {best_score:.3g} is in "
+                "the penalty band)"
+            )
+        design = self.lower_genome(best_genome)
+        if design is None:
+            raise SearchError("winning genome failed to re-lower")
+        logger.info(
+            "bi-level search for %s/%s: best score %.6g after %d HW "
+            "evaluations (%s)",
+            self.network.name, self.objective.kind.value, best_score,
+            algorithm.history.evaluations, design.describe(),
+        )
+        metrics_by_env = {
+            env.name: self.evaluator.evaluate(design, env)
+            for env in self.environments
+        }
+        average = self.evaluator.evaluate_average(design)
+        return SearchResult(
+            design=design,
+            score=best_score,
+            average=average,
+            metrics_by_env=metrics_by_env,
+            history=algorithm.history,
+            evaluated=self.evaluated,
+        )

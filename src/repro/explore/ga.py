@@ -1,0 +1,162 @@
+"""Genetic-algorithm engine — the HW-level optimizer's search core.
+
+The paper implements its explorer "based on the open-source library
+Optuna and utilize[s] a genetic algorithm to generate potential
+architecture configurations".  Optuna is unavailable offline, so this is
+a self-contained GA with the standard ingredients: tournament selection,
+uniform crossover, per-gene gaussian mutation, and elitism.
+
+The engine is generic over genomes: it only needs a
+:class:`~repro.explore.space.DesignSpace` (sample / mutate / crossover)
+and a fitness callable (lower is better).
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SearchError
+from repro.explore.space import DesignSpace, Genome
+
+Fitness = Callable[[Genome], float]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Hyper-parameters of the genetic algorithm."""
+
+    population_size: int = 16
+    generations: int = 10
+    tournament_size: int = 3
+    elite_count: int = 2
+    crossover_rate: float = 0.7
+    mutation_rate: float = 0.4
+    mutation_scale: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise SearchError("population_size must be at least 2")
+        if self.generations < 1:
+            raise SearchError("generations must be at least 1")
+        if not 1 <= self.tournament_size <= self.population_size:
+            raise SearchError("tournament_size outside [1, population_size]")
+        if not 0 <= self.elite_count < self.population_size:
+            raise SearchError("elite_count outside [0, population_size)")
+
+
+@dataclass
+class EvaluatedGenome:
+    genome: Genome
+    fitness: float
+
+
+@dataclass
+class GAHistory:
+    """Per-generation best/mean fitness, for convergence plots."""
+
+    best: List[float] = field(default_factory=list)
+    mean: List[float] = field(default_factory=list)
+    evaluations: int = 0
+
+
+class GeneticAlgorithm:
+    """Minimises ``fitness`` over ``space``."""
+
+    def __init__(self, space: DesignSpace, fitness: Fitness,
+                 config: Optional[GAConfig] = None,
+                 seeds: Optional[List[Genome]] = None) -> None:
+        self.space = space
+        self.fitness = fitness
+        self.config = config or GAConfig()
+        self.seeds = list(seeds) if seeds else []
+        self.rng = random.Random(self.config.seed)
+        self.history = GAHistory()
+        self._cache: dict = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self) -> Tuple[Genome, float]:
+        """Returns (best genome, best fitness).
+
+        Raises :class:`SearchError` if every evaluated genome scored
+        infinity (nothing in the space is feasible).
+        """
+        cfg = self.config
+        initial = [dict(seed) for seed in self.seeds[:cfg.population_size]]
+        while len(initial) < cfg.population_size:
+            initial.append(self.space.sample(self.rng))
+        population = [self._evaluate(genome) for genome in initial]
+        best = min(population, key=lambda e: e.fitness)
+        self._record(population)
+
+        for _ in range(cfg.generations - 1):
+            population = self._next_generation(population)
+            generation_best = min(population, key=lambda e: e.fitness)
+            if generation_best.fitness < best.fitness:
+                best = generation_best
+            self._record(population)
+
+        if math.isinf(best.fitness):
+            raise SearchError(
+                "no feasible genome found: every candidate scored infinity"
+            )
+        return best.genome, best.fitness
+
+    # -- internals ----------------------------------------------------------------
+
+    def _evaluate(self, genome: Genome) -> EvaluatedGenome:
+        key = tuple(sorted((k, _hashable(v)) for k, v in genome.items()))
+        if key not in self._cache:
+            self._cache[key] = self.fitness(genome)
+            self.history.evaluations += 1
+        return EvaluatedGenome(genome, self._cache[key])
+
+    def _select(self, population: List[EvaluatedGenome]) -> Genome:
+        contenders = self.rng.sample(population, self.config.tournament_size)
+        return min(contenders, key=lambda e: e.fitness).genome
+
+    def _next_generation(
+        self, population: List[EvaluatedGenome]
+    ) -> List[EvaluatedGenome]:
+        cfg = self.config
+        ranked = sorted(population, key=lambda e: e.fitness)
+        next_pop = list(ranked[:cfg.elite_count])
+        while len(next_pop) < cfg.population_size:
+            parent_a = self._select(population)
+            if self.rng.random() < cfg.crossover_rate:
+                parent_b = self._select(population)
+                child = self.space.crossover(parent_a, parent_b, self.rng)
+            else:
+                child = dict(parent_a)
+            child = self.space.mutate(child, self.rng,
+                                      rate=cfg.mutation_rate,
+                                      scale=cfg.mutation_scale)
+            next_pop.append(self._evaluate(child))
+        return next_pop
+
+    def _record(self, population: List[EvaluatedGenome]) -> None:
+        finite = [e.fitness for e in population if math.isfinite(e.fitness)]
+        self.history.best.append(min((e.fitness for e in population),
+                                     default=math.inf))
+        self.history.mean.append(
+            sum(finite) / len(finite) if finite else math.inf
+        )
+        logger.debug(
+            "generation %d: best=%.6g mean=%.6g evaluations=%d",
+            len(self.history.best), self.history.best[-1],
+            self.history.mean[-1], self.history.evaluations,
+        )
+
+
+def _hashable(value: object) -> object:
+    """Genome values are floats/ints/enums; round floats for cache keys."""
+    if isinstance(value, float):
+        return round(value, 12)
+    return value

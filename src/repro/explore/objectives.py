@@ -1,0 +1,130 @@
+"""The paper's three objective functions (§IV, last paragraph).
+
+* ``lat``    — minimise latency subject to a solar-panel-size cap
+  (stringent hardware-size scenarios, as in HAWAII / iNAS);
+* ``sp``     — minimise solar-panel size subject to a latency cap
+  (application-deadline scenarios, as in [4]);
+* ``lat*sp`` — minimise the latency x panel-area product, "a direct
+  measure of the throughput achievable per unit area of the solar
+  panel" — the overall-efficiency objective.
+
+Scores are *lower-is-better*; infeasible designs and constraint
+violations score infinity so that any feasible point beats them.
+Constraint violations are additionally penalised proportionally to the
+violation so the GA can climb back into the feasible region.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.design import AuTDesign
+from repro.errors import ConfigurationError
+from repro.sim.metrics import InferenceMetrics
+
+
+class ObjectiveKind(Enum):
+    LATENCY = "lat"
+    SOLAR_PANEL = "sp"
+    LATENCY_X_PANEL = "lat*sp"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A scoring rule over (design, metrics) pairs.
+
+    Parameters
+    ----------
+    kind:
+        Which of the paper's three objectives.
+    sp_constraint_cm2:
+        Panel-area cap, required by ``lat``.
+    latency_constraint_s:
+        Latency cap, required by ``sp``.
+    """
+
+    kind: ObjectiveKind
+    sp_constraint_cm2: Optional[float] = None
+    latency_constraint_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ObjectiveKind.LATENCY and self.sp_constraint_cm2 is None:
+            raise ConfigurationError(
+                "the 'lat' objective needs sp_constraint_cm2"
+            )
+        if (self.kind is ObjectiveKind.SOLAR_PANEL
+                and self.latency_constraint_s is None):
+            raise ConfigurationError(
+                "the 'sp' objective needs latency_constraint_s"
+            )
+
+    # -- constructors matching the paper's spellings -------------------------
+
+    @classmethod
+    def lat(cls, sp_constraint_cm2: float) -> "Objective":
+        return cls(ObjectiveKind.LATENCY, sp_constraint_cm2=sp_constraint_cm2)
+
+    @classmethod
+    def sp(cls, latency_constraint_s: float) -> "Objective":
+        return cls(ObjectiveKind.SOLAR_PANEL,
+                   latency_constraint_s=latency_constraint_s)
+
+    @classmethod
+    def lat_sp(cls) -> "Objective":
+        return cls(ObjectiveKind.LATENCY_X_PANEL)
+
+    # -- scoring --------------------------------------------------------------
+
+    def score(self, design: AuTDesign, metrics: InferenceMetrics) -> float:
+        """Lower-is-better fitness; ``inf`` for hard infeasibility.
+
+        Latency here is the paper's Eq. 7 quantity — the sustained
+        per-inference period including recharging the energy bank —
+        falling back to the one-shot e2e latency when a metrics source
+        does not compute it.
+        """
+        if not metrics.feasible or math.isinf(metrics.e2e_latency):
+            return math.inf
+        latency = metrics.sustained_period or metrics.e2e_latency
+        area = design.energy.panel_area_cm2
+
+        if self.kind is ObjectiveKind.LATENCY:
+            cap = self.sp_constraint_cm2
+            if area > cap:
+                # Soft penalty: still orders violating points so the GA
+                # can repair them, but never beats a compliant point.
+                return _PENALTY_BASE + latency * (1.0 + area / cap)
+            return latency
+
+        if self.kind is ObjectiveKind.SOLAR_PANEL:
+            cap = self.latency_constraint_s
+            if latency > cap:
+                return _PENALTY_BASE + area * (1.0 + latency / cap)
+            return area
+
+        return latency * area
+
+    @staticmethod
+    def is_compliant_score(score: float) -> bool:
+        """True when ``score`` came from a constraint-compliant design.
+
+        Violating designs score in the penalty band (``>= 1e9``) so the
+        GA can still rank and repair them; callers use this to tell a
+        repaired search from one that never found a compliant point.
+        """
+        return math.isfinite(score) and score < _PENALTY_BASE
+
+    def value_label(self) -> str:
+        """Axis label for reports."""
+        if self.kind is ObjectiveKind.LATENCY:
+            return f"latency [s] (SP <= {self.sp_constraint_cm2} cm^2)"
+        if self.kind is ObjectiveKind.SOLAR_PANEL:
+            return f"panel [cm^2] (lat <= {self.latency_constraint_s} s)"
+        return "latency x panel [s*cm^2]"
+
+
+#: Offset separating constraint-violating scores from compliant ones.
+_PENALTY_BASE = 1e9

@@ -1,0 +1,44 @@
+"""Random search — the simplest HW-level strategy, used as an ablation
+baseline against the genetic algorithm (DESIGN.md §7)."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Tuple
+
+from repro.errors import SearchError
+from repro.explore.ga import Fitness, GAHistory
+from repro.explore.space import DesignSpace, Genome
+
+
+class RandomSearch:
+    """Uniformly samples the space and keeps the best genome."""
+
+    def __init__(self, space: DesignSpace, fitness: Fitness,
+                 budget: int = 160, seed: int = 0) -> None:
+        if budget < 1:
+            raise SearchError("budget must be at least 1")
+        self.space = space
+        self.fitness = fitness
+        self.budget = budget
+        self.rng = random.Random(seed)
+        self.history = GAHistory()
+
+    def run(self) -> Tuple[Genome, float]:
+        best: Optional[Genome] = None
+        best_fitness = math.inf
+        for _ in range(self.budget):
+            genome = self.space.sample(self.rng)
+            fitness = self.fitness(genome)
+            self.history.evaluations += 1
+            if fitness < best_fitness:
+                best, best_fitness = genome, fitness
+            self.history.best.append(best_fitness)
+            self.history.mean.append(fitness if math.isfinite(fitness)
+                                     else math.inf)
+        if best is None or math.isinf(best_fitness):
+            raise SearchError(
+                "no feasible genome found within the random-search budget"
+            )
+        return best, best_fitness

@@ -1,0 +1,288 @@
+"""Design-space definitions (Tables IV and V of the paper).
+
+A :class:`DesignSpace` is an ordered set of :class:`ParameterSpec`
+genes.  The HW-level optimizer works on *genomes*: plain dictionaries
+mapping gene names to values.  :meth:`DesignSpace.to_design` lowers a
+genome (plus per-layer mappings from the SW-level search) into the
+:class:`~repro.design.AuTDesign` the evaluator prices.
+
+Spaces:
+
+* :meth:`DesignSpace.existing_aut` — Table IV: solar panel 1-30 cm^2,
+  capacitor 1 uF - 10 mF; the inference hardware is the fixed
+  MSP430FR5994 (tile sizes are the SW level's job).
+* :meth:`DesignSpace.future_aut` — Table V: the same energy knobs plus
+  architecture {TPU, Eyeriss}, PE count 1-168 and per-PE cache
+  128 B - 2 KB.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dataflow.mapping import LayerMapping
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.errors import DesignSpaceError
+from repro.hardware.accelerators import AcceleratorFamily
+from repro.units import mF, uF
+
+Genome = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One searchable gene.
+
+    ``kind`` selects the sampling law:
+
+    * ``"float_log"`` / ``"int_log"`` — log-uniform over [low, high]
+      (capacitors span four decades; linear sampling would almost never
+      propose a small one);
+    * ``"float"`` / ``"int"`` — uniform over [low, high];
+    * ``"choice"`` — uniform over ``choices``.
+    """
+
+    name: str
+    kind: str
+    low: float = 0.0
+    high: float = 0.0
+    choices: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind in ("float", "float_log", "int", "int_log"):
+            if not self.low < self.high:
+                raise DesignSpaceError(
+                    f"{self.name}: need low < high, got [{self.low}, {self.high}]"
+                )
+            if self.kind.endswith("_log") and self.low <= 0:
+                raise DesignSpaceError(
+                    f"{self.name}: log-scale parameters need low > 0"
+                )
+        elif self.kind == "choice":
+            if not self.choices:
+                raise DesignSpaceError(f"{self.name}: empty choice list")
+        else:
+            raise DesignSpaceError(f"{self.name}: unknown kind {self.kind!r}")
+
+    # -- sampling ---------------------------------------------------------------
+
+    def sample(self, rng: random.Random) -> object:
+        if self.kind == "choice":
+            return rng.choice(self.choices)
+        if self.kind == "float":
+            return rng.uniform(self.low, self.high)
+        if self.kind == "float_log":
+            return math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+        if self.kind == "int":
+            return rng.randint(int(self.low), int(self.high))
+        # int_log
+        value = math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+        return max(int(self.low), min(int(self.high), round(value)))
+
+    def mutate(self, value: object, rng: random.Random,
+               scale: float = 0.3) -> object:
+        """Local perturbation of ``value`` (gaussian in the gene's metric)."""
+        if self.kind == "choice":
+            return rng.choice(self.choices)
+        if self.kind in ("float", "int"):
+            span = (self.high - self.low) * scale
+            perturbed = float(value) + rng.gauss(0.0, span)
+        else:
+            log_span = (math.log(self.high) - math.log(self.low)) * scale
+            perturbed = math.exp(math.log(max(float(value), self.low))
+                                 + rng.gauss(0.0, log_span))
+        perturbed = min(max(perturbed, self.low), self.high)
+        if self.kind.startswith("int"):
+            return max(int(self.low), min(int(self.high), round(perturbed)))
+        return perturbed
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """An ordered collection of genes plus the lowering to AuTDesign."""
+
+    parameters: Tuple[ParameterSpec, ...]
+    fixed: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [spec.name for spec in self.parameters]
+        if len(names) != len(set(names)):
+            raise DesignSpaceError(f"duplicate parameter names in {names}")
+        overlap = set(names) & {name for name, _ in self.fixed}
+        if overlap:
+            raise DesignSpaceError(
+                f"parameters both searched and fixed: {sorted(overlap)}"
+            )
+
+    # -- constructors ---------------------------------------------------------------
+
+    @classmethod
+    def existing_aut(cls) -> "DesignSpace":
+        """Table IV: EH knobs only; the platform is the MSP430."""
+        return cls(parameters=(
+            ParameterSpec("panel_area_cm2", "float", 1.0, 30.0),
+            ParameterSpec("capacitance_f", "float_log", uF(1), mF(10)),
+        ), fixed=(("family", AcceleratorFamily.MSP430),))
+
+    @classmethod
+    def future_aut(cls,
+                   families: Sequence[AcceleratorFamily] = (
+                       AcceleratorFamily.TPU, AcceleratorFamily.EYERISS,
+                   ),
+                   dvfs: bool = False) -> "DesignSpace":
+        """Table V: EH knobs + accelerator architecture knobs.
+
+        ``dvfs=True`` adds the clock-scaling gene (an extension beyond
+        the paper's space): 0.25x-2x the nominal clock, with quadratic
+        per-MAC energy scaling.
+        """
+        parameters = [
+            ParameterSpec("panel_area_cm2", "float", 1.0, 30.0),
+            ParameterSpec("capacitance_f", "float_log", uF(1), mF(10)),
+            ParameterSpec("family", "choice", choices=tuple(families)),
+            ParameterSpec("n_pes", "int_log", 1, 168),
+            ParameterSpec("cache_bytes_per_pe", "int_log", 128, 2048),
+        ]
+        if dvfs:
+            parameters.append(
+                ParameterSpec("clock_scale", "float_log", 0.25, 2.0))
+        return cls(parameters=tuple(parameters))
+
+    # -- genome plumbing ----------------------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        return [spec.name for spec in self.parameters]
+
+    def spec(self, name: str) -> ParameterSpec:
+        for candidate in self.parameters:
+            if candidate.name == name:
+                return candidate
+        raise DesignSpaceError(f"no parameter named {name!r}")
+
+    def sample(self, rng: random.Random) -> Genome:
+        genome: Genome = {spec.name: spec.sample(rng) for spec in self.parameters}
+        genome.update(self.fixed)
+        return genome
+
+    def seed_genomes(self) -> List[Genome]:
+        """Deterministic warm-start genomes for the HW-level search.
+
+        Three anchors: the mid-point of every range (geometric mid for
+        log-scaled genes), the literature configuration (10 cm^2 panel,
+        100 uF capacitor, 64 PEs, 512 B caches — the values published
+        EH-IoT systems deploy), and the upper-bound corner.  Seeding the
+        GA with these makes small search budgets behave like the paper's
+        much larger ones: the search starts from known-reasonable points
+        and spends its evaluations improving, not rediscovering, them.
+        """
+        literature = {
+            "panel_area_cm2": 10.0,
+            "capacitance_f": 1e-4,
+            "n_pes": 64,
+            "cache_bytes_per_pe": 512,
+            "clock_scale": 1.0,
+        }
+
+        def build(pick) -> Genome:
+            genome: Genome = {}
+            for spec in self.parameters:
+                genome[spec.name] = pick(spec)
+            genome.update(self.fixed)
+            return genome
+
+        def mid(spec: ParameterSpec) -> object:
+            if spec.kind == "choice":
+                return spec.choices[0]
+            if spec.kind.endswith("_log"):
+                value = math.exp((math.log(spec.low) + math.log(spec.high))
+                                 / 2.0)
+            else:
+                value = (spec.low + spec.high) / 2.0
+            if spec.kind.startswith("int"):
+                return max(int(spec.low), min(int(spec.high), round(value)))
+            return value
+
+        def from_literature(spec: ParameterSpec) -> object:
+            if spec.name in literature:
+                value = literature[spec.name]
+                return (min(max(value, spec.low), spec.high)
+                        if spec.kind != "choice" else value)
+            return mid(spec)
+
+        def high(spec: ParameterSpec) -> object:
+            if spec.kind == "choice":
+                return spec.choices[-1]
+            if spec.kind.startswith("int"):
+                return int(spec.high)
+            return spec.high
+
+        def low_energy_corner(spec: ParameterSpec) -> object:
+            # Smallest harvester with workable storage and mid-range
+            # compute: the anchor the "minimise panel" objective needs
+            # in the pool (a minimum-capacitance corner would be
+            # infeasible for every real workload).
+            if spec.name == "panel_area_cm2":
+                return spec.low
+            return from_literature(spec)
+
+        return [build(mid), build(from_literature), build(high),
+                build(low_energy_corner)]
+
+    def mutate(self, genome: Genome, rng: random.Random,
+               rate: float = 0.4, scale: float = 0.3) -> Genome:
+        child = dict(genome)
+        for spec in self.parameters:
+            if rng.random() < rate:
+                child[spec.name] = spec.mutate(genome[spec.name], rng, scale)
+        return child
+
+    def crossover(self, a: Genome, b: Genome, rng: random.Random) -> Genome:
+        child = dict(a)
+        for spec in self.parameters:
+            if rng.random() < 0.5:
+                child[spec.name] = b[spec.name]
+        return child
+
+    def restricted(self, **fixed_values: object) -> "DesignSpace":
+        """A copy with some genes frozen — how Table VI ablations are built.
+
+        ``restricted(capacitance_f=1e-4)`` removes the capacitor gene
+        from the search and pins it at 100 uF.
+        """
+        known = set(self.names) | {name for name, _ in self.fixed}
+        unknown = set(fixed_values) - known
+        if unknown:
+            raise DesignSpaceError(
+                f"cannot fix unknown parameters: {sorted(unknown)}"
+            )
+        remaining = tuple(spec for spec in self.parameters
+                          if spec.name not in fixed_values)
+        fixed = dict(self.fixed)
+        fixed.update(fixed_values)
+        return DesignSpace(parameters=remaining,
+                           fixed=tuple(sorted(fixed.items(), key=lambda kv: kv[0])))
+
+    # -- lowering ------------------------------------------------------------------------
+
+    def to_design(self, genome: Genome,
+                  mappings: Tuple[LayerMapping, ...]) -> AuTDesign:
+        """Combine a HW genome with SW-level mappings into a design."""
+        family = genome.get("family", AcceleratorFamily.MSP430)
+        if family is AcceleratorFamily.MSP430:
+            inference = InferenceDesign.msp430()
+        else:
+            inference = InferenceDesign(
+                family=family,
+                n_pes=int(genome.get("n_pes", 64)),
+                cache_bytes_per_pe=int(genome.get("cache_bytes_per_pe", 512)),
+                clock_scale=float(genome.get("clock_scale", 1.0)),
+            )
+        energy = EnergyDesign(
+            panel_area_cm2=float(genome["panel_area_cm2"]),
+            capacitance_f=float(genome["capacitance_f"]),
+        )
+        return AuTDesign(energy=energy, inference=inference, mappings=mappings)

@@ -1,0 +1,138 @@
+"""Structured parameter sweeps — the Figs. 8/9 methodology as an API.
+
+The paper validates its model by sweeping one energy knob while pinning
+the other and reading off the energy breakdown.  :func:`sweep` does
+exactly that for any knob the design space knows, re-optimising the
+SW-level mapping at every point (as the paper does), and returns rows
+ready for tabulation or plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.errors import DesignSpaceError
+from repro.explore.mapper_search import MappingOptimizer
+from repro.hardware.checkpoint import CheckpointModel
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.sim.metrics import InferenceMetrics
+from repro.workloads.network import Network
+
+#: Knobs sweep() understands, with how they land in the design.
+_ENERGY_KNOBS = ("panel_area_cm2", "capacitance_f")
+_INFERENCE_KNOBS = ("n_pes", "cache_bytes_per_pe", "clock_scale")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point of a sweep."""
+
+    value: float
+    metrics: Optional[InferenceMetrics]  # None when unmappable
+    n_tiles_total: int = 0
+
+    @property
+    def feasible(self) -> bool:
+        return self.metrics is not None and self.metrics.feasible
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All points of one sweep, in input order."""
+
+    knob: str
+    points: List[SweepPoint]
+
+    def feasible_points(self) -> List[SweepPoint]:
+        return [p for p in self.points if p.feasible]
+
+    def best(self, key=lambda m: m.sustained_period) -> SweepPoint:
+        """The feasible point minimising ``key`` (default latency)."""
+        candidates = self.feasible_points()
+        if not candidates:
+            raise DesignSpaceError(f"sweep over {self.knob!r} has no "
+                                   "feasible points")
+        return min(candidates, key=lambda p: key(p.metrics))
+
+    def render(self) -> str:
+        lines = [f"{self.knob:>18}{'latency s':>12}{'energy mJ':>11}"
+                 f"{'ckpt mJ':>9}{'eff':>7}{'tiles':>7}"]
+        for point in self.points:
+            if not point.feasible:
+                lines.append(f"{point.value:>18.6g}{'(unavailable)':>12}")
+                continue
+            m = point.metrics
+            lines.append(
+                f"{point.value:>18.6g}{m.sustained_period:>12.3f}"
+                f"{m.total_energy * 1e3:>11.3f}"
+                f"{m.energy.checkpoint * 1e3:>9.4f}"
+                f"{m.system_efficiency:>7.3f}{point.n_tiles_total:>7}")
+        return "\n".join(lines)
+
+
+def sweep(network: Network, knob: str, values: Sequence[float],
+          base_energy: EnergyDesign, base_inference: InferenceDesign,
+          environments: Optional[Sequence[LightEnvironment]] = None,
+          checkpoint: Optional[CheckpointModel] = None) -> SweepResult:
+    """Sweep one knob, re-optimising the mapping at every point.
+
+    ``knob`` is one of ``panel_area_cm2``, ``capacitance_f`` (energy
+    side) or ``n_pes``, ``cache_bytes_per_pe``, ``clock_scale``
+    (inference side); the other knobs stay at their ``base_*`` values.
+    """
+    if knob not in _ENERGY_KNOBS + _INFERENCE_KNOBS:
+        raise DesignSpaceError(
+            f"unknown sweep knob {knob!r}; expected one of "
+            f"{_ENERGY_KNOBS + _INFERENCE_KNOBS}"
+        )
+    evaluator = ChrysalisEvaluator(network, environments=environments,
+                                   checkpoint=checkpoint)
+    optimizer = MappingOptimizer(network, environments=environments,
+                                 checkpoint=checkpoint)
+    points: List[SweepPoint] = []
+    for value in values:
+        energy, inference = _apply(knob, value, base_energy, base_inference)
+        mappings = optimizer.optimize(energy, inference)
+        if mappings is None:
+            points.append(SweepPoint(value=value, metrics=None))
+            continue
+        design = AuTDesign(energy=energy, inference=inference,
+                           mappings=mappings)
+        metrics = evaluator.evaluate_average(design)
+        n_tiles = sum(m.effective_n_tiles(layer)
+                      for m, layer in zip(mappings, network))
+        points.append(SweepPoint(value=value, metrics=metrics,
+                                 n_tiles_total=n_tiles))
+    return SweepResult(knob=knob, points=points)
+
+
+def _apply(knob: str, value: float, energy: EnergyDesign,
+           inference: InferenceDesign):
+    from dataclasses import replace
+
+    if knob in _ENERGY_KNOBS:
+        return replace(energy, **{knob: value}), inference
+    if knob in ("n_pes", "cache_bytes_per_pe"):
+        return energy, replace(inference, **{knob: int(value)})
+    return energy, replace(inference, **{knob: float(value)})
+
+
+def grid_sweep(network: Network, knob_a: str, values_a: Sequence[float],
+               knob_b: str, values_b: Sequence[float],
+               base_energy: EnergyDesign, base_inference: InferenceDesign,
+               environments: Optional[Sequence[LightEnvironment]] = None,
+               ) -> Dict[float, SweepResult]:
+    """2-D sweep: for each value of ``knob_a``, a full sweep of ``knob_b``.
+
+    Returns ``{value_a: SweepResult over knob_b}``.
+    """
+    results: Dict[float, SweepResult] = {}
+    for value_a in values_a:
+        energy, inference = _apply(knob_a, value_a, base_energy,
+                                   base_inference)
+        results[value_a] = sweep(network, knob_b, values_b, energy,
+                                 inference, environments=environments)
+    return results

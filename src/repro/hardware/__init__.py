@@ -1,0 +1,48 @@
+"""Inference-subsystem hardware models.
+
+* :mod:`repro.hardware.memory` — memory technologies (FRAM-style NVM,
+  SRAM-style VM) with the paper's ``e_r`` / ``e_w`` / ``p_mem`` costs.
+* :mod:`repro.hardware.pe_array` — processing-element array abstraction.
+* :mod:`repro.hardware.checkpoint` — checkpoint save/resume cost model.
+* :mod:`repro.hardware.msp430` — the MSP430FR5994 + LEA platform used by
+  existing AuT systems (first inference-subsystem realization).
+* :mod:`repro.hardware.accelerators` — TPU-like and Eyeriss-like
+  reconfigurable accelerators (second realization).
+"""
+
+from repro.hardware.accelerators import (
+    AcceleratorConfig,
+    AcceleratorFamily,
+    eyeriss_like,
+    tpu_like,
+)
+from repro.hardware.checkpoint import CheckpointModel, CheckpointStrategy
+from repro.hardware.memory import (
+    FRAM,
+    LPDDR_LIKE,
+    MRAM,
+    RERAM,
+    SRAM,
+    MemoryBlock,
+    MemoryTechnology,
+)
+from repro.hardware.msp430 import MSP430Platform
+from repro.hardware.pe_array import PEArray
+
+__all__ = [
+    "AcceleratorConfig",
+    "AcceleratorFamily",
+    "CheckpointModel",
+    "CheckpointStrategy",
+    "FRAM",
+    "LPDDR_LIKE",
+    "MRAM",
+    "MSP430Platform",
+    "MemoryBlock",
+    "MemoryTechnology",
+    "PEArray",
+    "RERAM",
+    "SRAM",
+    "eyeriss_like",
+    "tpu_like",
+]

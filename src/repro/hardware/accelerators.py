@@ -1,0 +1,208 @@
+"""Reconfigurable accelerator configurations (Table V architectures).
+
+The paper's future-AuT design space picks an architecture from
+{TPU, Eyeriss} and then sizes its PE count (1-168) and per-PE cache
+(128 B - 2 KB).  :class:`AcceleratorConfig` is the universal
+inference-hardware description the dataflow cost model consumes; the
+:func:`tpu_like` and :func:`eyeriss_like` factories encode what differs
+between the two families:
+
+* the TPU-like systolic array has a cheaper MAC and is tuned for
+  weight-stationary operation — other dataflows pay an on-chip traffic
+  penalty because the systolic interconnect cannot exploit their reuse;
+* the Eyeriss-like array has a flexible NoC (row-stationary heritage):
+  every dataflow style runs without penalty, at a higher per-MAC cost.
+
+Energy/latency scales are calibrated to the Fig. 2(a) anchors (Eyeriss
+V1: AlexNet at ~115 ms / ~278 mW) rather than to any single product
+datasheet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping
+
+from repro.dataflow.directives import DataflowStyle
+from repro.errors import ConfigurationError
+from repro.hardware.memory import LPDDR_LIKE, SRAM, MemoryBlock, MemoryTechnology
+from repro.hardware.pe_array import PEArray
+from repro.units import KB, MB
+
+
+class AcceleratorFamily(Enum):
+    """The Table V architecture families, plus the existing-AuT MCU."""
+
+    TPU = "tpu"
+    EYERISS = "eyeriss"
+    MSP430 = "msp430"
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A fully-sized inference accelerator.
+
+    Parameters
+    ----------
+    name:
+        Label for reports.
+    family:
+        Architecture family the NoC behaviour derives from.
+    pes:
+        The PE array (count, per-PE cache, MAC cost, clock).
+    vm:
+        Shared volatile buffer (global SRAM) between NVM and the PEs.
+    nvm:
+        Non-volatile backing store holding weights, activations and
+        checkpoints.
+    noc_energy_per_byte:
+        Energy to move one byte between the shared VM and a PE.
+    dataflow_penalty:
+        Multiplier (>= 1) on VM<->PE traffic per dataflow style; encodes
+        how well the interconnect supports each reuse pattern.
+    controller_power:
+        Runtime-control (MCU + sequencer) power while the rail is on, W.
+    native_style:
+        The family's preferred dataflow (used as a search seed).
+    overlapped_io:
+        Whether data movement overlaps compute (double-buffered spatial
+        arrays) or serialises with it (DMA-driven MCUs).
+    """
+
+    name: str
+    family: AcceleratorFamily
+    pes: PEArray
+    vm: MemoryBlock
+    nvm: MemoryBlock
+    noc_energy_per_byte: float
+    dataflow_penalty: Mapping[DataflowStyle, float]
+    controller_power: float
+    native_style: DataflowStyle
+    overlapped_io: bool = True
+
+    def __post_init__(self) -> None:
+        if self.noc_energy_per_byte < 0:
+            raise ConfigurationError("noc_energy_per_byte must be non-negative")
+        if self.controller_power < 0:
+            raise ConfigurationError("controller_power must be non-negative")
+        for style in DataflowStyle:
+            if self.dataflow_penalty.get(style, 1.0) < 1.0:
+                raise ConfigurationError(
+                    f"dataflow penalty for {style.value} must be >= 1"
+                )
+        if not self.vm.technology.volatile:
+            raise ConfigurationError("the VM tier must be a volatile technology")
+        if self.nvm.technology.volatile:
+            raise ConfigurationError("the NVM tier must be non-volatile")
+
+    def traffic_penalty(self, style: DataflowStyle) -> float:
+        return self.dataflow_penalty.get(style, 1.0)
+
+    @property
+    def static_power(self) -> float:
+        """Rail-on static draw: controller + PE leakage + VM retention."""
+        return self.controller_power + self.pes.static_power + self.vm.static_power
+
+
+def _dvfs(base_clock: float, base_mac_energy: float, base_static: float,
+          clock_scale: float) -> tuple:
+    """Classic voltage-frequency scaling of a PE datapath.
+
+    Frequency tracks supply voltage, so per-MAC energy (CV^2) scales
+    with the square of the clock ratio and leakage roughly linearly —
+    the race-to-idle vs crawl-to-save tradeoff an energy-harvesting
+    design can exploit.
+    """
+    if clock_scale <= 0:
+        raise ConfigurationError(
+            f"clock_scale must be positive, got {clock_scale}"
+        )
+    return (base_clock * clock_scale,
+            base_mac_energy * clock_scale**2,
+            base_static * clock_scale)
+
+
+def tpu_like(n_pes: int = 64, cache_bytes_per_pe: int = 512,
+             vm_bytes: int = KB(64), nvm_bytes: int = MB(256),
+             nvm_technology: MemoryTechnology = LPDDR_LIKE,
+             clock_scale: float = 1.0) -> AcceleratorConfig:
+    """A scaled-down edge-TPU-style systolic array.
+
+    Cheap MACs (dense systolic datapath), weight-stationary native; OS
+    and IS dataflows pay a 40 % on-chip traffic penalty.
+    """
+    clock, mac_energy, static = _dvfs(200e6, 2.0e-12, 4e-6, clock_scale)
+    pes = PEArray(
+        n_pes=n_pes,
+        cache_bytes_per_pe=cache_bytes_per_pe,
+        mac_energy=mac_energy,
+        clock_hz=clock,
+        cache_access_energy_per_byte=0.01e-9,
+        static_power_per_pe=static,
+    )
+    return AcceleratorConfig(
+        name=f"tpu_{n_pes}pe_{cache_bytes_per_pe}B",
+        family=AcceleratorFamily.TPU,
+        pes=pes,
+        vm=MemoryBlock(SRAM, vm_bytes),
+        nvm=MemoryBlock(nvm_technology, nvm_bytes),
+        noc_energy_per_byte=0.04e-9,
+        dataflow_penalty={
+            DataflowStyle.WEIGHT_STATIONARY: 1.0,
+            DataflowStyle.OUTPUT_STATIONARY: 1.4,
+            DataflowStyle.INPUT_STATIONARY: 1.4,
+        },
+        controller_power=1.0e-3,
+        native_style=DataflowStyle.WEIGHT_STATIONARY,
+    )
+
+
+def eyeriss_like(n_pes: int = 168, cache_bytes_per_pe: int = 512,
+                 vm_bytes: int = KB(108), nvm_bytes: int = MB(256),
+                 nvm_technology: MemoryTechnology = LPDDR_LIKE,
+                 clock_scale: float = 1.0) -> AcceleratorConfig:
+    """An Eyeriss-V1-style flexible spatial array.
+
+    Pricier MACs but a reuse-friendly NoC: all three dataflow styles run
+    without penalty.  Defaults mirror Eyeriss V1's 168 PEs / 108 KB
+    global buffer.
+    """
+    clock, mac_energy, static = _dvfs(200e6, 4.5e-12, 6e-6, clock_scale)
+    pes = PEArray(
+        n_pes=n_pes,
+        cache_bytes_per_pe=cache_bytes_per_pe,
+        mac_energy=mac_energy,
+        clock_hz=clock,
+        cache_access_energy_per_byte=0.015e-9,
+        static_power_per_pe=static,
+    )
+    return AcceleratorConfig(
+        name=f"eyeriss_{n_pes}pe_{cache_bytes_per_pe}B",
+        family=AcceleratorFamily.EYERISS,
+        pes=pes,
+        vm=MemoryBlock(SRAM, vm_bytes),
+        nvm=MemoryBlock(nvm_technology, nvm_bytes),
+        noc_energy_per_byte=0.06e-9,
+        dataflow_penalty={
+            DataflowStyle.WEIGHT_STATIONARY: 1.0,
+            DataflowStyle.OUTPUT_STATIONARY: 1.0,
+            DataflowStyle.INPUT_STATIONARY: 1.0,
+        },
+        controller_power=1.5e-3,
+        native_style=DataflowStyle.OUTPUT_STATIONARY,
+    )
+
+
+def build_accelerator(family: AcceleratorFamily, n_pes: int,
+                      cache_bytes_per_pe: int,
+                      clock_scale: float = 1.0) -> AcceleratorConfig:
+    """Factory dispatch used by the design-space sampler."""
+    if family is AcceleratorFamily.TPU:
+        return tpu_like(n_pes=n_pes, cache_bytes_per_pe=cache_bytes_per_pe,
+                        clock_scale=clock_scale)
+    if family is AcceleratorFamily.EYERISS:
+        return eyeriss_like(n_pes=n_pes,
+                            cache_bytes_per_pe=cache_bytes_per_pe,
+                            clock_scale=clock_scale)
+    raise ConfigurationError(f"unknown accelerator family {family!r}")

@@ -1,0 +1,166 @@
+"""Memory technologies and sized memory blocks.
+
+Table II of the paper exposes three memory-related technology constants:
+
+* ``e_r`` / ``e_w`` — energy to read / write one byte of NVM;
+* ``p_mem`` — static power of each byte of (volatile) memory.
+
+This module carries those constants per technology, plus bandwidths so
+latency can be modelled too.  Default values are calibrated against the
+MSP430FR5994 datasheet ballpark (FRAM at 8 MHz) and published SRAM
+figures; they are ordinary constructor arguments, so experiments can
+sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """Per-byte cost model of one memory technology.
+
+    Parameters
+    ----------
+    name:
+        Label used in traces and reports.
+    read_energy_per_byte / write_energy_per_byte:
+        ``e_r`` / ``e_w`` of the paper, joules per byte.
+    static_power_per_byte:
+        ``p_mem`` of the paper, watts per byte; non-zero only for
+        volatile technologies (NVM retains for free).
+    read_bandwidth / write_bandwidth:
+        Bytes per second.
+    volatile:
+        Whether contents are lost on a power interruption.
+    """
+
+    name: str
+    read_energy_per_byte: float
+    write_energy_per_byte: float
+    static_power_per_byte: float
+    read_bandwidth: float
+    write_bandwidth: float
+    volatile: bool
+
+    def __post_init__(self) -> None:
+        for attr in ("read_energy_per_byte", "write_energy_per_byte",
+                     "static_power_per_byte"):
+            if getattr(self, attr) < 0:
+                raise ConfigurationError(f"{attr} must be non-negative")
+        for attr in ("read_bandwidth", "write_bandwidth"):
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(f"{attr} must be positive")
+
+    # -- cost helpers -------------------------------------------------------
+
+    def read_energy(self, num_bytes: float) -> float:
+        return num_bytes * self.read_energy_per_byte
+
+    def write_energy(self, num_bytes: float) -> float:
+        return num_bytes * self.write_energy_per_byte
+
+    def read_time(self, num_bytes: float) -> float:
+        return num_bytes / self.read_bandwidth
+
+    def write_time(self, num_bytes: float) -> float:
+        return num_bytes / self.write_bandwidth
+
+
+#: FRAM as on the MSP430FR5994: non-volatile, byte-addressable, writes
+#: cost more than reads, no retention power.  ~8 MHz access.
+FRAM = MemoryTechnology(
+    name="fram",
+    read_energy_per_byte=0.3e-9,
+    write_energy_per_byte=0.9e-9,
+    static_power_per_byte=0.0,
+    read_bandwidth=8e6,
+    write_bandwidth=4e6,
+    volatile=False,
+)
+
+#: On-chip SRAM: volatile, fast, cheap to access, leaks while powered.
+SRAM = MemoryTechnology(
+    name="sram",
+    read_energy_per_byte=0.05e-9,
+    write_energy_per_byte=0.05e-9,
+    static_power_per_byte=2.5e-10,
+    read_bandwidth=400e6,
+    write_bandwidth=400e6,
+    volatile=True,
+)
+
+#: A low-power external DRAM tier for the large future-AuT models whose
+#: weights exceed on-chip NVM; used as backing store ("NVM" role) with
+#: retention power folded into the access costs.
+LPDDR_LIKE = MemoryTechnology(
+    name="lpddr",
+    read_energy_per_byte=0.15e-9,
+    write_energy_per_byte=0.15e-9,
+    static_power_per_byte=0.0,
+    read_bandwidth=1.6e9,
+    write_bandwidth=1.6e9,
+    volatile=False,
+)
+
+#: Resistive RAM: fast cheap reads, expensive slow writes — the
+#: asymmetry the ReRAM-crossbar intermittent accelerators the paper
+#: cites (ResiRCA) are built around.
+RERAM = MemoryTechnology(
+    name="reram",
+    read_energy_per_byte=0.1e-9,
+    write_energy_per_byte=2.0e-9,
+    static_power_per_byte=0.0,
+    read_bandwidth=200e6,
+    write_bandwidth=20e6,
+    volatile=False,
+)
+
+#: Spin-transfer-torque MRAM: near-SRAM reads, moderate writes, dense —
+#: a candidate unified NVM for future AuT inference hardware.
+MRAM = MemoryTechnology(
+    name="mram",
+    read_energy_per_byte=0.08e-9,
+    write_energy_per_byte=0.5e-9,
+    static_power_per_byte=0.0,
+    read_bandwidth=400e6,
+    write_bandwidth=100e6,
+    volatile=False,
+)
+
+
+@dataclass(frozen=True)
+class MemoryBlock:
+    """A memory of a given technology and capacity."""
+
+    technology: MemoryTechnology
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError(
+                f"memory size must be positive, got {self.size_bytes}"
+            )
+
+    @property
+    def static_power(self) -> float:
+        """Retention power of the whole block, W (``N_mem * p_mem``)."""
+        return self.size_bytes * self.technology.static_power_per_byte
+
+    def fits(self, num_bytes: float) -> bool:
+        return num_bytes <= self.size_bytes
+
+    def read_energy(self, num_bytes: float) -> float:
+        return self.technology.read_energy(num_bytes)
+
+    def write_energy(self, num_bytes: float) -> float:
+        return self.technology.write_energy(num_bytes)
+
+    def read_time(self, num_bytes: float) -> float:
+        return self.technology.read_time(num_bytes)
+
+    def write_time(self, num_bytes: float) -> float:
+        return self.technology.write_time(num_bytes)

@@ -1,0 +1,91 @@
+"""The MSP430FR5994 + LEA platform — the "existing AuT setup".
+
+Every intermittent-inference system the paper surveys (SONIC, HAWAII,
+iNAS, Stateful) runs on this part: a 16 MHz MCU with a Low-Energy
+Accelerator (LEA) for vector MACs, 8 KB of SRAM shared with the LEA, and
+256 KB of FRAM as byte-addressable NVM.
+
+For uniformity with the future-AuT setups, the platform is expressed as
+a degenerate :class:`~repro.hardware.accelerators.AcceleratorConfig`
+whose "array" is the single LEA.  The energy/latency scale is calibrated
+against the paper's Fig. 2(a) anchor — an MNIST CNN (1.6 MOPs) takes
+~1.4 s at ~7.5 mW — which matches the published iNAS/HAWAII measurements
+the paper adapted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataflow.directives import DataflowStyle
+from repro.errors import ConfigurationError
+from repro.hardware.accelerators import AcceleratorConfig, AcceleratorFamily
+from repro.hardware.memory import FRAM, SRAM, MemoryBlock
+from repro.hardware.pe_array import PEArray
+from repro.units import KB
+
+
+@dataclass(frozen=True)
+class MSP430Platform:
+    """Factory for MSP430FR5994-based inference hardware descriptions.
+
+    Parameters
+    ----------
+    sram_bytes / fram_bytes:
+        Memory sizes; datasheet defaults (8 KB / 256 KB).
+    lea_macs_per_second:
+        Effective LEA MAC throughput including DMA and fixed-point
+        overheads.  ~0.55 MMAC/s reproduces the Fig. 2(a) anchor.
+    mac_energy:
+        Energy per LEA MAC, J.  ~8 nJ reproduces the anchor's ~7.5 mW
+        active power together with the memory-access energies.
+    mcu_active_power:
+        CPU + runtime power while the rail is on, W.
+    """
+
+    sram_bytes: int = KB(8)
+    fram_bytes: int = KB(256)
+    lea_macs_per_second: float = 0.55e6
+    mac_energy: float = 8.0e-9
+    mcu_active_power: float = 2.2e-3
+
+    def __post_init__(self) -> None:
+        if self.sram_bytes <= 0 or self.fram_bytes <= 0:
+            raise ConfigurationError("memory sizes must be positive")
+        if self.lea_macs_per_second <= 0:
+            raise ConfigurationError("lea_macs_per_second must be positive")
+        if self.mac_energy < 0 or self.mcu_active_power < 0:
+            raise ConfigurationError("energies/powers must be non-negative")
+
+    def as_accelerator(self) -> AcceleratorConfig:
+        """The platform expressed in the universal hardware description.
+
+        One "PE" (the LEA) whose clock is folded into an effective
+        1-MAC-per-cycle rate; its "cache" is the LEA-visible half of
+        SRAM, the other half serving as the shared VM staging buffer.
+        """
+        lea = PEArray(
+            n_pes=1,
+            cache_bytes_per_pe=self.sram_bytes // 2,
+            mac_energy=self.mac_energy,
+            clock_hz=self.lea_macs_per_second,
+            macs_per_cycle_per_pe=1,
+            cache_access_energy_per_byte=0.05e-9,
+            static_power_per_pe=0.3e-3,
+        )
+        return AcceleratorConfig(
+            name="msp430fr5994",
+            family=AcceleratorFamily.MSP430,
+            pes=lea,
+            vm=MemoryBlock(SRAM, self.sram_bytes // 2),
+            nvm=MemoryBlock(FRAM, self.fram_bytes),
+            noc_energy_per_byte=0.05e-9,
+            dataflow_penalty={
+                DataflowStyle.WEIGHT_STATIONARY: 1.0,
+                DataflowStyle.OUTPUT_STATIONARY: 1.0,
+                DataflowStyle.INPUT_STATIONARY: 1.2,
+            },
+            controller_power=self.mcu_active_power,
+            native_style=DataflowStyle.OUTPUT_STATIONARY,
+            overlapped_io=False,
+        )

@@ -1,0 +1,175 @@
+"""JSON (de)serialization of designs and solutions.
+
+A design-space exploration is only useful if its output survives the
+process: these helpers round-trip :class:`~repro.design.AuTDesign` and
+:class:`~repro.core.result.AuTSolution` through plain JSON-compatible
+dictionaries, so searches can be persisted, diffed and re-evaluated
+later (e.g. ``python -m repro search ... > design.json`` pipelines).
+
+Only data is serialized — never code: deserialization reconstructs the
+dataclasses through their validating constructors, so a tampered or
+stale file fails loudly instead of producing an impossible design.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.dataflow.directives import DataflowStyle
+from repro.dataflow.mapping import LayerMapping
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.pmic import PowerManagementIC
+from repro.errors import ConfigurationError
+from repro.hardware.accelerators import AcceleratorFamily
+
+_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# to dict
+# ---------------------------------------------------------------------------
+
+
+def mapping_to_dict(mapping: LayerMapping) -> Dict[str, Any]:
+    return {
+        "style": mapping.style.value,
+        "n_tiles": mapping.n_tiles,
+        "tile_dim": mapping.tile_dim,
+        "spatial_dim": mapping.spatial_dim,
+        "secondary_dim": mapping.secondary_dim,
+        "n_tiles_2": mapping.n_tiles_2,
+    }
+
+
+def design_to_dict(design: AuTDesign) -> Dict[str, Any]:
+    """A JSON-compatible description of a complete design point."""
+    pmic = design.energy.pmic
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "energy": {
+            "panel_area_cm2": design.energy.panel_area_cm2,
+            "capacitance_f": design.energy.capacitance_f,
+            "k_cap": design.energy.k_cap,
+            "pmic": {
+                "v_on": pmic.v_on,
+                "v_off": pmic.v_off,
+                "boost_efficiency": pmic.boost_efficiency,
+                "buck_efficiency": pmic.buck_efficiency,
+                "quiescent_power": pmic.quiescent_power,
+                "v_cold_start": pmic.v_cold_start,
+            },
+        },
+        "inference": {
+            "family": design.inference.family.value,
+            "n_pes": design.inference.n_pes,
+            "cache_bytes_per_pe": design.inference.cache_bytes_per_pe,
+            "clock_scale": design.inference.clock_scale,
+        },
+        "mappings": [mapping_to_dict(m) for m in design.mappings],
+    }
+
+
+def design_to_json(design: AuTDesign, indent: int = 2) -> str:
+    return json.dumps(design_to_dict(design), indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# from dict
+# ---------------------------------------------------------------------------
+
+
+def mapping_from_dict(data: Dict[str, Any]) -> LayerMapping:
+    try:
+        return LayerMapping(
+            style=DataflowStyle.from_string(data["style"]),
+            n_tiles=int(data["n_tiles"]),
+            tile_dim=data["tile_dim"],
+            spatial_dim=data["spatial_dim"],
+            secondary_dim=data.get("secondary_dim"),
+            n_tiles_2=int(data.get("n_tiles_2", 1)),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"mapping record is missing field {missing}"
+        ) from None
+
+
+def design_from_dict(data: Dict[str, Any]) -> AuTDesign:
+    """Reconstruct (and re-validate) a design from its dictionary form."""
+    version = data.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported design schema version {version!r} "
+            f"(expected {_SCHEMA_VERSION})"
+        )
+    try:
+        energy_data = data["energy"]
+        pmic_data = energy_data["pmic"]
+        inference_data = data["inference"]
+        mappings_data = data["mappings"]
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"design record is missing section {missing}"
+        ) from None
+
+    energy = EnergyDesign(
+        panel_area_cm2=float(energy_data["panel_area_cm2"]),
+        capacitance_f=float(energy_data["capacitance_f"]),
+        k_cap=float(energy_data.get("k_cap", EnergyDesign(
+            panel_area_cm2=1, capacitance_f=1e-6).k_cap)),
+        pmic=PowerManagementIC(**pmic_data),
+    )
+    inference = InferenceDesign(
+        family=AcceleratorFamily(inference_data["family"]),
+        n_pes=int(inference_data["n_pes"]),
+        cache_bytes_per_pe=int(inference_data["cache_bytes_per_pe"]),
+        clock_scale=float(inference_data.get("clock_scale", 1.0)),
+    )
+    mappings = tuple(mapping_from_dict(m) for m in mappings_data)
+    return AuTDesign(energy=energy, inference=inference, mappings=mappings)
+
+
+def design_from_json(text: str) -> AuTDesign:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"invalid design JSON: {error}") from None
+    if not isinstance(data, dict):
+        raise ConfigurationError("design JSON must be an object")
+    return design_from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# solutions
+# ---------------------------------------------------------------------------
+
+
+def solution_to_dict(solution) -> Dict[str, Any]:
+    """Serialise an :class:`~repro.core.result.AuTSolution` (metrics are
+    included for the record but not round-tripped — re-evaluate the
+    design to regenerate them)."""
+    metrics = solution.average_metrics
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "design": design_to_dict(solution.design),
+        "objective": solution.objective_label,
+        "score": solution.score,
+        "evaluations": solution.evaluations,
+        "metrics": {
+            "e2e_latency_s": metrics.e2e_latency,
+            "sustained_period_s": metrics.sustained_period,
+            "total_energy_j": metrics.total_energy,
+            "system_efficiency": metrics.system_efficiency,
+        },
+        "layer_plan": [
+            {
+                "layer": row.layer,
+                "dataflow": row.dataflow,
+                "n_tiles": row.n_tiles,
+                "tile_dim": row.tile_dim,
+                "spatial_dim": row.spatial_dim,
+            }
+            for row in solution.layer_plan
+        ],
+    }

@@ -1,0 +1,211 @@
+"""Closed-form evaluation — the paper's Eqs. 1-9 as executable code.
+
+The analytical model prices a full design point without stepping time:
+
+* harvested power from Eq. 1;
+* capacitor cycle energy and leakage from Eqs. 2-3;
+* per-tile / per-layer energy from Eqs. 4-5 (via the dataflow cost
+  model);
+* end-to-end latency from Eq. 7, generalised to subtract the leakage
+  and conversion losses a real harvesting chain pays;
+* feasibility from Eq. 8, with :meth:`AnalyticalModel.min_feasible_n_tiles`
+  realising the Eq. 9 lower bound constructively.
+
+It is the inner-loop scorer of the explorer; the step simulator
+(:mod:`repro.sim.engine`) validates its fidelity in integration tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.dataflow.cost_model import DataflowCostModel, LayerCost
+from repro.dataflow.mapping import LayerMapping
+from repro.design import AuTDesign
+from repro.energy.environment import LightEnvironment
+from repro.hardware.checkpoint import CheckpointModel
+from repro.sim.metrics import EnergyBreakdown, InferenceMetrics
+from repro.workloads.layers import Layer
+from repro.workloads.network import Network
+
+
+class AnalyticalModel:
+    """Evaluates an :class:`AuTDesign` on a network in one environment."""
+
+    def __init__(self, design: AuTDesign, network: Network,
+                 environment: LightEnvironment,
+                 checkpoint: Optional[CheckpointModel] = None) -> None:
+        design.validate_against(network)
+        self.design = design
+        self.network = network
+        self.environment = environment
+        self.hardware = design.inference.build()
+        self.checkpoint = checkpoint or CheckpointModel(
+            nvm=self.hardware.nvm.technology
+        )
+        self.cost_model = DataflowCostModel(self.hardware, self.checkpoint)
+
+    # -- energy-side closed forms (Eqs. 1-3) ---------------------------------
+
+    @property
+    def p_eh(self) -> float:
+        """Harvested power, W (Eq. 1)."""
+        return self.design.energy.build_panel().power(self.environment.k_eh)
+
+    @property
+    def leak_power(self) -> float:
+        """Capacitor leakage power at the on-threshold, W (Eq. 2 x U)."""
+        energy = self.design.energy
+        return energy.k_cap * energy.capacitance_f * energy.pmic.v_on**2
+
+    @property
+    def net_charge_power(self) -> float:
+        """Power actually accumulating in storage, W."""
+        pmic = self.design.energy.pmic
+        return pmic.charge_power(self.p_eh) - self.leak_power
+
+    def available_cycle_energy(self, execution_time: float = 0.0) -> float:
+        """Rail-side energy available in one energy cycle, J (Eq. 3).
+
+        ``1/2 C (U_on^2 - U_off^2)`` through the buck, plus whatever is
+        harvested (minus leakage) during ``execution_time``.
+        """
+        energy = self.design.energy
+        pmic = energy.pmic
+        stored = 0.5 * energy.capacitance_f * (pmic.v_on**2 - pmic.v_off**2)
+        topping = self.net_charge_power * execution_time
+        return (stored + max(topping, 0.0)) * pmic.buck_efficiency
+
+    # -- inference-side closed forms (Eqs. 4-6) -------------------------------------
+
+    def layer_cost(self, layer: Layer, mapping: LayerMapping) -> LayerCost:
+        return self.cost_model.layer_cost(layer, mapping)
+
+    def plan(self) -> List[LayerCost]:
+        """Per-layer costs for the design's mappings, in network order."""
+        return [
+            self.layer_cost(layer, mapping)
+            for layer, mapping in zip(self.network, self.design.mappings)
+        ]
+
+    def tile_feasible(self, cost: LayerCost) -> bool:
+        """Eq. 8: one tile must fit one energy cycle (incl. its harvest)."""
+        tile = cost.tile
+        return tile.energy <= self.available_cycle_energy(tile.total_time)
+
+    def min_feasible_n_tiles(self, layer: Layer,
+                             mapping: LayerMapping) -> Optional[int]:
+        """Smallest ``N_tile`` satisfying Eq. 8 — Eq. 9 made constructive.
+
+        Scans the divisor-aligned tile counts of the mapping's tile
+        dimension; returns ``None`` when even the finest partition does
+        not fit an energy cycle (the design is unusable for this layer).
+        """
+        bound = layer.dims()[mapping.tile_dim]
+        n = max(1, mapping.n_tiles)
+        while n <= bound:
+            candidate = LayerMapping(style=mapping.style, n_tiles=n,
+                                     tile_dim=mapping.tile_dim,
+                                     spatial_dim=mapping.spatial_dim)
+            cost = self.layer_cost(layer, candidate)
+            if self.tile_feasible(cost):
+                return n
+            n = _next_tile_count(n, bound)
+        return None
+
+    def cold_start_charge_time(self) -> float:
+        """Seconds to charge the capacitor from empty to ``U_on``.
+
+        The intro's "longer charging latency" of oversized capacitors:
+        a deployment's first inference (or any inference after a deep
+        blackout) pays this in full.
+        """
+        pmic = self.design.energy.pmic
+        capacitor = self.design.energy.build_capacitor(0.0)
+        return capacitor.time_to_reach(pmic.v_on,
+                                       pmic.charge_power(self.p_eh))
+
+    def cold_start_latency(self) -> float:
+        """End-to-end latency of the first-ever inference, s."""
+        metrics = self.evaluate()
+        if not metrics.feasible:
+            return math.inf
+        return self.cold_start_charge_time() + metrics.e2e_latency
+
+    # -- whole-inference evaluation (Eq. 7) -------------------------------------------
+
+    def evaluate(self) -> InferenceMetrics:
+        """Price the design end-to-end; marks infeasible designs."""
+        if self.net_charge_power <= 0.0:
+            return InferenceMetrics.infeasible(
+                "leakage and PMIC losses consume the entire harvest"
+            )
+        plan = self.plan()
+        breakdown = EnergyBreakdown()
+        busy_time = 0.0
+        for cost in plan:
+            if not self.tile_feasible(cost):
+                return InferenceMetrics.infeasible(
+                    f"layer {cost.layer_name!r}: one tile exceeds the "
+                    f"energy cycle (Eq. 8) with N_tile={cost.n_tiles}"
+                )
+            breakdown.compute += cost.compute_energy
+            breakdown.vm += cost.n_tiles * cost.tile.vm_energy
+            breakdown.nvm += cost.n_tiles * cost.tile.nvm_energy
+            breakdown.static += cost.static_energy
+            breakdown.checkpoint += cost.checkpoint_energy
+            busy_time += cost.busy_time
+
+        pmic = self.design.energy.pmic
+        rail_energy = breakdown.total
+        # Warm-start energy balance (matching the step simulator): the
+        # inference begins with one energy cycle banked in the capacitor;
+        # harvesting continues throughout execution; whatever is still
+        # missing must be recharged between tiles.
+        chain_efficiency = pmic.boost_efficiency * pmic.buck_efficiency
+        effective_power = (self.p_eh * chain_efficiency
+                           - self.leak_power * pmic.buck_efficiency)
+        if effective_power <= 0.0:
+            return InferenceMetrics.infeasible(
+                "effective charge power is non-positive"
+            )
+        banked = self.available_cycle_energy(0.0)
+        missing = rail_energy - banked - effective_power * busy_time
+        charge_time = max(missing, 0.0) / effective_power
+        e2e_latency = busy_time + charge_time
+        # Steady-state repetition period: between runs the bank must be
+        # restored too, so every joule — banked or not — is re-harvested.
+        sustained_period = max(rail_energy / effective_power, busy_time)
+
+        # E_eh is accounted over the sustained period (one full charge-
+        # and-execute cycle) so that system efficiency E_infer/E_eh is
+        # comparable across designs and bounded by the chain efficiency.
+        harvested = self.p_eh * sustained_period
+        breakdown.cap_leakage = self.leak_power * sustained_period
+        breakdown.conversion = harvested * (1.0 - chain_efficiency)
+
+        n_tiles_total = sum(cost.n_tiles for cost in plan)
+        return InferenceMetrics(
+            e2e_latency=e2e_latency,
+            busy_time=busy_time,
+            charge_time=charge_time,
+            energy=breakdown,
+            harvested_energy=harvested,
+            power_cycles=max(n_tiles_total, 1),
+            exceptions=0,
+            sustained_period=sustained_period,
+        )
+
+
+def _next_tile_count(n: int, bound: int) -> int:
+    """The next useful tile count after ``n`` for a dimension of ``bound``.
+
+    Tile counts between divisor steps change nothing (ceil-division
+    yields the same chunk), so advance to the next count that shrinks
+    the chunk.
+    """
+    chunk = math.ceil(bound / n)
+    if chunk <= 1:
+        return bound + 1
+    return math.ceil(bound / (chunk - 1))

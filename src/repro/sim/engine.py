@@ -1,0 +1,202 @@
+"""Step-based intermittent-inference simulator (§III-D of the paper).
+
+The engine alternates between two regimes:
+
+* **charging** (rail off) — fast-forwarded analytically through the
+  capacitor ODE; no fidelity is lost because nothing but charging
+  happens while the rail is down;
+* **executing** (rail on) — stepped at a fraction of the current tile's
+  latency, so that harvesting-during-execution (the ``T·k_eh·A_eh``
+  term of Eq. 3), mid-tile power failures, and emergent checkpoint
+  exceptions are all captured.
+
+A tile that fails to complete even from a brimming capacitor violates
+Eq. 8 (``E_tile <= E_available``); the engine detects the repeated
+failure and reports the design infeasible instead of looping forever.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.energy.controller import EnergyController
+from repro.errors import SimulationError
+from repro.sim.intermittent import InferenceController
+from repro.sim.metrics import InferenceMetrics
+from repro.sim.trace import EventKind, Trace
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one step-simulated inference."""
+
+    metrics: InferenceMetrics
+    trace: Trace
+    energy: EnergyController
+    inference: InferenceController
+
+
+class StepSimulator:
+    """Drives the energy controller and the inference controller in steps."""
+
+    #: Consecutive failures of the *same* tile from a full energy cycle
+    #: before the design is declared infeasible (first failure may start
+    #: from a partially drained capacitor, so allow one retry).
+    MAX_TILE_RETRIES = 2
+
+    def __init__(self, energy: EnergyController, inference: InferenceController,
+                 steps_per_tile: int = 16,
+                 max_charge_wait: float = 3600.0 * 24) -> None:
+        if steps_per_tile <= 0:
+            raise SimulationError(
+                f"steps_per_tile must be positive, got {steps_per_tile}"
+            )
+        self.energy = energy
+        self.inference = inference
+        self.steps_per_tile = steps_per_tile
+        self.max_charge_wait = max_charge_wait
+        self.trace = Trace()
+
+    def run(self) -> SimulationResult:
+        """Simulate until the inference finishes or proves infeasible."""
+        energy, inference = self.energy, self.inference
+        busy_time = 0.0
+        charge_time = 0.0
+        fail_streak = 0
+        last_fail_key = None
+        last_fail_retained = -1.0
+
+        while not inference.finished:
+            if not energy.rail_on():
+                wait = energy.fast_forward_to_on(self.max_charge_wait)
+                if math.isinf(wait):
+                    return self._infeasible(
+                        "harvester cannot charge the capacitor to U_on "
+                        "(leakage outpaces input)", busy_time, charge_time
+                    )
+                charge_time += wait
+                self.trace.record(energy.time, EventKind.POWER_ON)
+
+            tile = inference.current_layer.tile
+            if inference.tile_energy_done == 0.0:
+                self.trace.record(
+                    energy.time, EventKind.TILE_STARTED,
+                    layer=inference.current_layer.layer_name,
+                    tile=inference.tile_index,
+                )
+            dt = max(tile.latency, 1e-9) / self.steps_per_tile
+            power = inference.tile_power()
+
+            # The controller splits the step exactly at the U_off
+            # crossing, so its delivered-energy delta is the true rail
+            # output even when the cycle dies mid-step.
+            delivered_before = energy.accounting.delivered
+            energy.step(dt, power)
+            busy_time += dt
+            delivered = energy.accounting.delivered - delivered_before
+            completed = inference.deliver(delivered) if delivered > 0 else []
+            for layer_name, tile_idx in completed:
+                fail_streak = 0
+                last_fail_key = None
+                last_fail_retained = -1.0
+                self.trace.record(energy.time, EventKind.TILE_COMPLETED,
+                                  layer=layer_name, tile=tile_idx)
+                self._charge_boundary_checkpoint()
+
+            if not energy.rail_on() and not inference.finished:
+                # Mid-tile power failure.
+                self.trace.record(energy.time, EventKind.POWER_OFF)
+                lost = inference.power_failure()
+                # Progress retained across the failure: 0 under the
+                # eager strategy (volatile state lost), the accumulated
+                # tile energy under JIT.  A retry only counts against
+                # the Eq. 8 streak when it made no headway — a JIT tile
+                # legitimately spans several energy cycles.
+                retained = inference.tile_energy_done
+                if lost:
+                    self.trace.record(
+                        energy.time, EventKind.EXCEPTION,
+                        layer=inference.current_layer.layer_name,
+                        tile=inference.tile_index,
+                    )
+                fail_key = (inference.layer_index, inference.tile_index)
+                if (fail_key == last_fail_key
+                        and retained <= last_fail_retained + 1e-15):
+                    fail_streak += 1
+                else:
+                    fail_streak = 1
+                    last_fail_key = fail_key
+                last_fail_retained = retained
+                if fail_streak >= self.MAX_TILE_RETRIES:
+                    return self._infeasible(
+                        f"tile {fail_key} needs more energy than one full "
+                        "energy cycle delivers (violates Eq. 8)",
+                        busy_time, charge_time,
+                    )
+
+        self.trace.record(energy.time, EventKind.INFERENCE_COMPLETED)
+        return self._finished(busy_time, charge_time)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _charge_boundary_checkpoint(self) -> None:
+        """Draw the planned inter-tile checkpoint energy from storage."""
+        inference, energy = self.inference, self.energy
+        if inference.finished:
+            return
+        at_boundary = inference.tile_index > 0
+        if not at_boundary:
+            return
+        round_energy = inference.checkpoint_round_energy()
+        if round_energy <= 0.0:
+            return
+        round_time = inference.checkpoint_round_time()
+        energy.step(round_time, round_energy / max(round_time, 1e-9))
+        self.trace.record(energy.time, EventKind.CHECKPOINT_SAVED,
+                          layer=inference.current_layer.layer_name,
+                          tile=inference.tile_index)
+
+    def _metrics(self, busy_time: float, charge_time: float) -> InferenceMetrics:
+        acct = self.energy.accounting
+        breakdown = self.inference.breakdown
+        breakdown.cap_leakage = acct.leaked
+        breakdown.conversion = acct.conversion_loss
+        # Steady-state repetition period: restore the energy bank to the
+        # on-threshold before the next back-to-back inference starts.
+        harvested_power = self.energy.harvester.power_at(self.energy.time)
+        refill = self.energy.capacitor.time_to_reach(
+            self.energy.pmic.v_on,
+            self.energy.pmic.charge_power(harvested_power),
+        )
+        sustained = self.energy.time + (0.0 if math.isinf(refill) else refill)
+        refill_harvest = (0.0 if math.isinf(refill)
+                          else harvested_power * refill)
+        return InferenceMetrics(
+            e2e_latency=self.energy.time,
+            busy_time=busy_time,
+            charge_time=charge_time,
+            energy=breakdown,
+            harvested_energy=acct.harvested + refill_harvest,
+            power_cycles=acct.power_cycles,
+            exceptions=self.inference.exceptions,
+            sustained_period=sustained,
+        )
+
+    def _finished(self, busy_time: float, charge_time: float) -> SimulationResult:
+        return SimulationResult(
+            metrics=self._metrics(busy_time, charge_time),
+            trace=self.trace,
+            energy=self.energy,
+            inference=self.inference,
+        )
+
+    def _infeasible(self, reason: str, busy_time: float,
+                    charge_time: float) -> SimulationResult:
+        metrics = InferenceMetrics.infeasible(reason)
+        return SimulationResult(
+            metrics=metrics,
+            trace=self.trace,
+            energy=self.energy,
+            inference=self.inference,
+        )

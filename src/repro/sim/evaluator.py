@@ -1,0 +1,135 @@
+"""The CHRYSALIS Evaluator — the facade the explorer queries.
+
+Given a candidate :class:`~repro.design.AuTDesign` and a workload, the
+evaluator returns :class:`~repro.sim.metrics.InferenceMetrics` either
+from the closed-form model (fast; the search inner loop) or from the
+step-based simulator (faithful; validation and final reporting).
+
+The paper averages every search over two solar environments (brighter
+and darker) "to ensure the system is able to run in both environments";
+:meth:`ChrysalisEvaluator.evaluate_average` implements that protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from repro.design import AuTDesign
+from repro.energy.controller import EnergyController
+from repro.energy.environment import LightEnvironment
+from repro.energy.harvester import SolarHarvester
+from repro.errors import ConfigurationError
+from repro.hardware.checkpoint import CheckpointModel
+from repro.sim.analytical import AnalyticalModel
+from repro.sim.engine import SimulationResult, StepSimulator
+from repro.sim.intermittent import InferenceController
+from repro.sim.metrics import InferenceMetrics
+from repro.workloads.network import Network
+
+
+class EvaluationMode(enum.Enum):
+    """Which evaluation path to use."""
+
+    ANALYTICAL = "analytical"
+    STEP = "step"
+
+
+class ChrysalisEvaluator:
+    """Prices AuT design candidates on a workload."""
+
+    def __init__(self, network: Network,
+                 environments: Optional[Sequence[LightEnvironment]] = None,
+                 mode: EvaluationMode = EvaluationMode.ANALYTICAL,
+                 checkpoint: Optional[CheckpointModel] = None,
+                 steps_per_tile: int = 16) -> None:
+        self.network = network
+        self.environments = tuple(
+            environments
+            if environments is not None
+            else LightEnvironment.paper_environments()
+        )
+        if not self.environments:
+            raise ConfigurationError("at least one environment is required")
+        self.mode = mode
+        self.checkpoint = checkpoint
+        self.steps_per_tile = steps_per_tile
+
+    # -- single environment ------------------------------------------------------
+
+    def evaluate(self, design: AuTDesign,
+                 environment: LightEnvironment) -> InferenceMetrics:
+        """Metrics of ``design`` on this evaluator's network."""
+        if self.mode is EvaluationMode.ANALYTICAL:
+            model = self._analytical(design, environment)
+            return model.evaluate()
+        return self.simulate(design, environment).metrics
+
+    def simulate(self, design: AuTDesign, environment: LightEnvironment,
+                 initial_voltage: Optional[float] = None) -> SimulationResult:
+        """Run the step-based simulator regardless of the default mode.
+
+        ``initial_voltage`` defaults to the PMIC's on-threshold — the
+        steady-state (amortised) semantics the paper's Eq. 7 uses, where
+        each inference starts as soon as one energy cycle is banked.
+        Pass 0.0 to include the one-time cold-start charge.
+        """
+        model = self._analytical(design, environment)
+        plan = model.plan()
+        harvester = SolarHarvester(
+            panel=design.energy.build_panel(), environment=environment
+        )
+        if initial_voltage is None:
+            initial_voltage = design.energy.pmic.v_on
+        energy = EnergyController(
+            harvester=harvester,
+            capacitor=design.energy.build_capacitor(initial_voltage),
+            pmic=design.energy.pmic,
+        )
+        inference = InferenceController(plan=plan,
+                                        checkpoint=model.checkpoint)
+        simulator = StepSimulator(energy, inference,
+                                  steps_per_tile=self.steps_per_tile)
+        return simulator.run()
+
+    # -- the paper's two-environment protocol -------------------------------------
+
+    def evaluate_average(self, design: AuTDesign) -> InferenceMetrics:
+        """Average metrics over the configured environments.
+
+        Any infeasible environment makes the whole design infeasible —
+        the paper requires the system "to run in both environments".
+        """
+        results = []
+        for environment in self.environments:
+            metrics = self.evaluate(design, environment)
+            if not metrics.feasible:
+                return metrics
+            results.append(metrics)
+        return _average_metrics(results)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _analytical(self, design: AuTDesign,
+                    environment: LightEnvironment) -> AnalyticalModel:
+        return AnalyticalModel(design, self.network, environment,
+                               checkpoint=self.checkpoint)
+
+
+def _average_metrics(results: Sequence[InferenceMetrics]) -> InferenceMetrics:
+    """Element-wise mean of feasible metric sets."""
+    n = len(results)
+    breakdown = results[0].energy.scaled(1.0 / n)
+    for metrics in results[1:]:
+        breakdown.add(metrics.energy.scaled(1.0 / n))
+    return InferenceMetrics(
+        e2e_latency=sum(m.e2e_latency for m in results) / n,
+        busy_time=sum(m.busy_time for m in results) / n,
+        charge_time=sum(m.charge_time for m in results) / n,
+        energy=breakdown,
+        harvested_energy=sum(m.harvested_energy for m in results) / n,
+        power_cycles=round(sum(m.power_cycles for m in results) / n),
+        exceptions=round(sum(m.exceptions for m in results) / n),
+        sustained_period=sum(m.sustained_period or m.e2e_latency
+                             for m in results) / n,
+    )

@@ -1,0 +1,109 @@
+"""Result metrics of one evaluated inference.
+
+These are the quantities the paper's figures plot:
+
+* end-to-end latency (Figs. 6, 7, 10) — charging included;
+* the energy breakdown (Figs. 8, 9) — inference vs checkpoint vs
+  capacitor leakage vs static;
+* system efficiency ``E_infer / E_eh`` (Figs. 8, 11).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joule-level accounting of one inference."""
+
+    compute: float = 0.0  # datapath + PE caches (E_infer core)
+    vm: float = 0.0  # NoC + shared-buffer traffic
+    nvm: float = 0.0  # NVM reads/writes (tile data)
+    static: float = 0.0  # rail-on static draw (E_static)
+    checkpoint: float = 0.0  # checkpoint save/resume (Ckpt. Energy)
+    cap_leakage: float = 0.0  # capacitor leakage (Cap. Leakage)
+    conversion: float = 0.0  # PMIC converter losses
+
+    @property
+    def inference(self) -> float:
+        """``E_infer``: useful inference energy (compute + data movement)."""
+        return self.compute + self.vm + self.nvm
+
+    @property
+    def overhead(self) -> float:
+        return self.static + self.checkpoint + self.cap_leakage + self.conversion
+
+    @property
+    def total(self) -> float:
+        return self.inference + self.overhead
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            compute=self.compute * factor,
+            vm=self.vm * factor,
+            nvm=self.nvm * factor,
+            static=self.static * factor,
+            checkpoint=self.checkpoint * factor,
+            cap_leakage=self.cap_leakage * factor,
+            conversion=self.conversion * factor,
+        )
+
+    def add(self, other: "EnergyBreakdown") -> None:
+        self.compute += other.compute
+        self.vm += other.vm
+        self.nvm += other.nvm
+        self.static += other.static
+        self.checkpoint += other.checkpoint
+        self.cap_leakage += other.cap_leakage
+        self.conversion += other.conversion
+
+
+@dataclass
+class InferenceMetrics:
+    """Everything one evaluation reports about a design point."""
+
+    e2e_latency: float  # s, charging + execution (Eq. 7 family)
+    busy_time: float  # s, rail-on execution time
+    charge_time: float  # s, waiting for energy
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    harvested_energy: float = 0.0  # E_eh over the inference window
+    power_cycles: int = 0
+    exceptions: int = 0  # unplanned mid-tile power failures
+    feasible: bool = True
+    infeasible_reason: str = ""
+    #: Steady-state period of back-to-back inference, s: e2e latency
+    #: plus the time to restore the energy bank for the next run.  0
+    #: means "not computed" (falls back to the e2e latency).
+    sustained_period: float = 0.0
+
+    @property
+    def system_efficiency(self) -> float:
+        """``E_infer / E_eh`` (Figs. 8 and 11).  0 when nothing harvested."""
+        if self.harvested_energy <= 0.0:
+            return 0.0
+        return self.energy.inference / self.harvested_energy
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total
+
+    @property
+    def sustained_throughput(self) -> float:
+        """Back-to-back inferences per second at steady state."""
+        period = self.sustained_period or self.e2e_latency
+        if period <= 0.0 or math.isinf(period):
+            return 0.0
+        return 1.0 / period
+
+    @classmethod
+    def infeasible(cls, reason: str) -> "InferenceMetrics":
+        """Marker result for designs that can never finish the workload."""
+        return cls(
+            e2e_latency=float("inf"),
+            busy_time=float("inf"),
+            charge_time=float("inf"),
+            feasible=False,
+            infeasible_reason=reason,
+        )

@@ -1,0 +1,147 @@
+"""Input-dependent workloads: probabilistic mixes of network variants.
+
+The paper lists "input correlations" among the describer extensions.
+The dominant case at the edge is *early-exit* inference: easy inputs
+leave through a small head after a few layers; hard ones run the full
+network.  An AuT must then be provisioned for a **distribution** of
+energy demands, not a single number.
+
+:class:`WorkloadMix` evaluates one design (or per-variant designs) over
+such a distribution and reports expectation, spread and worst case —
+the quantities a duty-cycled deployment is sized by.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.design import AuTDesign
+from repro.energy.environment import LightEnvironment
+from repro.errors import ConfigurationError
+from repro.hardware.checkpoint import CheckpointModel
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.sim.metrics import InferenceMetrics
+from repro.workloads.network import Network
+
+
+@dataclass(frozen=True)
+class MixVariant:
+    """One branch of the input distribution."""
+
+    name: str
+    network: Network
+    design: AuTDesign
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ConfigurationError(
+                f"variant {self.name!r}: probability must be in (0, 1], "
+                f"got {self.probability}"
+            )
+        self.design.validate_against(self.network)
+
+
+@dataclass(frozen=True)
+class MixMetrics:
+    """Distribution-level metrics of a workload mix."""
+
+    expected_latency: float  # s, probability-weighted sustained period
+    expected_energy: float  # J
+    worst_case_latency: float  # s, max over variants
+    latency_spread: float  # s, worst - best
+    per_variant: Dict[str, InferenceMetrics]
+    feasible: bool
+    infeasible_variant: str = ""
+
+    @property
+    def expected_throughput(self) -> float:
+        if self.expected_latency <= 0 or math.isinf(self.expected_latency):
+            return 0.0
+        return 1.0 / self.expected_latency
+
+
+class WorkloadMix:
+    """A probability distribution over network variants.
+
+    Probabilities must sum to 1 (within tolerance).  Every variant must
+    be feasible in every configured environment — a deployment cannot
+    refuse hard inputs.
+    """
+
+    def __init__(self, variants: Sequence[MixVariant],
+                 environments: Optional[Sequence[LightEnvironment]] = None,
+                 checkpoint: Optional[CheckpointModel] = None) -> None:
+        if not variants:
+            raise ConfigurationError("a workload mix needs variants")
+        total = sum(v.probability for v in variants)
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigurationError(
+                f"variant probabilities must sum to 1, got {total}"
+            )
+        names = [v.name for v in variants]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(f"duplicate variant names: {names}")
+        self.variants = tuple(variants)
+        self.environments = environments
+        self.checkpoint = checkpoint
+
+    def evaluate(self) -> MixMetrics:
+        """Expectation / spread / worst case over the distribution."""
+        per_variant: Dict[str, InferenceMetrics] = {}
+        expected_latency = 0.0
+        expected_energy = 0.0
+        latencies: List[float] = []
+        for variant in self.variants:
+            evaluator = ChrysalisEvaluator(
+                variant.network, environments=self.environments,
+                checkpoint=self.checkpoint)
+            metrics = evaluator.evaluate_average(variant.design)
+            per_variant[variant.name] = metrics
+            if not metrics.feasible:
+                return MixMetrics(
+                    expected_latency=math.inf,
+                    expected_energy=math.inf,
+                    worst_case_latency=math.inf,
+                    latency_spread=math.inf,
+                    per_variant=per_variant,
+                    feasible=False,
+                    infeasible_variant=variant.name,
+                )
+            latency = metrics.sustained_period or metrics.e2e_latency
+            expected_latency += variant.probability * latency
+            expected_energy += variant.probability * metrics.total_energy
+            latencies.append(latency)
+        return MixMetrics(
+            expected_latency=expected_latency,
+            expected_energy=expected_energy,
+            worst_case_latency=max(latencies),
+            latency_spread=max(latencies) - min(latencies),
+            per_variant=per_variant,
+            feasible=True,
+        )
+
+
+def early_exit_mix(full_network: Network, exit_network: Network,
+                   design_full: AuTDesign, design_exit: AuTDesign,
+                   exit_probability: float,
+                   environments: Optional[Sequence[LightEnvironment]] = None,
+                   checkpoint: Optional[CheckpointModel] = None
+                   ) -> WorkloadMix:
+    """Convenience constructor for the two-branch early-exit case."""
+    if not 0.0 < exit_probability < 1.0:
+        raise ConfigurationError(
+            f"exit_probability must be in (0, 1), got {exit_probability}"
+        )
+    return WorkloadMix(
+        variants=[
+            MixVariant("early_exit", exit_network, design_exit,
+                       exit_probability),
+            MixVariant("full", full_network, design_full,
+                       1.0 - exit_probability),
+        ],
+        environments=environments,
+        checkpoint=checkpoint,
+    )

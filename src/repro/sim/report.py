@@ -1,0 +1,88 @@
+"""Per-layer profiling reports for a design on a workload.
+
+The evaluator's metrics summarise a whole inference; designers also
+want the layer-by-layer picture — where the MACs, the bytes, the
+checkpoints and the energy cycles actually go.  :func:`profile_design`
+produces that table from the analytical model, and
+:func:`render_profile` formats it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.design import AuTDesign
+from repro.energy.environment import LightEnvironment
+from repro.hardware.checkpoint import CheckpointModel
+from repro.sim.analytical import AnalyticalModel
+from repro.workloads.network import Network
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """One row of the per-layer profile."""
+
+    layer: str
+    kind: str
+    macs: int
+    n_tiles: int
+    dataflow: str
+    busy_ms: float
+    energy_uj: float
+    checkpoint_uj: float
+    nvm_kb: float  # NVM traffic per inference
+    energy_share: float  # fraction of total inference energy
+
+
+def profile_design(design: AuTDesign, network: Network,
+                   environment: LightEnvironment,
+                   checkpoint: Optional[CheckpointModel] = None
+                   ) -> List[LayerProfile]:
+    """Layer-by-layer costs of ``design`` in ``environment``."""
+    model = AnalyticalModel(design, network, environment,
+                            checkpoint=checkpoint)
+    plan = model.plan()
+    total_energy = sum(cost.energy for cost in plan) or 1.0
+    profiles = []
+    for layer, mapping, cost in zip(network, design.mappings, plan):
+        nvm_bytes = cost.n_tiles * (cost.tile.nvm_read_bytes
+                                    + cost.tile.nvm_write_bytes)
+        profiles.append(LayerProfile(
+            layer=layer.name,
+            kind=layer.kind.value,
+            macs=layer.macs,
+            n_tiles=cost.n_tiles,
+            dataflow=mapping.style.value,
+            busy_ms=cost.busy_time * 1e3,
+            energy_uj=cost.energy * 1e6,
+            checkpoint_uj=cost.checkpoint_energy * 1e6,
+            nvm_kb=nvm_bytes / 1024.0,
+            energy_share=cost.energy / total_energy,
+        ))
+    return profiles
+
+
+def render_profile(profiles: List[LayerProfile],
+                   top: Optional[int] = None) -> str:
+    """Readable table, optionally truncated to the ``top`` energy rows."""
+    rows = profiles
+    if top is not None:
+        rows = sorted(profiles, key=lambda p: p.energy_uj,
+                      reverse=True)[:top]
+    header = (f"{'layer':<16}{'kind':<10}{'df':<4}{'tiles':>6}"
+              f"{'busy ms':>10}{'energy uJ':>12}{'ckpt uJ':>10}"
+              f"{'NVM KB':>9}{'share':>8}")
+    lines = [header, "-" * len(header)]
+    for p in rows:
+        lines.append(
+            f"{p.layer:<16}{p.kind:<10}{p.dataflow:<4}{p.n_tiles:>6}"
+            f"{p.busy_ms:>10.3f}{p.energy_uj:>12.2f}"
+            f"{p.checkpoint_uj:>10.3f}{p.nvm_kb:>9.1f}"
+            f"{p.energy_share:>7.1%}")
+    total_uj = sum(p.energy_uj for p in profiles)
+    total_ms = sum(p.busy_ms for p in profiles)
+    lines.append("-" * len(header))
+    lines.append(f"{'total':<30}{sum(p.n_tiles for p in profiles):>6}"
+                 f"{total_ms:>10.3f}{total_uj:>12.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Event trace of a step-based simulation run.
+
+The simulator records power transitions, tile lifecycle and checkpoint
+activity; examples and tests use the trace to assert ordering invariants
+(a resume never precedes its save, tiles complete in order, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, List
+
+
+class EventKind(Enum):
+    POWER_ON = "power_on"
+    POWER_OFF = "power_off"
+    TILE_STARTED = "tile_started"
+    TILE_COMPLETED = "tile_completed"
+    CHECKPOINT_SAVED = "checkpoint_saved"
+    CHECKPOINT_RESUMED = "checkpoint_resumed"
+    EXCEPTION = "exception"  # unplanned mid-tile power failure
+    LAYER_COMPLETED = "layer_completed"
+    INFERENCE_COMPLETED = "inference_completed"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped simulation event."""
+
+    time: float
+    kind: EventKind
+    layer: str = ""
+    tile: int = -1
+    detail: str = ""
+
+    def render(self) -> str:
+        where = f" {self.layer}[{self.tile}]" if self.layer else ""
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"t={self.time:12.6f}s {self.kind.value}{where}{suffix}"
+
+
+@dataclass
+class Trace:
+    """Append-only event log."""
+
+    events: List[Event] = field(default_factory=list)
+
+    def record(self, time: float, kind: EventKind, layer: str = "",
+               tile: int = -1, detail: str = "") -> None:
+        self.events.append(Event(time, kind, layer, tile, detail))
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: EventKind) -> List[Event]:
+        return [e for e in self.events if e.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        return sum(1 for e in self.events if e.kind is kind)
+
+    def render(self, limit: int | None = None) -> str:
+        events = self.events if limit is None else self.events[:limit]
+        lines = [event.render() for event in events]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

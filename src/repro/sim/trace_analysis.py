@@ -1,0 +1,123 @@
+"""Post-hoc analysis of step-simulation traces.
+
+A trace answers questions the aggregate metrics cannot: how long are
+the energy cycles, how is work distributed across them, where do the
+exceptions cluster?  :func:`analyze_trace` distils a
+:class:`~repro.sim.trace.Trace` into those operational statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.trace import EventKind, Trace
+
+
+@dataclass(frozen=True)
+class CycleStats:
+    """One rail-on period: from POWER_ON (or t=0 when starting hot) to
+    the following POWER_OFF (or the end of the inference)."""
+
+    start: float
+    end: float
+    tiles_completed: int
+    exceptions: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TraceAnalysis:
+    """Operational statistics of one simulated inference."""
+
+    cycles: List[CycleStats]
+    total_time: float
+    on_time: float
+    tiles_per_layer: Dict[str, int] = field(default_factory=dict)
+    exceptions_per_layer: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of wall time the rail was up."""
+        if self.total_time <= 0:
+            return 0.0
+        return min(self.on_time / self.total_time, 1.0)
+
+    @property
+    def mean_cycle_duration(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return sum(c.duration for c in self.cycles) / len(self.cycles)
+
+    @property
+    def mean_tiles_per_cycle(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return sum(c.tiles_completed for c in self.cycles) / len(self.cycles)
+
+    def render(self) -> str:
+        lines = [
+            f"cycles            : {len(self.cycles)}",
+            f"duty cycle        : {self.duty_cycle:.1%}",
+            f"mean cycle length : {self.mean_cycle_duration * 1e3:.2f} ms",
+            f"mean tiles/cycle  : {self.mean_tiles_per_cycle:.2f}",
+        ]
+        if self.exceptions_per_layer:
+            worst = max(self.exceptions_per_layer.items(),
+                        key=lambda kv: kv[1])
+            lines.append(f"exception hotspot : {worst[0]} ({worst[1]})")
+        return "\n".join(lines)
+
+
+def analyze_trace(trace: Trace) -> TraceAnalysis:
+    """Reduce a trace into per-cycle and per-layer statistics."""
+    cycles: List[CycleStats] = []
+    tiles_per_layer: Dict[str, int] = {}
+    exceptions_per_layer: Dict[str, int] = {}
+
+    cycle_start = 0.0
+    cycle_tiles = 0
+    cycle_exceptions = 0
+    in_cycle = True  # simulations may start with the rail already up
+    last_time = 0.0
+
+    for event in trace:
+        last_time = max(last_time, event.time)
+        if event.kind is EventKind.POWER_ON:
+            cycle_start = event.time
+            cycle_tiles = 0
+            cycle_exceptions = 0
+            in_cycle = True
+        elif event.kind is EventKind.POWER_OFF:
+            if in_cycle:
+                cycles.append(CycleStats(
+                    start=cycle_start, end=event.time,
+                    tiles_completed=cycle_tiles,
+                    exceptions=cycle_exceptions))
+            in_cycle = False
+        elif event.kind is EventKind.TILE_COMPLETED:
+            cycle_tiles += 1
+            tiles_per_layer[event.layer] = \
+                tiles_per_layer.get(event.layer, 0) + 1
+        elif event.kind is EventKind.EXCEPTION:
+            cycle_exceptions += 1
+            exceptions_per_layer[event.layer] = \
+                exceptions_per_layer.get(event.layer, 0) + 1
+        elif event.kind is EventKind.INFERENCE_COMPLETED and in_cycle:
+            cycles.append(CycleStats(
+                start=cycle_start, end=event.time,
+                tiles_completed=cycle_tiles,
+                exceptions=cycle_exceptions))
+            in_cycle = False
+
+    on_time = sum(c.duration for c in cycles)
+    return TraceAnalysis(
+        cycles=cycles,
+        total_time=last_time,
+        on_time=on_time,
+        tiles_per_layer=tiles_per_layer,
+        exceptions_per_layer=exceptions_per_layer,
+    )

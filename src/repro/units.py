@@ -1,0 +1,104 @@
+"""Unit helpers and physical constants used across CHRYSALIS.
+
+All internal computation uses SI base units:
+
+* energy  — joules (J)
+* power   — watts (W)
+* time    — seconds (s)
+* charge  — coulombs (C)
+* voltage — volts (V)
+* capacitance — farads (F)
+* area    — square centimetres (cm^2) for solar panels, matching the
+  paper's design-space tables; the light coefficient ``k_eh`` is
+  therefore expressed in W/cm^2.
+* memory  — bytes (B)
+
+The helpers below exist so that call sites can state magnitudes in the
+units the paper's tables use (uF, mF, cm^2, KB, ...) without sprinkling
+powers of ten through the code.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Scale prefixes
+# ---------------------------------------------------------------------------
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+def uF(value: float) -> float:
+    """Capacitance given in microfarads, returned in farads."""
+    return value * MICRO
+
+
+def mF(value: float) -> float:
+    """Capacitance given in millifarads, returned in farads."""
+    return value * MILLI
+
+
+def nJ(value: float) -> float:
+    """Energy given in nanojoules, returned in joules."""
+    return value * NANO
+
+
+def uJ(value: float) -> float:
+    """Energy given in microjoules, returned in joules."""
+    return value * MICRO
+
+
+def mJ(value: float) -> float:
+    """Energy given in millijoules, returned in joules."""
+    return value * MILLI
+
+
+def uW(value: float) -> float:
+    """Power given in microwatts, returned in watts."""
+    return value * MICRO
+
+
+def mW(value: float) -> float:
+    """Power given in milliwatts, returned in watts."""
+    return value * MILLI
+
+
+def ms(value: float) -> float:
+    """Time given in milliseconds, returned in seconds."""
+    return value * MILLI
+
+
+def us(value: float) -> float:
+    """Time given in microseconds, returned in seconds."""
+    return value * MICRO
+
+
+def KB(value: float) -> int:
+    """Memory given in kibibytes, returned in bytes."""
+    return int(value * 1024)
+
+
+def MB(value: float) -> int:
+    """Memory given in mebibytes, returned in bytes."""
+    return int(value * 1024 * 1024)
+
+
+# ---------------------------------------------------------------------------
+# Reference irradiance values (used by the environment model)
+# ---------------------------------------------------------------------------
+
+#: Standard test condition irradiance for photovoltaics, W/m^2.
+STC_IRRADIANCE_W_PER_M2 = 1000.0
+
+#: cm^2 per m^2 — solar panel areas in the paper are quoted in cm^2.
+CM2_PER_M2 = 1e4
+
+
+def irradiance_to_w_per_cm2(irradiance_w_per_m2: float) -> float:
+    """Convert an irradiance in W/m^2 to W/cm^2."""
+    return irradiance_w_per_m2 / CM2_PER_M2

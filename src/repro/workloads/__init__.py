@@ -1,0 +1,63 @@
+"""DNN workload descriptions.
+
+CHRYSALIS takes "a domain-specific DNN model along with its corresponding
+dataset" as input.  This package provides the layer-level intermediate
+representation the mapper consumes (:mod:`repro.workloads.layers`), the
+network container (:mod:`repro.workloads.network`) and builders for every
+network evaluated in the paper (:mod:`repro.workloads.zoo` — Tables IV
+and V).
+"""
+
+from repro.workloads.layers import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Embedding,
+    Layer,
+    LayerKind,
+    MatMul,
+    Pool2D,
+)
+from repro.workloads.network import Network
+from repro.workloads.zoo import (
+    EXISTING_AUT_WORKLOADS,
+    EXTENSION_WORKLOADS,
+    FUTURE_AUT_WORKLOADS,
+    alexnet,
+    bert_tiny,
+    cifar10_cnn,
+    har_cnn,
+    kws_mlp,
+    mnist_cnn,
+    mobilenet_tiny,
+    resnet18,
+    simple_conv,
+    vgg16,
+    workload_by_name,
+)
+
+__all__ = [
+    "Conv2D",
+    "Dense",
+    "DepthwiseConv2D",
+    "EXISTING_AUT_WORKLOADS",
+    "EXTENSION_WORKLOADS",
+    "Embedding",
+    "FUTURE_AUT_WORKLOADS",
+    "Layer",
+    "LayerKind",
+    "MatMul",
+    "Network",
+    "Pool2D",
+    "alexnet",
+    "bert_tiny",
+    "cifar10_cnn",
+    "har_cnn",
+    "kws_mlp",
+    "mnist_cnn",
+    "mobilenet_tiny",
+    "resnet18",
+    "simple_conv",
+    "vgg16",
+    "workload_by_name",
+]

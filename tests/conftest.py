@@ -1,0 +1,60 @@
+"""Shared fixtures for the CHRYSALIS test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.hardware.accelerators import AcceleratorFamily
+from repro.units import uF
+from repro.workloads import zoo
+
+
+@pytest.fixture
+def brighter():
+    return LightEnvironment.brighter()
+
+
+@pytest.fixture
+def darker():
+    return LightEnvironment.darker()
+
+
+@pytest.fixture
+def har_network():
+    return zoo.har_cnn()
+
+
+@pytest.fixture
+def simple_network():
+    return zoo.simple_conv()
+
+
+@pytest.fixture
+def cifar_network():
+    return zoo.cifar10_cnn()
+
+
+@pytest.fixture
+def msp_energy_design():
+    """A mid-range existing-AuT energy subsystem."""
+    return EnergyDesign(panel_area_cm2=8.0, capacitance_f=uF(100))
+
+
+@pytest.fixture
+def msp_design(msp_energy_design, har_network):
+    """A complete MSP430-based design for the HAR workload."""
+    return AuTDesign.with_default_mappings(
+        msp_energy_design, InferenceDesign.msp430(), har_network, n_tiles=2
+    )
+
+
+@pytest.fixture
+def tpu_design(cifar_network):
+    """A TPU-like future-AuT design for CIFAR-10."""
+    energy = EnergyDesign(panel_area_cm2=10.0, capacitance_f=uF(470))
+    inference = InferenceDesign(family=AcceleratorFamily.TPU, n_pes=64,
+                                cache_bytes_per_pe=512)
+    return AuTDesign.with_default_mappings(energy, inference, cifar_network,
+                                           n_tiles=2)

@@ -1,0 +1,120 @@
+"""Tests for accelerator configurations (Table V families + MSP430)."""
+
+import pytest
+
+from repro.dataflow.directives import DataflowStyle
+from repro.errors import ConfigurationError
+from repro.hardware.accelerators import (
+    AcceleratorConfig,
+    AcceleratorFamily,
+    build_accelerator,
+    eyeriss_like,
+    tpu_like,
+)
+from repro.hardware.memory import FRAM, SRAM, MemoryBlock
+from repro.hardware.msp430 import MSP430Platform
+from repro.hardware.pe_array import PEArray
+from repro.units import KB
+
+
+class TestFamilies:
+    def test_tpu_cheaper_macs_than_eyeriss(self):
+        assert tpu_like().pes.mac_energy < eyeriss_like().pes.mac_energy
+
+    def test_tpu_penalises_non_ws(self):
+        tpu = tpu_like()
+        assert tpu.traffic_penalty(DataflowStyle.WEIGHT_STATIONARY) == 1.0
+        assert tpu.traffic_penalty(DataflowStyle.OUTPUT_STATIONARY) > 1.0
+
+    def test_eyeriss_is_flexible(self):
+        eyeriss = eyeriss_like()
+        for style in DataflowStyle:
+            assert eyeriss.traffic_penalty(style) == 1.0
+
+    def test_eyeriss_defaults_mirror_v1(self):
+        eyeriss = eyeriss_like()
+        assert eyeriss.pes.n_pes == 168
+        assert eyeriss.vm.size_bytes == KB(108)
+
+    def test_factories_respect_knobs(self):
+        config = tpu_like(n_pes=7, cache_bytes_per_pe=321)
+        assert config.pes.n_pes == 7
+        assert config.pes.cache_bytes_per_pe == 321
+
+    def test_build_accelerator_dispatch(self):
+        tpu = build_accelerator(AcceleratorFamily.TPU, 8, 256)
+        eyeriss = build_accelerator(AcceleratorFamily.EYERISS, 8, 256)
+        assert tpu.family is AcceleratorFamily.TPU
+        assert eyeriss.family is AcceleratorFamily.EYERISS
+
+    def test_static_power_composition(self):
+        config = tpu_like(n_pes=16)
+        assert config.static_power == pytest.approx(
+            config.controller_power + config.pes.static_power
+            + config.vm.static_power)
+
+
+class TestMSP430:
+    def test_single_lea_pe(self):
+        config = MSP430Platform().as_accelerator()
+        assert config.pes.n_pes == 1
+        assert config.family is AcceleratorFamily.MSP430
+        assert config.overlapped_io is False
+
+    def test_datasheet_memories(self):
+        platform = MSP430Platform()
+        config = platform.as_accelerator()
+        assert config.nvm.size_bytes == KB(256)
+        assert config.nvm.technology is FRAM
+        assert config.vm.size_bytes + config.pes.cache_bytes_per_pe == KB(8)
+
+    def test_fig2a_anchor_power_scale(self):
+        """MNIST-CNN class work should land near the published ~7.5 mW."""
+        platform = MSP430Platform()
+        # MAC power alone: rate x energy.
+        mac_power = platform.lea_macs_per_second * platform.mac_energy
+        total = mac_power + platform.mcu_active_power
+        assert 4e-3 < total < 12e-3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MSP430Platform(sram_bytes=0)
+        with pytest.raises(ConfigurationError):
+            MSP430Platform(lea_macs_per_second=0.0)
+
+
+class TestConfigValidation:
+    def _pes(self):
+        return PEArray(n_pes=4, cache_bytes_per_pe=256, mac_energy=1e-12,
+                       clock_hz=1e8)
+
+    def test_vm_must_be_volatile(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig(
+                name="bad", family=AcceleratorFamily.TPU, pes=self._pes(),
+                vm=MemoryBlock(FRAM, 1024), nvm=MemoryBlock(FRAM, 1024),
+                noc_energy_per_byte=0.0, dataflow_penalty={},
+                controller_power=0.0,
+                native_style=DataflowStyle.WEIGHT_STATIONARY,
+            )
+
+    def test_nvm_must_be_nonvolatile(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig(
+                name="bad", family=AcceleratorFamily.TPU, pes=self._pes(),
+                vm=MemoryBlock(SRAM, 1024), nvm=MemoryBlock(SRAM, 1024),
+                noc_energy_per_byte=0.0, dataflow_penalty={},
+                controller_power=0.0,
+                native_style=DataflowStyle.WEIGHT_STATIONARY,
+            )
+
+    def test_penalties_must_be_at_least_one(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig(
+                name="bad", family=AcceleratorFamily.TPU, pes=self._pes(),
+                vm=MemoryBlock(SRAM, 1024), nvm=MemoryBlock(FRAM, 1024),
+                noc_energy_per_byte=0.0,
+                dataflow_penalty={DataflowStyle.WEIGHT_STATIONARY: 0.5},
+                controller_power=0.0,
+                native_style=DataflowStyle.WEIGHT_STATIONARY,
+            )

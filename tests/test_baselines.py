@@ -1,0 +1,90 @@
+"""Tests for the Table VI ablated baselines."""
+
+import random
+
+import pytest
+
+from repro.errors import DesignSpaceError
+from repro.explore.baselines import (
+    BASELINE_METHODS,
+    FIXED_CACHE_BYTES,
+    FIXED_CAPACITANCE_F,
+    FIXED_N_PES,
+    FIXED_PANEL_CM2,
+    baseline_space,
+)
+from repro.explore.space import DesignSpace
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+class TestFutureSpaceAblations:
+    @pytest.fixture
+    def base(self):
+        return DesignSpace.future_aut()
+
+    def test_all_methods_named_in_paper_order(self):
+        assert BASELINE_METHODS == (
+            "wo/Cap", "wo/SP", "wo/EA", "wo/PE", "wo/Cache", "wo/IA",
+            "full")
+
+    def test_full_is_identity(self, base):
+        assert baseline_space("full", base) is base
+
+    def test_wo_cap_pins_capacitor(self, base, rng):
+        space = baseline_space("wo/Cap", base)
+        assert "capacitance_f" not in space.names
+        assert space.sample(rng)["capacitance_f"] == FIXED_CAPACITANCE_F
+
+    def test_wo_sp_pins_panel(self, base, rng):
+        space = baseline_space("wo/SP", base)
+        assert space.sample(rng)["panel_area_cm2"] == FIXED_PANEL_CM2
+
+    def test_wo_ea_pins_both_energy_knobs(self, base, rng):
+        space = baseline_space("wo/EA", base)
+        genome = space.sample(rng)
+        assert genome["capacitance_f"] == FIXED_CAPACITANCE_F
+        assert genome["panel_area_cm2"] == FIXED_PANEL_CM2
+
+    def test_wo_pe_pins_pe_count(self, base, rng):
+        space = baseline_space("wo/PE", base)
+        assert space.sample(rng)["n_pes"] == FIXED_N_PES
+
+    def test_wo_cache_pins_cache(self, base, rng):
+        space = baseline_space("wo/Cache", base)
+        assert space.sample(rng)["cache_bytes_per_pe"] == FIXED_CACHE_BYTES
+
+    def test_wo_ia_pins_both_inference_knobs(self, base, rng):
+        space = baseline_space("wo/IA", base)
+        genome = space.sample(rng)
+        assert genome["n_pes"] == FIXED_N_PES
+        assert genome["cache_bytes_per_pe"] == FIXED_CACHE_BYTES
+
+    def test_search_dimensions_shrink(self, base):
+        """Each ablation must search strictly fewer dimensions."""
+        for method in BASELINE_METHODS:
+            if method == "full":
+                continue
+            assert len(baseline_space(method, base).parameters) < len(
+                base.parameters)
+
+    def test_unknown_method(self, base):
+        with pytest.raises(DesignSpaceError):
+            baseline_space("wo/Everything", base)
+
+
+class TestExistingSpaceAblations:
+    def test_pe_ablations_degenerate_to_full(self):
+        """Table IV has no PE knobs, so wo/PE == full there."""
+        base = DesignSpace.existing_aut()
+        assert baseline_space("wo/PE", base) is base
+        assert baseline_space("wo/Cache", base) is base
+        assert baseline_space("wo/IA", base) is base
+
+    def test_energy_ablations_still_apply(self):
+        base = DesignSpace.existing_aut()
+        space = baseline_space("wo/EA", base)
+        assert space.names == []

@@ -1,0 +1,99 @@
+"""Tests for the bi-level explorer (slow-ish: small GA budgets)."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.explore.bilevel import BilevelExplorer
+from repro.explore.ga import GAConfig
+from repro.explore.objectives import Objective
+from repro.explore.pareto import pareto_front
+from repro.explore.space import DesignSpace
+from repro.workloads import zoo
+
+FAST_GA = GAConfig(population_size=8, generations=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def har_result():
+    explorer = BilevelExplorer(
+        network=zoo.har_cnn(),
+        space=DesignSpace.existing_aut(),
+        objective=Objective.lat_sp(),
+        ga_config=FAST_GA,
+    )
+    return explorer.run()
+
+
+class TestSearchResult:
+    def test_design_is_feasible(self, har_result):
+        assert har_result.average.feasible
+        assert har_result.score < float("inf")
+
+    def test_score_matches_objective(self, har_result):
+        expected = (har_result.average.sustained_period
+                    * har_result.design.energy.panel_area_cm2)
+        assert har_result.score == pytest.approx(expected, rel=1e-6)
+
+    def test_panel_within_table_iv_bounds(self, har_result):
+        assert 1.0 <= har_result.design.energy.panel_area_cm2 <= 30.0
+
+    def test_capacitor_within_table_iv_bounds(self, har_result):
+        assert 1e-6 <= har_result.design.energy.capacitance_f <= 10e-3
+
+    def test_metrics_for_both_environments(self, har_result):
+        assert set(har_result.metrics_by_env) == {"brighter", "darker"}
+
+    def test_evaluated_points_recorded(self, har_result):
+        assert len(har_result.evaluated) > 0
+        front = pareto_front(har_result.evaluated)
+        assert 1 <= len(front) <= len(har_result.evaluated)
+
+    def test_summary_renders(self, har_result):
+        text = har_result.summary()
+        assert "best design" in text
+        assert "cm2" in text
+
+
+class TestObjectiveCompliance:
+    def test_lat_objective_respects_sp_cap(self):
+        explorer = BilevelExplorer(
+            network=zoo.har_cnn(),
+            space=DesignSpace.existing_aut(),
+            objective=Objective.lat(sp_constraint_cm2=5.0),
+            ga_config=FAST_GA,
+        )
+        result = explorer.run()
+        assert result.design.energy.panel_area_cm2 <= 5.0 + 1e-9
+
+    def test_sp_objective_respects_latency_cap(self):
+        explorer = BilevelExplorer(
+            network=zoo.har_cnn(),
+            space=DesignSpace.existing_aut(),
+            objective=Objective.sp(latency_constraint_s=1.0),
+            ga_config=FAST_GA,
+        )
+        result = explorer.run()
+        assert result.average.e2e_latency <= 1.0 + 1e-9
+
+    def test_impossible_constraint_raises(self):
+        explorer = BilevelExplorer(
+            network=zoo.cifar10_cnn(),
+            space=DesignSpace.existing_aut(),
+            objective=Objective.sp(latency_constraint_s=1e-6),
+            ga_config=GAConfig(population_size=4, generations=2, seed=0),
+        )
+        with pytest.raises(SearchError):
+            explorer.run()
+
+
+class TestFutureSpace:
+    def test_future_search_produces_accelerator(self):
+        explorer = BilevelExplorer(
+            network=zoo.cifar10_cnn(),
+            space=DesignSpace.future_aut(),
+            objective=Objective.lat_sp(),
+            ga_config=FAST_GA,
+        )
+        result = explorer.run()
+        assert result.design.inference.family.value in ("tpu", "eyeriss")
+        assert 1 <= result.design.inference.n_pes <= 168

@@ -1,0 +1,70 @@
+"""Tests for the checkpoint save/resume cost model (Eq. 5's ckpt term)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.checkpoint import CheckpointModel
+from repro.hardware.memory import FRAM
+
+
+@pytest.fixture
+def model():
+    return CheckpointModel(nvm=FRAM)
+
+
+class TestVolume:
+    def test_header_always_included(self, model):
+        assert model.checkpoint_bytes(0.0) == model.header_bytes
+
+    def test_live_fraction_applied(self, model):
+        ws = 4096.0
+        expected = model.header_bytes + model.live_fraction * ws
+        assert model.checkpoint_bytes(ws) == pytest.approx(expected)
+
+
+class TestEnergy:
+    def test_save_uses_write_energy(self, model):
+        ws = 1024.0
+        n_ckpt = model.checkpoint_bytes(ws)
+        assert model.save_energy(ws) == pytest.approx(
+            n_ckpt * FRAM.write_energy_per_byte)
+
+    def test_resume_uses_read_energy(self, model):
+        ws = 1024.0
+        n_ckpt = model.checkpoint_bytes(ws)
+        assert model.resume_energy(ws) == pytest.approx(
+            n_ckpt * FRAM.read_energy_per_byte)
+
+    def test_save_costs_more_than_resume_on_fram(self, model):
+        assert model.save_energy(1024.0) > model.resume_energy(1024.0)
+
+    def test_expected_overhead_matches_eq5_term(self, model):
+        """(1 + r_exc) * N_ckpt * (e_r + e_w)"""
+        ws = 2048.0
+        n_ckpt = model.checkpoint_bytes(ws)
+        expected = (1 + model.exception_rate) * n_ckpt * (
+            FRAM.read_energy_per_byte + FRAM.write_energy_per_byte)
+        assert model.expected_tile_overhead_energy(ws) == pytest.approx(
+            expected)
+
+    def test_higher_exception_rate_higher_overhead(self):
+        calm = CheckpointModel(nvm=FRAM, exception_rate=0.01)
+        stormy = CheckpointModel(nvm=FRAM, exception_rate=0.5)
+        assert (stormy.expected_tile_overhead_energy(1024)
+                > calm.expected_tile_overhead_energy(1024))
+
+    def test_times_positive(self, model):
+        assert model.save_time(1024.0) > 0
+        assert model.resume_time(1024.0) > 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"header_bytes": -1},
+        {"live_fraction": -0.1},
+        {"live_fraction": 1.1},
+        {"exception_rate": -0.5},
+    ])
+    def test_bad_construction(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CheckpointModel(nvm=FRAM, **kwargs)

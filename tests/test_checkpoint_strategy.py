@@ -1,0 +1,139 @@
+"""Tests for the eager-vs-JIT checkpoint strategies."""
+
+import pytest
+
+from repro.dataflow.cost_model import DataflowCostModel
+from repro.dataflow.mapping import LayerMapping
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.hardware.accelerators import tpu_like
+from repro.hardware.checkpoint import CheckpointModel, CheckpointStrategy
+from repro.hardware.memory import FRAM
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.sim.intermittent import InferenceController
+from repro.units import uF
+from repro.workloads import zoo
+from repro.workloads.layers import Conv2D
+
+
+def models():
+    eager = CheckpointModel(nvm=FRAM, strategy=CheckpointStrategy.EAGER)
+    jit = CheckpointModel(nvm=FRAM, strategy=CheckpointStrategy.JIT)
+    return eager, jit
+
+
+class TestCostModel:
+    def test_jit_cheaper_expected_overhead_at_low_r_exc(self):
+        eager, jit = models()
+        ws = 2048.0
+        assert (jit.expected_tile_overhead_energy(ws)
+                < eager.expected_tile_overhead_energy(ws))
+
+    def test_jit_more_expensive_per_round(self):
+        """A JIT save writes the whole live set, not the boundary
+        residue — each individual round costs more."""
+        _, jit = models()
+        ws = 2048.0
+        jit_round = jit.expected_tile_overhead_energy(ws) / jit.exception_rate
+        eager = CheckpointModel(nvm=FRAM)
+        eager_round = (eager.save_energy(ws) + eager.resume_energy(ws))
+        assert jit_round > eager_round
+
+    def test_strategies_converge_at_high_exception_rates(self):
+        """With failures every tile, JIT's advantage erodes."""
+        ws = 4096.0
+        eager = CheckpointModel(nvm=FRAM, exception_rate=2.0)
+        jit = CheckpointModel(nvm=FRAM, exception_rate=2.0,
+                              strategy=CheckpointStrategy.JIT)
+        ratio = (jit.expected_tile_overhead_energy(ws)
+                 / eager.expected_tile_overhead_energy(ws))
+        assert ratio > 0.5
+
+
+class TestStepSemantics:
+    @pytest.fixture
+    def plan_pair(self):
+        conv = Conv2D("c", in_channels=4, out_channels=8, in_height=8,
+                      in_width=8, kernel=3, padding=1)
+        hw = tpu_like(n_pes=8)
+        mapping = LayerMapping.default(conv, n_tiles=4)
+        eager, jit = models()
+        plan_eager = [DataflowCostModel(hw, eager).layer_cost(conv, mapping)]
+        plan_jit = [DataflowCostModel(hw, jit).layer_cost(conv, mapping)]
+        return (InferenceController(plan=plan_eager, checkpoint=eager),
+                InferenceController(plan=plan_jit, checkpoint=jit))
+
+    def test_jit_preserves_progress_on_failure(self, plan_pair):
+        _, jit_controller = plan_pair
+        demand = jit_controller.tile_energy_demand()
+        jit_controller.deliver(demand / 2)
+        lost = jit_controller.power_failure()
+        assert lost is False
+        assert jit_controller.tile_energy_demand() == pytest.approx(
+            demand / 2)
+        assert jit_controller.exceptions == 1
+        assert jit_controller.breakdown.checkpoint > 0.0
+
+    def test_eager_loses_progress_on_failure(self, plan_pair):
+        eager_controller, _ = plan_pair
+        demand = eager_controller.tile_energy_demand()
+        eager_controller.deliver(demand / 2)
+        assert eager_controller.power_failure() is True
+        assert eager_controller.tile_energy_demand() == pytest.approx(demand)
+
+    def test_jit_never_plans_boundary_checkpoints(self, plan_pair):
+        _, jit_controller = plan_pair
+        assert jit_controller.checkpoint_round_energy() == 0.0
+        per_tile = jit_controller.plan[0].tile.energy_without_checkpoint
+        jit_controller.deliver(per_tile * 4 + 1e-12)
+        assert jit_controller.planned_checkpoints == 0
+
+
+class TestEndToEnd:
+    def test_jit_at_least_as_fast_in_calm_conditions(self):
+        network = zoo.cifar10_cnn()
+        design = AuTDesign.with_default_mappings(
+            EnergyDesign(panel_area_cm2=8.0, capacitance_f=uF(2200)),
+            InferenceDesign.msp430(), network, n_tiles=4)
+        env = LightEnvironment.brighter()
+        eager, jit = models()
+        lat_eager = ChrysalisEvaluator(network, checkpoint=eager).evaluate(
+            design, env).sustained_period
+        lat_jit = ChrysalisEvaluator(network, checkpoint=jit).evaluate(
+            design, env).sustained_period
+        assert lat_jit <= lat_eager * 1.0001
+
+    def test_step_simulation_completes_under_jit(self):
+        network = zoo.har_cnn()
+        design = AuTDesign.with_default_mappings(
+            EnergyDesign(panel_area_cm2=3.0, capacitance_f=uF(470)),
+            InferenceDesign.msp430(), network, n_tiles=4)
+        _, jit = models()
+        evaluator = ChrysalisEvaluator(network, checkpoint=jit)
+        result = evaluator.simulate(design, LightEnvironment.darker())
+        assert result.metrics.feasible
+        assert result.inference.finished
+
+    def test_jit_completes_tiles_larger_than_one_cycle(self):
+        """The defining capability of JIT: a tile whose energy exceeds a
+        full cycle still completes (progress survives failures), where
+        the eager strategy is correctly reported infeasible (Eq. 8)."""
+        network = zoo.cifar10_cnn()
+        # Single-tile layers on a small capacitor in the dark: tiles far
+        # exceed the ~0.4 mJ cycle.
+        design = AuTDesign.with_default_mappings(
+            EnergyDesign(panel_area_cm2=3.0, capacitance_f=uF(220)),
+            InferenceDesign.msp430(), network, n_tiles=1)
+        env = LightEnvironment.darker()
+        eager, jit = models()
+
+        eager_result = ChrysalisEvaluator(network,
+                                          checkpoint=eager).simulate(
+            design, env)
+        assert not eager_result.metrics.feasible
+
+        jit_result = ChrysalisEvaluator(network, checkpoint=jit).simulate(
+            design, env)
+        assert jit_result.metrics.feasible
+        assert jit_result.inference.finished
+        assert jit_result.metrics.exceptions > 0

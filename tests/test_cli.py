@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorkloads:
+    def test_lists_all_eight(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("simple_conv", "cifar10", "har", "kws",
+                     "alexnet", "vgg16", "resnet18", "bert"):
+            assert name in out
+
+
+class TestSearch:
+    def test_search_prints_solution(self, capsys):
+        code = main(["search", "har", "--population", "6",
+                     "--generations", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solar panel" in out
+        assert "capacitor" in out
+
+    def test_lat_objective_requires_cap(self, capsys):
+        code = main(["search", "har", "--objective", "lat",
+                     "--population", "4", "--generations", "2"])
+        assert code == 2
+        assert "sp-cap" in capsys.readouterr().err
+
+    def test_lat_objective_with_cap(self, capsys):
+        code = main(["search", "har", "--objective", "lat",
+                     "--sp-cap", "6", "--population", "6",
+                     "--generations", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solar panel" in out
+
+    def test_unknown_workload_errors(self, capsys):
+        code = main(["search", "lenet-9000"])
+        assert code == 2
+        assert "available" in capsys.readouterr().err
+
+
+class TestDescribe:
+    def test_describe_sections(self, capsys):
+        code = main(["describe", "har", "--panel", "8", "--cap", "470"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Energy subsystem describer" in out
+        assert "Mapping describer" in out
+
+    def test_describe_accelerator(self, capsys):
+        code = main(["describe", "cifar10", "--arch", "tpu",
+                     "--pes", "32", "--cache", "256"])
+        assert code == 0
+        assert "tpu" in capsys.readouterr().out
+
+    def test_loop_nests_flag(self, capsys):
+        code = main(["describe", "har", "--loop-nests"])
+        assert code == 0
+        assert "MAC(...)" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate_prints_metrics_and_trace(self, capsys):
+        code = main(["simulate", "har", "--panel", "8", "--cap", "470"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "e2e latency" in out
+        assert "power cycles" in out
+        assert "tile_" in out  # trace events
+
+    def test_simulate_darker_environment(self, capsys):
+        code = main(["simulate", "kws", "--environment", "darker"])
+        assert code == 0
+        assert "sustained period" in capsys.readouterr().out
+
+    def test_infeasible_design_reports_error(self, capsys):
+        code = main(["simulate", "cifar10", "--panel", "1",
+                     "--cap", "1", "--environment", "indoor"])
+        assert code in (1, 2)
+
+
+class TestSerializationFlow:
+    def test_search_writes_and_simulate_reloads(self, tmp_path, capsys):
+        design_path = tmp_path / "design.json"
+        solution_path = tmp_path / "solution.json"
+        code = main(["search", "har", "--population", "6",
+                     "--generations", "3",
+                     "--output", str(solution_path),
+                     "--design-output", str(design_path)])
+        assert code == 0
+        assert design_path.exists() and solution_path.exists()
+        capsys.readouterr()
+
+        code = main(["simulate", "har", "--design", str(design_path)])
+        assert code == 0
+        assert "e2e latency" in capsys.readouterr().out
+
+    def test_design_for_wrong_workload_rejected(self, tmp_path, capsys):
+        design_path = tmp_path / "design.json"
+        main(["search", "har", "--population", "6", "--generations", "3",
+              "--design-output", str(design_path)])
+        capsys.readouterr()
+        code = main(["simulate", "cifar10", "--design", str(design_path)])
+        assert code == 2
+        assert "mappings" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

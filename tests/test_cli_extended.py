@@ -1,0 +1,50 @@
+"""Extended CLI coverage: sp objective, describe --design, future setup."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSearchVariants:
+    def test_sp_objective(self, capsys):
+        code = main(["search", "har", "--objective", "sp",
+                     "--lat-cap", "5", "--population", "6",
+                     "--generations", "3"])
+        assert code == 0
+        assert "solar panel" in capsys.readouterr().out
+
+    def test_sp_objective_requires_cap(self, capsys):
+        code = main(["search", "har", "--objective", "sp",
+                     "--population", "4", "--generations", "2"])
+        assert code == 2
+        assert "lat-cap" in capsys.readouterr().err
+
+    def test_future_setup(self, capsys):
+        code = main(["search", "cifar10", "--setup", "future",
+                     "--population", "6", "--generations", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PEs" in out
+
+
+class TestDescribeWithDesign:
+    def test_describe_reloaded_design(self, tmp_path, capsys):
+        design_path = tmp_path / "design.json"
+        main(["search", "kws", "--population", "6", "--generations", "3",
+              "--design-output", str(design_path)])
+        capsys.readouterr()
+        code = main(["describe", "kws", "--design", str(design_path)])
+        assert code == 0
+        assert "Energy subsystem describer" in capsys.readouterr().out
+
+    def test_missing_design_file_errors(self, capsys):
+        with pytest.raises(FileNotFoundError):
+            main(["describe", "kws", "--design", "/nonexistent/d.json"])
+
+
+class TestWorkloadsListing:
+    def test_extension_workloads_listed(self, capsys):
+        main(["workloads"])
+        out = capsys.readouterr().out
+        assert "mobilenet" in out
+        assert "extension" in out

@@ -1,0 +1,90 @@
+"""Tests for cold-start latency and sustained-throughput metrics."""
+
+import math
+
+import pytest
+
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.sim.analytical import AnalyticalModel
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.sim.metrics import InferenceMetrics
+from repro.units import uF, mF
+from repro.workloads import zoo
+
+
+def make_design(capacitance=uF(470), panel=8.0, n_tiles=2, network=None):
+    net = network or zoo.har_cnn()
+    return net, AuTDesign.with_default_mappings(
+        EnergyDesign(panel_area_cm2=panel, capacitance_f=capacitance),
+        InferenceDesign.msp430(), net, n_tiles=n_tiles)
+
+
+class TestColdStart:
+    def test_cold_start_adds_charge_time(self):
+        net, design = make_design()
+        model = AnalyticalModel(design, net, LightEnvironment.brighter())
+        assert model.cold_start_latency() == pytest.approx(
+            model.cold_start_charge_time()
+            + model.evaluate().e2e_latency)
+
+    def test_bigger_capacitor_longer_cold_start(self):
+        net, small = make_design(capacitance=uF(100))
+        _, large = make_design(capacitance=mF(4.7))
+        env = LightEnvironment.brighter()
+        t_small = AnalyticalModel(small, net, env).cold_start_charge_time()
+        t_large = AnalyticalModel(large, net, env).cold_start_charge_time()
+        assert t_large > 10 * t_small
+
+    def test_cold_start_matches_step_simulation(self):
+        net, design = make_design()
+        env = LightEnvironment.brighter()
+        model = AnalyticalModel(design, net, env)
+        evaluator = ChrysalisEvaluator(net)
+        stepped = evaluator.simulate(design, env, initial_voltage=0.0)
+        assert stepped.metrics.e2e_latency == pytest.approx(
+            model.cold_start_latency(), rel=0.35)
+
+    def test_infeasible_cold_start_is_inf(self):
+        net, design = make_design(capacitance=mF(10), panel=1.0)
+        model = AnalyticalModel(design, net, LightEnvironment.indoor())
+        assert math.isinf(model.cold_start_latency())
+
+
+class TestSustained:
+    def test_sustained_at_least_e2e(self):
+        net, design = make_design()
+        evaluator = ChrysalisEvaluator(net)
+        for env in LightEnvironment.paper_environments():
+            metrics = evaluator.evaluate(design, env)
+            assert metrics.sustained_period >= metrics.e2e_latency - 1e-12
+
+    def test_sustained_throughput_inverse(self):
+        metrics = InferenceMetrics(e2e_latency=1.0, busy_time=1.0,
+                                   charge_time=0.0, sustained_period=4.0)
+        assert metrics.sustained_throughput == pytest.approx(0.25)
+
+    def test_sustained_throughput_falls_back_to_e2e(self):
+        metrics = InferenceMetrics(e2e_latency=2.0, busy_time=2.0,
+                                   charge_time=0.0)
+        assert metrics.sustained_throughput == pytest.approx(0.5)
+
+    def test_infeasible_throughput_zero(self):
+        assert InferenceMetrics.infeasible("x").sustained_throughput == 0.0
+
+    def test_step_sustained_includes_refill(self):
+        net, design = make_design(panel=2.0, n_tiles=4)
+        evaluator = ChrysalisEvaluator(net)
+        result = evaluator.simulate(design, LightEnvironment.darker())
+        metrics = result.metrics
+        assert metrics.feasible
+        assert metrics.sustained_period >= metrics.e2e_latency
+
+    def test_sustained_agreement_between_paths(self):
+        net, design = make_design(panel=4.0, n_tiles=4)
+        env = LightEnvironment.darker()
+        evaluator = ChrysalisEvaluator(net)
+        analytical = evaluator.evaluate(design, env)
+        stepped = evaluator.simulate(design, env).metrics
+        assert stepped.sustained_period == pytest.approx(
+            analytical.sustained_period, rel=0.35)

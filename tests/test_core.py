@@ -1,0 +1,105 @@
+"""Tests for the top-level Chrysalis API, solutions, and scenarios."""
+
+import pytest
+
+from repro import SCENARIOS, Chrysalis, Objective, Scenario, zoo
+from repro.core.describer import describe_design
+from repro.core.result import AuTSolution
+from repro.energy.environment import LightEnvironment
+from repro.errors import ConfigurationError
+from repro.explore.ga import GAConfig
+
+FAST_GA = GAConfig(population_size=8, generations=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def solution():
+    tool = Chrysalis(zoo.har_cnn(), setup="existing",
+                     objective=Objective.lat_sp(), ga_config=FAST_GA)
+    return tool.generate()
+
+
+class TestChrysalisFrontDoor:
+    def test_generate_returns_solution(self, solution):
+        assert isinstance(solution, AuTSolution)
+        assert solution.average_metrics.feasible
+
+    def test_table_ii_outputs_exposed(self, solution):
+        assert solution.capacitor_size_f > 0
+        assert 1.0 <= solution.solar_panel_cm2 <= 30.0
+        assert solution.n_pes == 1  # MSP430 setup
+        assert solution.vm_per_pe_bytes > 0
+
+    def test_layer_plan_covers_network(self, solution):
+        assert len(solution.layer_plan) == len(zoo.har_cnn())
+        for row in solution.layer_plan:
+            assert row.dataflow in ("ws", "os", "is")
+            assert row.n_tiles >= 1
+
+    def test_report_renders(self, solution):
+        text = solution.report()
+        assert "solar panel" in text
+        assert "capacitor" in text
+        for row in solution.layer_plan:
+            assert row.layer in text
+
+    def test_default_objective_is_lat_sp(self):
+        tool = Chrysalis(zoo.har_cnn())
+        assert tool.objective.kind.value == "lat*sp"
+
+    def test_bad_setup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Chrysalis(zoo.har_cnn(), setup="imaginary")
+
+    def test_scenario_supplies_objective_and_envs(self):
+        scenario = SCENARIOS["wearable"]
+        tool = Chrysalis(zoo.har_cnn(), scenario=scenario)
+        assert tool.objective.kind.value == "lat"
+        assert tool.environments == scenario.environments
+
+    def test_pareto_front_api(self):
+        tool = Chrysalis(zoo.har_cnn(), setup="existing",
+                         ga_config=GAConfig(population_size=8,
+                                            generations=4, seed=1))
+        front = tool.pareto()
+        assert len(front) >= 2
+        panels = [p.values[0] for p in front]
+        assert panels == sorted(panels)
+        for point in front:
+            assert point.payload is not None
+            point.payload.validate_against(zoo.har_cnn())
+
+
+class TestScenarios:
+    def test_presets_cover_paper_domains(self):
+        assert set(SCENARIOS) >= {"wearable", "volcano-monitor", "uav",
+                                  "smart-city", "space-probe"}
+
+    def test_objective_from_constraints(self):
+        assert SCENARIOS["wearable"].objective().kind.value == "lat"
+        assert SCENARIOS["volcano-monitor"].objective().kind.value == "sp"
+
+    def test_satisfied_by(self):
+        uav = SCENARIOS["uav"]
+        assert uav.satisfied_by(panel_cm2=10.0, latency_s=5.0)
+        assert not uav.satisfied_by(panel_cm2=13.0, latency_s=5.0)
+        assert not uav.satisfied_by(panel_cm2=10.0, latency_s=11.0)
+
+    def test_unconstrained_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", description="", environments=(
+                LightEnvironment.brighter(),))
+
+
+class TestDescriber:
+    def test_describe_design_sections(self, solution):
+        text = describe_design(solution.design, zoo.har_cnn())
+        assert "Energy subsystem describer" in text
+        assert "Inference subsystem describer" in text
+        assert "Mapping describer" in text
+        assert "SpatialMap" in text
+
+    def test_loop_nests_optional(self, solution):
+        text = describe_design(solution.design, zoo.har_cnn(),
+                               loop_nests=True)
+        assert "MAC(...)" in text

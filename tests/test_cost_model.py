@@ -1,0 +1,160 @@
+"""Tests for the MAESTRO-lite analytical dataflow cost model."""
+
+import pytest
+
+from repro.dataflow.cost_model import DataflowCostModel
+from repro.dataflow.directives import DataflowStyle
+from repro.dataflow.mapping import LayerMapping
+from repro.hardware.accelerators import eyeriss_like, tpu_like
+from repro.hardware.checkpoint import CheckpointModel
+from repro.hardware.msp430 import MSP430Platform
+from repro.workloads.layers import Conv2D, Dense
+
+
+@pytest.fixture
+def conv():
+    return Conv2D("c", in_channels=16, out_channels=32, in_height=16,
+                  in_width=16, kernel=3, padding=1)
+
+
+@pytest.fixture
+def fc():
+    return Dense("fc", in_features=1024, out_features=256)
+
+
+def model_for(hardware):
+    return DataflowCostModel(hardware, CheckpointModel(
+        nvm=hardware.nvm.technology))
+
+
+def ws(n_tiles=1, tile_dim="Y", spatial_dim="K"):
+    return LayerMapping(style=DataflowStyle.WEIGHT_STATIONARY,
+                        n_tiles=n_tiles, tile_dim=tile_dim,
+                        spatial_dim=spatial_dim)
+
+
+class TestBasicAccounting:
+    def test_macs_conserved_across_tiling(self, conv):
+        model = model_for(tpu_like())
+        whole = model.layer_cost(conv, ws(n_tiles=1))
+        split = model.layer_cost(conv, ws(n_tiles=4))
+        assert whole.macs == conv.macs
+        # Tiled total covers at least the layer (ceil rounding may add).
+        assert split.macs >= conv.macs
+
+    def test_energy_positive_components(self, conv):
+        cost = model_for(tpu_like()).layer_cost(conv, ws(n_tiles=2))
+        tile = cost.tile
+        assert tile.compute_energy > 0
+        assert tile.vm_energy > 0
+        assert tile.nvm_energy > 0
+        assert tile.static_energy > 0
+        assert tile.checkpoint_energy > 0
+
+    def test_single_tile_no_checkpoint(self, conv):
+        cost = model_for(tpu_like()).layer_cost(conv, ws(n_tiles=1))
+        assert cost.tile.checkpoint_energy == 0.0
+        assert cost.tile.checkpoint_bytes == 0.0
+
+    def test_layer_cost_scales_tiles(self, conv):
+        cost = model_for(tpu_like()).layer_cost(conv, ws(n_tiles=4))
+        assert cost.energy == pytest.approx(cost.n_tiles * cost.tile.energy)
+
+    def test_oversplit_clamped(self, conv):
+        # Y = 16; requesting 1000 tiles must clamp, not crash.
+        cost = model_for(tpu_like()).layer_cost(conv, ws(n_tiles=1000))
+        assert cost.n_tiles == 16
+
+
+class TestTilingTradeoffs:
+    def test_more_tiles_more_total_checkpoint_energy(self, conv):
+        model = model_for(tpu_like())
+        few = model.layer_cost(conv, ws(n_tiles=2))
+        many = model.layer_cost(conv, ws(n_tiles=8))
+        assert many.checkpoint_energy > few.checkpoint_energy
+
+    def test_more_tiles_smaller_tile_energy(self, conv):
+        model = model_for(tpu_like())
+        few = model.layer_cost(conv, ws(n_tiles=2))
+        many = model.layer_cost(conv, ws(n_tiles=8))
+        assert many.tile.energy < few.tile.energy
+
+    def test_total_energy_grows_with_tiling(self, conv):
+        """The Eq. 5 tradeoff: N_tile up -> E_all up (ckpt + halo refetch)."""
+        model = model_for(tpu_like())
+        energies = [model.layer_cost(conv, ws(n_tiles=n)).energy
+                    for n in (1, 2, 4, 8, 16)]
+        assert energies == sorted(energies)
+
+
+class TestHardwareKnobs:
+    def test_more_pes_less_compute_time(self, conv):
+        small = model_for(tpu_like(n_pes=4)).layer_cost(conv, ws())
+        large = model_for(tpu_like(n_pes=32)).layer_cost(conv, ws())
+        assert large.tile.compute_time < small.tile.compute_time
+
+    def test_pes_beyond_spatial_extent_idle(self, conv):
+        # K=32 spatial extent: 64 PEs cannot all be used.
+        cost = model_for(tpu_like(n_pes=64)).layer_cost(conv, ws())
+        assert cost.tile.active_pes == 32
+
+    def test_bigger_cache_not_worse(self, conv):
+        small = model_for(tpu_like(cache_bytes_per_pe=128)).layer_cost(
+            conv, ws())
+        large = model_for(tpu_like(cache_bytes_per_pe=2048)).layer_cost(
+            conv, ws())
+        assert large.tile.vm_energy <= small.tile.vm_energy + 1e-15
+
+    def test_single_pe_time_matches_eq6(self, conv):
+        hw = tpu_like(n_pes=8)
+        model = model_for(hw)
+        t_df = model.single_pe_time(conv)
+        assert t_df == pytest.approx(
+            conv.macs / hw.pes.macs_per_second_per_pe
+        )
+
+
+class TestDataflowStyles:
+    def test_styles_price_differently(self, fc):
+        model = model_for(eyeriss_like())
+        costs = {}
+        for style in DataflowStyle:
+            mapping = LayerMapping(style=style, n_tiles=1, tile_dim="K",
+                                   spatial_dim="C")
+            costs[style] = model.layer_cost(fc, mapping).energy
+        assert len(set(costs.values())) > 1
+
+    def test_tpu_penalises_non_native_styles(self, conv):
+        model = model_for(tpu_like())
+        ws_cost = model.layer_cost(conv, LayerMapping(
+            style=DataflowStyle.WEIGHT_STATIONARY, n_tiles=1,
+            tile_dim="Y", spatial_dim="K")).tile.vm_energy
+        os_cost = model.layer_cost(conv, LayerMapping(
+            style=DataflowStyle.OUTPUT_STATIONARY, n_tiles=1,
+            tile_dim="Y", spatial_dim="K")).tile.vm_energy
+        # For this layer weights are the smallest operand, so WS keeps
+        # traffic low and the TPU's OS penalty makes it worse still.
+        assert os_cost > ws_cost
+
+
+class TestMSP430Path:
+    def test_serialised_io(self, conv):
+        hw = MSP430Platform().as_accelerator()
+        cost = model_for(hw).layer_cost(conv, ws(n_tiles=4))
+        tile = cost.tile
+        assert tile.latency == pytest.approx(
+            tile.compute_time + tile.io_time
+        )
+
+    def test_accelerator_overlaps_io(self, conv):
+        cost = model_for(tpu_like()).layer_cost(conv, ws(n_tiles=4))
+        tile = cost.tile
+        assert tile.latency == pytest.approx(
+            max(tile.compute_time, tile.io_time)
+        )
+
+    def test_msp430_is_orders_slower_than_accelerator(self, conv):
+        msp = model_for(MSP430Platform().as_accelerator()).layer_cost(
+            conv, ws())
+        tpu = model_for(tpu_like(n_pes=64)).layer_cost(conv, ws())
+        assert msp.busy_time > 100 * tpu.busy_time

@@ -1,0 +1,92 @@
+"""Tests for data-centric mapping directives."""
+
+import pytest
+
+from repro.dataflow.directives import (
+    DataflowStyle,
+    InterTempMap,
+    MappingDirectives,
+    SpatialMap,
+    TemporalMap,
+)
+from repro.errors import MappingError
+
+
+class TestDataflowStyle:
+    def test_from_string(self):
+        assert DataflowStyle.from_string("ws") is DataflowStyle.WEIGHT_STATIONARY
+        assert DataflowStyle.from_string("OS") is DataflowStyle.OUTPUT_STATIONARY
+        assert DataflowStyle.from_string("is") is DataflowStyle.INPUT_STATIONARY
+
+    def test_unknown_string(self):
+        with pytest.raises(MappingError):
+            DataflowStyle.from_string("rs")
+
+
+class TestDirectives:
+    def test_render_matches_maestro_style(self):
+        assert TemporalMap("K", 4).render() == "TemporalMap(4, 4) K"
+        assert SpatialMap("Y", 2, offset=1).render() == "SpatialMap(2, 1) Y"
+        assert InterTempMap("Y", 8).render() == "InterTempMap(8, 8) Y"
+
+    def test_default_offset_equals_size(self):
+        assert TemporalMap("K", 4).step == 4
+
+    def test_unknown_dimension(self):
+        with pytest.raises(MappingError):
+            TemporalMap("Z", 1)
+
+    @pytest.mark.parametrize("size", [0, -1])
+    def test_bad_size(self, size):
+        with pytest.raises(MappingError):
+            TemporalMap("K", size)
+
+
+class TestMappingDirectives:
+    def test_valid_ordering(self):
+        mapping = MappingDirectives((
+            InterTempMap("Y", 8),
+            SpatialMap("K", 4),
+            TemporalMap("C", 1),
+        ))
+        assert mapping.intermittent is not None
+        assert mapping.spatial is not None
+        assert len(mapping) == 3
+
+    def test_intermittent_must_be_outermost(self):
+        with pytest.raises(MappingError, match="outermost"):
+            MappingDirectives((SpatialMap("K", 4), InterTempMap("Y", 8)))
+
+    def test_multidimensional_cpkt_tile_allowed(self):
+        mapping = MappingDirectives((
+            InterTempMap("Y", 8), InterTempMap("K", 2), SpatialMap("C", 4),
+        ))
+        assert mapping.intermittent is not None
+
+    def test_interleaved_intermittent_rejected(self):
+        with pytest.raises(MappingError, match="outermost"):
+            MappingDirectives((
+                InterTempMap("Y", 8), SpatialMap("C", 4),
+                InterTempMap("K", 2),
+            ))
+
+    def test_at_most_one_spatial(self):
+        with pytest.raises(MappingError):
+            MappingDirectives((SpatialMap("K", 4), SpatialMap("Y", 2)))
+
+    def test_dimension_mapped_once(self):
+        with pytest.raises(MappingError, match="more than once"):
+            MappingDirectives((TemporalMap("K", 4), SpatialMap("K", 2)))
+
+    def test_render_multiline(self):
+        mapping = MappingDirectives((
+            InterTempMap("Y", 8),
+            SpatialMap("K", 4),
+        ))
+        lines = mapping.render().splitlines()
+        assert lines[0].startswith("InterTempMap")
+        assert lines[1].startswith("SpatialMap")
+
+    def test_no_intermittent_is_fine(self):
+        mapping = MappingDirectives((SpatialMap("K", 4),))
+        assert mapping.intermittent is None

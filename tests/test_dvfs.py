@@ -1,0 +1,105 @@
+"""Tests for the DVFS (clock/voltage scaling) extension knob."""
+
+import pytest
+
+from repro.dataflow.cost_model import DataflowCostModel
+from repro.dataflow.mapping import LayerMapping
+from repro.design import InferenceDesign
+from repro.errors import ConfigurationError
+from repro.explore.space import DesignSpace
+from repro.hardware.accelerators import AcceleratorFamily, tpu_like
+from repro.hardware.checkpoint import CheckpointModel
+from repro.workloads.layers import Conv2D
+
+
+@pytest.fixture
+def conv():
+    return Conv2D("c", in_channels=16, out_channels=32, in_height=16,
+                  in_width=16, kernel=3, padding=1)
+
+
+class TestScalingLaw:
+    def test_nominal_is_identity(self):
+        assert tpu_like(clock_scale=1.0).pes.mac_energy == \
+            tpu_like().pes.mac_energy
+
+    def test_clock_scales_linearly(self):
+        half = tpu_like(clock_scale=0.5)
+        full = tpu_like(clock_scale=1.0)
+        assert half.pes.clock_hz == pytest.approx(0.5 * full.pes.clock_hz)
+
+    def test_energy_scales_quadratically(self):
+        half = tpu_like(clock_scale=0.5)
+        full = tpu_like(clock_scale=1.0)
+        assert half.pes.mac_energy == pytest.approx(
+            0.25 * full.pes.mac_energy)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tpu_like(clock_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            InferenceDesign(family=AcceleratorFamily.TPU, clock_scale=-1.0)
+
+
+class TestCostTradeoff:
+    def cost(self, conv, scale):
+        hw = tpu_like(n_pes=32, clock_scale=scale)
+        model = DataflowCostModel(hw, CheckpointModel(nvm=hw.nvm.technology))
+        return model.layer_cost(conv, LayerMapping.default(conv))
+
+    def test_underclocking_saves_compute_energy(self, conv):
+        slow = self.cost(conv, 0.5)
+        fast = self.cost(conv, 1.0)
+        assert slow.tile.compute_energy < fast.tile.compute_energy
+
+    def test_underclocking_costs_time(self, conv):
+        slow = self.cost(conv, 0.5)
+        fast = self.cost(conv, 1.0)
+        assert slow.tile.compute_time > fast.tile.compute_time
+
+    def test_overclocking_inverts_both(self, conv):
+        turbo = self.cost(conv, 2.0)
+        fast = self.cost(conv, 1.0)
+        assert turbo.tile.compute_time <= fast.tile.compute_time
+        assert turbo.tile.compute_energy > fast.tile.compute_energy
+
+
+class TestSpaceIntegration:
+    def test_dvfs_gene_optional(self):
+        plain = DesignSpace.future_aut()
+        dvfs = DesignSpace.future_aut(dvfs=True)
+        assert "clock_scale" not in plain.names
+        assert "clock_scale" in dvfs.names
+
+    def test_lowering_carries_clock_scale(self):
+        import random
+        from repro.dataflow.mapping import LayerMapping as LM
+        from repro.workloads import zoo
+        space = DesignSpace.future_aut(dvfs=True)
+        genome = dict(space.sample(random.Random(0)))
+        genome["family"] = AcceleratorFamily.TPU
+        genome["clock_scale"] = 0.7
+        net = zoo.har_cnn()
+        design = space.to_design(genome, tuple(LM.default(l) for l in net))
+        assert design.inference.clock_scale == 0.7
+        assert design.inference.build().pes.clock_hz == pytest.approx(
+            0.7 * 200e6)
+
+    def test_seeds_include_nominal_clock(self):
+        space = DesignSpace.future_aut(dvfs=True)
+        literature = space.seed_genomes()[1]
+        assert literature["clock_scale"] == 1.0
+
+    def test_serialization_round_trip(self):
+        from repro.serialize import design_from_dict, design_to_dict
+        from repro.design import AuTDesign, EnergyDesign
+        from repro.workloads import zoo
+        from repro.units import uF
+        net = zoo.har_cnn()
+        design = AuTDesign.with_default_mappings(
+            EnergyDesign(panel_area_cm2=5.0, capacitance_f=uF(100)),
+            InferenceDesign(family=AcceleratorFamily.EYERISS, n_pes=16,
+                            cache_bytes_per_pe=256, clock_scale=0.5),
+            net)
+        clone = design_from_dict(design_to_dict(design))
+        assert clone.inference.clock_scale == 0.5

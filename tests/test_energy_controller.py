@@ -1,0 +1,144 @@
+"""Tests for the intermittent-power energy controller."""
+
+import math
+
+import pytest
+
+from repro.energy.capacitor import Capacitor
+from repro.energy.controller import EnergyController, PowerState
+from repro.energy.environment import LightEnvironment
+from repro.energy.harvester import SolarHarvester
+from repro.energy.pmic import PowerManagementIC
+from repro.energy.solar_panel import SolarPanel
+from repro.errors import ConfigurationError
+from repro.units import uF
+
+
+def make_controller(area_cm2=8.0, capacitance=uF(470), voltage=0.0,
+                    environment=None, k_cap=1.2e-3):
+    env = environment or LightEnvironment.brighter()
+    return EnergyController(
+        harvester=SolarHarvester(SolarPanel(area_cm2=area_cm2), env),
+        capacitor=Capacitor(capacitance=capacitance, rated_voltage=5.0,
+                            k_cap=k_cap, voltage=voltage),
+        pmic=PowerManagementIC(),
+    )
+
+
+class TestStateMachine:
+    def test_starts_off_when_empty(self):
+        assert make_controller().state is PowerState.OFF
+
+    def test_starts_on_when_charged(self):
+        assert make_controller(voltage=3.5).state is PowerState.ON
+
+    def test_charges_to_on(self):
+        controller = make_controller()
+        wait = controller.fast_forward_to_on()
+        assert controller.state is PowerState.ON
+        assert wait > 0.0
+        assert controller.voltage == pytest.approx(controller.pmic.v_on,
+                                                   rel=1e-6)
+
+    def test_power_cycle_counted(self):
+        controller = make_controller()
+        controller.fast_forward_to_on()
+        assert controller.accounting.power_cycles == 1
+
+    def test_load_drains_to_off(self):
+        controller = make_controller(area_cm2=1.0, voltage=3.0)
+        # Load far above harvest: must eventually cut off.
+        for _ in range(10000):
+            if controller.step(0.01, load_power=50e-3) is PowerState.OFF:
+                break
+        assert controller.state is PowerState.OFF
+        # The rail cut exactly at U_off; the step remainder may have
+        # recharged slightly, but never back up to U_on.
+        assert controller.voltage < controller.pmic.v_on
+
+    def test_hysteresis_keeps_rail_on_between_thresholds(self):
+        controller = make_controller(voltage=2.6)
+        # 2.6 V is below v_on: from cold start the rail must be off.
+        assert controller.state is PowerState.OFF
+
+    def test_fast_forward_noop_when_on(self):
+        controller = make_controller(voltage=3.5)
+        assert controller.fast_forward_to_on() == 0.0
+
+    def test_fast_forward_infeasible_reports_inf(self):
+        # Monster capacitor + huge leakage: equilibrium below v_on.
+        controller = make_controller(area_cm2=1.0, capacitance=10e-3,
+                                     k_cap=1.0)
+        assert math.isinf(controller.fast_forward_to_on())
+        assert controller.state is PowerState.OFF
+
+
+class TestAccounting:
+    def test_harvested_energy_accumulates(self):
+        controller = make_controller()
+        controller.step(1.0)
+        p = controller.harvester.power_at(0.0)
+        assert controller.accounting.harvested == pytest.approx(p)
+
+    def test_conversion_loss_positive(self):
+        controller = make_controller(voltage=3.5)
+        controller.step(1.0, load_power=1e-3)
+        assert controller.accounting.conversion_loss > 0.0
+
+    def test_delivered_only_while_on(self):
+        controller = make_controller()  # starts OFF
+        controller.step(1.0, load_power=5e-3)
+        assert controller.accounting.delivered == 0.0
+
+    def test_leakage_tracked(self):
+        controller = make_controller(capacitance=10e-3, voltage=3.0)
+        controller.step(10.0)
+        assert controller.accounting.leaked > 0.0
+
+    def test_available_cycle_energy(self):
+        controller = make_controller(voltage=3.0)
+        expected = (0.5 * uF(470) * (3.0**2 - 2.2**2)
+                    * controller.pmic.buck_efficiency)
+        assert controller.available_cycle_energy() == pytest.approx(expected)
+
+    def test_available_cycle_energy_zero_when_off(self):
+        assert make_controller().available_cycle_energy() == 0.0
+
+
+class TestValidation:
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_controller().step(-1.0)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_controller().step(1.0, load_power=-1.0)
+
+    def test_pmic_threshold_above_rating_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyController(
+                harvester=SolarHarvester(SolarPanel(area_cm2=1.0),
+                                         LightEnvironment.brighter()),
+                capacitor=Capacitor(capacitance=uF(100), rated_voltage=2.0),
+                pmic=PowerManagementIC(v_on=3.0, v_off=2.2),
+            )
+
+
+class TestEnergyConservation:
+    def test_energy_balance_closes(self):
+        """stored-in + harvested == delivered + losses + still-stored."""
+        controller = make_controller(voltage=3.5)
+        initial = controller.capacitor.stored_energy()
+        for _ in range(200):
+            controller.step(0.05, load_power=2e-3)
+        acct = controller.accounting
+        final = controller.capacitor.stored_energy()
+        lhs = initial + acct.harvested
+        rhs = (final + acct.delivered + acct.leaked + acct.conversion_loss
+               + acct.curtailed)
+        assert lhs == pytest.approx(rhs, rel=0.02)
+
+    def test_no_curtailment_below_rated_voltage(self):
+        controller = make_controller(area_cm2=2.0, voltage=2.5)
+        controller.step(0.5, load_power=2e-3)
+        assert controller.accounting.curtailed == pytest.approx(0.0, abs=1e-9)

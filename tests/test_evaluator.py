@@ -1,0 +1,118 @@
+"""Tests for the CHRYSALIS Evaluator facade."""
+
+import pytest
+
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.errors import ConfigurationError
+from repro.sim.evaluator import ChrysalisEvaluator, EvaluationMode
+from repro.units import uF
+from repro.workloads import zoo
+
+
+@pytest.fixture
+def network():
+    return zoo.har_cnn()
+
+
+@pytest.fixture
+def design(network):
+    return AuTDesign.with_default_mappings(
+        EnergyDesign(panel_area_cm2=8.0, capacitance_f=uF(470)),
+        InferenceDesign.msp430(), network, n_tiles=2)
+
+
+class TestModes:
+    def test_analytical_mode_default(self, network, design):
+        evaluator = ChrysalisEvaluator(network)
+        metrics = evaluator.evaluate(design, LightEnvironment.brighter())
+        assert metrics.feasible
+
+    def test_step_mode(self, network, design):
+        evaluator = ChrysalisEvaluator(network, mode=EvaluationMode.STEP)
+        metrics = evaluator.evaluate(design, LightEnvironment.brighter())
+        assert metrics.feasible
+        assert metrics.power_cycles >= 1
+
+    def test_simulate_always_steps(self, network, design):
+        evaluator = ChrysalisEvaluator(network)  # analytical default
+        result = evaluator.simulate(design, LightEnvironment.brighter())
+        assert result.trace is not None
+        assert result.inference.finished
+
+
+class TestTwoEnvironmentProtocol:
+    def test_average_between_extremes(self, network, design):
+        evaluator = ChrysalisEvaluator(network)
+        bright = evaluator.evaluate(design, LightEnvironment.brighter())
+        dark = evaluator.evaluate(design, LightEnvironment.darker())
+        average = evaluator.evaluate_average(design)
+        assert (min(bright.e2e_latency, dark.e2e_latency)
+                <= average.e2e_latency
+                <= max(bright.e2e_latency, dark.e2e_latency))
+
+    def test_average_is_mean(self, network, design):
+        evaluator = ChrysalisEvaluator(network)
+        bright = evaluator.evaluate(design, LightEnvironment.brighter())
+        dark = evaluator.evaluate(design, LightEnvironment.darker())
+        average = evaluator.evaluate_average(design)
+        assert average.e2e_latency == pytest.approx(
+            (bright.e2e_latency + dark.e2e_latency) / 2)
+
+    def test_one_bad_environment_fails_the_design(self, network):
+        """The paper requires designs to run in *both* environments."""
+        fragile = AuTDesign.with_default_mappings(
+            EnergyDesign(panel_area_cm2=1.5, capacitance_f=uF(47)),
+            InferenceDesign.msp430(), zoo.cifar10_cnn(), n_tiles=1)
+        evaluator = ChrysalisEvaluator(zoo.cifar10_cnn())
+        metrics = evaluator.evaluate_average(fragile)
+        assert not metrics.feasible
+
+    def test_custom_environments(self, network, design):
+        evaluator = ChrysalisEvaluator(
+            network, environments=[LightEnvironment.brighter()])
+        single = evaluator.evaluate_average(design)
+        direct = evaluator.evaluate(design, LightEnvironment.brighter())
+        assert single.e2e_latency == pytest.approx(direct.e2e_latency)
+
+    def test_empty_environments_rejected(self, network):
+        with pytest.raises(ConfigurationError):
+            ChrysalisEvaluator(network, environments=[])
+
+
+class TestAnalyticalVsStep:
+    """The two evaluation paths must agree on ordering and magnitude."""
+
+    def test_busy_time_agreement(self, network, design):
+        evaluator = ChrysalisEvaluator(network)
+        env = LightEnvironment.brighter()
+        analytical = evaluator.evaluate(design, env)
+        stepped = evaluator.simulate(design, env).metrics
+        assert stepped.busy_time == pytest.approx(
+            analytical.busy_time, rel=0.15)
+
+    def test_latency_agreement(self, network, design):
+        evaluator = ChrysalisEvaluator(network)
+        env = LightEnvironment.darker()
+        analytical = evaluator.evaluate(design, env)
+        stepped = evaluator.simulate(design, env).metrics
+        assert stepped.e2e_latency == pytest.approx(
+            analytical.e2e_latency, rel=0.35)
+
+    def test_ordering_preserved_across_panel_sizes(self, network):
+        """If the analytical model says A is faster than B, the step
+        simulator must agree — ordering fidelity is what the search
+        relies on."""
+        env = LightEnvironment.darker()
+        evaluator = ChrysalisEvaluator(network)
+        designs = [
+            AuTDesign.with_default_mappings(
+                EnergyDesign(panel_area_cm2=a, capacitance_f=uF(470)),
+                InferenceDesign.msp430(), network, n_tiles=4)
+            for a in (2.0, 6.0, 18.0)
+        ]
+        analytical = [evaluator.evaluate(d, env).e2e_latency for d in designs]
+        stepped = [evaluator.simulate(d, env).metrics.e2e_latency
+                   for d in designs]
+        assert sorted(range(3), key=analytical.__getitem__) == \
+            sorted(range(3), key=stepped.__getitem__)

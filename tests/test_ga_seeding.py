@@ -1,0 +1,110 @@
+"""Tests for design-space seed genomes and GA warm starting."""
+
+import random
+
+import pytest
+
+from repro.explore.ga import GAConfig, GeneticAlgorithm
+from repro.explore.space import DesignSpace, ParameterSpec
+from repro.hardware.accelerators import AcceleratorFamily
+
+
+class TestSeedGenomes:
+    def test_existing_space_seeds_complete(self):
+        space = DesignSpace.existing_aut()
+        for seed in space.seed_genomes():
+            assert set(seed) >= set(space.names)
+            assert seed["family"] is AcceleratorFamily.MSP430
+
+    def test_future_space_literature_anchor(self):
+        space = DesignSpace.future_aut()
+        seeds = space.seed_genomes()
+        literature = seeds[1]
+        assert literature["panel_area_cm2"] == 10.0
+        assert literature["capacitance_f"] == pytest.approx(1e-4)
+        assert literature["n_pes"] == 64
+        assert literature["cache_bytes_per_pe"] == 512
+
+    def test_seeds_respect_bounds(self):
+        space = DesignSpace.future_aut()
+        for seed in space.seed_genomes():
+            for spec in space.parameters:
+                value = seed[spec.name]
+                if spec.kind == "choice":
+                    assert value in spec.choices
+                else:
+                    assert spec.low <= value <= spec.high
+
+    def test_low_energy_corner_has_minimal_panel(self):
+        space = DesignSpace.future_aut()
+        corner = space.seed_genomes()[3]
+        assert corner["panel_area_cm2"] == 1.0
+        # ... but a workable capacitor, not the degenerate 1 uF minimum.
+        assert corner["capacitance_f"] > 1e-5
+
+    def test_restricted_space_seeds_carry_fixed_values(self):
+        space = DesignSpace.future_aut().restricted(n_pes=31)
+        for seed in space.seed_genomes():
+            assert seed["n_pes"] == 31
+
+
+class TestGASeeding:
+    @pytest.fixture
+    def space(self):
+        return DesignSpace(parameters=(
+            ParameterSpec("x", "float", -5.0, 5.0),
+        ))
+
+    def test_seed_evaluated_first(self, space):
+        seen = []
+
+        def fitness(genome):
+            seen.append(genome["x"])
+            return genome["x"] ** 2
+
+        GeneticAlgorithm(space, fitness,
+                         GAConfig(population_size=4, generations=1),
+                         seeds=[{"x": 1.25}]).run()
+        assert seen[0] == 1.25
+
+    def test_perfect_seed_wins(self, space):
+        ga = GeneticAlgorithm(space, lambda g: g["x"] ** 2,
+                              GAConfig(population_size=6, generations=3,
+                                       seed=0),
+                              seeds=[{"x": 0.0}])
+        genome, fitness = ga.run()
+        assert fitness == 0.0
+        assert genome["x"] == 0.0
+
+    def test_excess_seeds_truncated(self, space):
+        seeds = [{"x": float(i)} for i in range(10)]
+        ga = GeneticAlgorithm(space, lambda g: g["x"] ** 2,
+                              GAConfig(population_size=4, generations=1),
+                              seeds=seeds)
+        ga.run()
+        # Only population_size seeds are evaluated in generation 0.
+        assert ga.history.evaluations == 4
+
+    def test_seeds_are_copied_not_shared(self, space):
+        seed = {"x": 2.0}
+        ga = GeneticAlgorithm(space, lambda g: g["x"] ** 2,
+                              GAConfig(population_size=4, generations=3,
+                                       seed=1),
+                              seeds=[seed])
+        ga.run()
+        assert seed == {"x": 2.0}  # mutation never touched the original
+
+
+class TestSeedDeterminism:
+    def test_seed_genomes_stable(self):
+        a = DesignSpace.future_aut().seed_genomes()
+        b = DesignSpace.future_aut().seed_genomes()
+        assert a == b
+
+    def test_sampling_unaffected_by_seed_construction(self):
+        space = DesignSpace.future_aut()
+        rng1, rng2 = random.Random(3), random.Random(3)
+        before = space.sample(rng1)
+        space.seed_genomes()
+        after = space.sample(rng2)
+        assert before == after

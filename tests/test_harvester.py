@@ -1,0 +1,96 @@
+"""Tests for the harvester interface and implementations."""
+
+import pytest
+
+from repro.energy.environment import LightEnvironment
+from repro.energy.harvester import (
+    Harvester,
+    RFHarvester,
+    SolarHarvester,
+    ThermalHarvester,
+)
+from repro.energy.solar_panel import SolarPanel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def solar():
+    return SolarHarvester(panel=SolarPanel(area_cm2=8.0),
+                          environment=LightEnvironment.brighter())
+
+
+class TestInterface:
+    def test_all_implementations_satisfy_protocol(self, solar):
+        implementations = [
+            solar,
+            ThermalHarvester(area_cm2=4.0, delta_t_kelvin=20.0),
+            RFHarvester(distance_m=2.0),
+        ]
+        for harvester in implementations:
+            assert isinstance(harvester, Harvester)
+            assert harvester.footprint_cm2 > 0
+            assert harvester.power_at(0.0) >= 0.0
+
+
+class TestSolarHarvester:
+    def test_constant_power_by_default(self, solar):
+        assert solar.power_at(0.0) == pytest.approx(solar.power_at(1e4))
+
+    def test_power_matches_eq1(self, solar):
+        expected = 8.0 * LightEnvironment.brighter().k_eh
+        assert solar.power_at(0.0) == pytest.approx(expected)
+
+    def test_diurnal_mode_varies_with_time(self):
+        harvester = SolarHarvester(panel=SolarPanel(area_cm2=8.0),
+                                   environment=LightEnvironment.brighter(),
+                                   diurnal=True)
+        noon = harvester.power_at(12 * 3600.0)
+        night = harvester.power_at(2 * 3600.0)
+        assert noon > 0.0
+        assert night == 0.0
+
+    def test_mppt_efficiency_derates(self):
+        panel = SolarPanel(area_cm2=8.0)
+        env = LightEnvironment.brighter()
+        ideal = SolarHarvester(panel, env)
+        tracked = SolarHarvester.with_tracked_mppt(panel, env)
+        assert 0.85 * ideal.power_at(0.0) < tracked.power_at(0.0)
+        assert tracked.power_at(0.0) <= ideal.power_at(0.0)
+
+    def test_invalid_mppt_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            SolarHarvester(panel=SolarPanel(area_cm2=1.0),
+                           environment=LightEnvironment.brighter(),
+                           mppt_efficiency=0.0)
+
+
+class TestThermalHarvester:
+    def test_quadratic_in_delta_t(self):
+        cold = ThermalHarvester(area_cm2=4.0, delta_t_kelvin=10.0)
+        hot = ThermalHarvester(area_cm2=4.0, delta_t_kelvin=20.0)
+        assert hot.power_at(0.0) == pytest.approx(4.0 * cold.power_at(0.0))
+
+    def test_zero_gradient_zero_power(self):
+        teg = ThermalHarvester(area_cm2=4.0, delta_t_kelvin=0.0)
+        assert teg.power_at(0.0) == 0.0
+
+    def test_volcano_scale_magnitude(self):
+        # Fumarole-grade gradient on a 10 cm^2 module: milliwatt class.
+        teg = ThermalHarvester(area_cm2=10.0, delta_t_kelvin=40.0)
+        assert 1e-3 < teg.power_at(0.0) < 1.0
+
+
+class TestRFHarvester:
+    def test_inverse_square_law(self):
+        near = RFHarvester(distance_m=1.0)
+        far = RFHarvester(distance_m=2.0)
+        assert near.power_at(0.0) == pytest.approx(4.0 * far.power_at(0.0))
+
+    def test_wisp_scale_magnitude(self):
+        # A metre from a 1 W reader: tens to hundreds of microwatts.
+        harvester = RFHarvester(distance_m=1.0)
+        assert 1e-5 < harvester.power_at(0.0) < 1e-2
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RFHarvester(distance_m=0.0)

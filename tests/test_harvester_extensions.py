@@ -1,0 +1,134 @@
+"""Tests for the harvester extension points (composite / fluctuating)."""
+
+import pytest
+
+from repro.dataflow.cost_model import DataflowCostModel
+from repro.dataflow.mapping import LayerMapping
+from repro.energy.capacitor import Capacitor
+from repro.energy.controller import EnergyController
+from repro.energy.environment import LightEnvironment
+from repro.energy.harvester import (
+    CompositeHarvester,
+    FluctuatingHarvester,
+    Harvester,
+    SolarHarvester,
+    ThermalHarvester,
+)
+from repro.energy.pmic import PowerManagementIC
+from repro.energy.solar_panel import SolarPanel
+from repro.errors import ConfigurationError
+from repro.hardware.checkpoint import CheckpointModel
+from repro.hardware.msp430 import MSP430Platform
+from repro.sim.engine import StepSimulator
+from repro.sim.intermittent import InferenceController
+from repro.units import uF
+from repro.workloads import zoo
+
+
+@pytest.fixture
+def solar():
+    return SolarHarvester(SolarPanel(area_cm2=4.0),
+                          LightEnvironment.brighter())
+
+
+class TestComposite:
+    def test_powers_add(self, solar):
+        teg = ThermalHarvester(area_cm2=4.0, delta_t_kelvin=30.0)
+        combo = CompositeHarvester((solar, teg))
+        assert combo.power_at(0.0) == pytest.approx(
+            solar.power_at(0.0) + teg.power_at(0.0))
+
+    def test_footprints_add(self, solar):
+        teg = ThermalHarvester(area_cm2=6.0, delta_t_kelvin=30.0)
+        combo = CompositeHarvester((solar, teg))
+        assert combo.footprint_cm2 == pytest.approx(10.0)
+
+    def test_satisfies_protocol(self, solar):
+        assert isinstance(CompositeHarvester((solar,)), Harvester)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeHarvester(())
+
+
+class TestFluctuating:
+    def test_attenuation_bounded(self, solar):
+        harvester = FluctuatingHarvester(solar, sigma=0.8, seed=3)
+        base = solar.power_at(0.0)
+        for t in range(0, 3600, 13):
+            power = harvester.power_at(float(t))
+            assert 0.0 <= power <= base + 1e-12
+
+    def test_deterministic_in_seed(self, solar):
+        a = FluctuatingHarvester(solar, seed=7)
+        b = FluctuatingHarvester(solar, seed=7)
+        assert [a.power_at(t) for t in (0.0, 100.0, 1e4)] == \
+            [b.power_at(t) for t in (0.0, 100.0, 1e4)]
+
+    def test_varies_across_correlation_buckets(self, solar):
+        harvester = FluctuatingHarvester(solar, sigma=0.6,
+                                         correlation_time_s=10.0, seed=1)
+        values = {round(harvester.power_at(t * 10.0), 9) for t in range(50)}
+        assert len(values) > 10
+
+    def test_constant_within_bucket(self, solar):
+        harvester = FluctuatingHarvester(solar, correlation_time_s=60.0)
+        assert harvester.power_at(1.0) == harvester.power_at(59.0)
+
+    def test_zero_sigma_floors_at_one(self, solar):
+        harvester = FluctuatingHarvester(solar, sigma=0.0)
+        assert harvester.power_at(5.0) == pytest.approx(solar.power_at(5.0))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"sigma": -0.1},
+        {"correlation_time_s": 0.0},
+        {"floor": 0.0},
+        {"floor": 1.5},
+    ])
+    def test_validation(self, solar, kwargs):
+        with pytest.raises(ConfigurationError):
+            FluctuatingHarvester(solar, **kwargs)
+
+
+class TestVariableSourceSimulation:
+    """The paper's 'variable source during inference' extension, end to
+    end: the step simulator completes under stochastic shading and the
+    intermittent machinery absorbs the fluctuations."""
+
+    def _plan(self):
+        network = zoo.har_cnn()
+        hw = MSP430Platform().as_accelerator()
+        model = DataflowCostModel(hw, CheckpointModel(nvm=hw.nvm.technology))
+        return [model.layer_cost(layer, LayerMapping.default(layer, n_tiles=4))
+                for layer in network]
+
+    def test_inference_completes_under_shading(self, solar):
+        harvester = FluctuatingHarvester(solar, sigma=0.5,
+                                         correlation_time_s=0.05, seed=11)
+        energy = EnergyController(
+            harvester=harvester,
+            capacitor=Capacitor(capacitance=uF(470), rated_voltage=5.0,
+                                voltage=3.0),
+            pmic=PowerManagementIC(),
+        )
+        inference = InferenceController(plan=self._plan())
+        result = StepSimulator(energy, inference).run()
+        assert result.metrics.feasible
+        assert inference.finished
+
+    def test_shading_never_speeds_things_up(self, solar):
+        def latency(harvester):
+            energy = EnergyController(
+                harvester=harvester,
+                capacitor=Capacitor(capacitance=uF(470), rated_voltage=5.0,
+                                    voltage=3.0),
+                pmic=PowerManagementIC(),
+            )
+            inference = InferenceController(plan=self._plan())
+            return StepSimulator(energy, inference).run().metrics.e2e_latency
+
+        steady = latency(solar)
+        shaded = latency(FluctuatingHarvester(solar, sigma=0.7,
+                                              correlation_time_s=0.05,
+                                              seed=5))
+        assert shaded >= steady * 0.99

@@ -1,0 +1,92 @@
+"""Systematic cross-validation of the two evaluation paths.
+
+The explorer trusts the analytical model's *ordering* of design points;
+the step simulator is the ground truth of the intermittent semantics.
+These tests sweep the energy knobs and check that both paths agree on
+direction and stay within a calibrated band on magnitude.
+"""
+
+import itertools
+
+import pytest
+
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.units import uF, mF
+from repro.workloads import zoo
+
+
+def build(network, panel, cap, n_tiles):
+    return AuTDesign.with_default_mappings(
+        EnergyDesign(panel_area_cm2=panel, capacitance_f=cap),
+        InferenceDesign.msp430(), network, n_tiles=n_tiles)
+
+
+@pytest.fixture(scope="module")
+def har():
+    return zoo.har_cnn()
+
+
+@pytest.fixture(scope="module")
+def evaluator(har):
+    return ChrysalisEvaluator(har)
+
+
+SWEEP = list(itertools.product([3.0, 8.0, 20.0], [uF(220), mF(1)]))
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("panel,cap", SWEEP)
+    def test_feasibility_verdicts_match(self, har, evaluator, panel, cap):
+        design = build(har, panel, cap, n_tiles=4)
+        for env in LightEnvironment.paper_environments():
+            analytical = evaluator.evaluate(design, env)
+            stepped = evaluator.simulate(design, env).metrics
+            assert analytical.feasible == stepped.feasible
+
+    @pytest.mark.parametrize("panel,cap", SWEEP)
+    def test_busy_time_within_band(self, har, evaluator, panel, cap):
+        design = build(har, panel, cap, n_tiles=4)
+        env = LightEnvironment.brighter()
+        analytical = evaluator.evaluate(design, env)
+        stepped = evaluator.simulate(design, env).metrics
+        if analytical.feasible:
+            assert stepped.busy_time == pytest.approx(
+                analytical.busy_time, rel=0.2)
+
+    def test_latency_ordering_over_panels(self, har, evaluator):
+        env = LightEnvironment.darker()
+        designs = [build(har, p, uF(470), 4) for p in (2.0, 4.0, 8.0, 16.0)]
+        analytical = [evaluator.evaluate(d, env).e2e_latency
+                      for d in designs]
+        stepped = [evaluator.simulate(d, env).metrics.e2e_latency
+                   for d in designs]
+        assert analytical == sorted(analytical, reverse=True)
+        # Step latencies must be non-increasing too (small plateaus OK).
+        for earlier, later in zip(stepped, stepped[1:]):
+            assert later <= earlier * 1.05
+
+    def test_checkpoint_energy_direction(self, har, evaluator):
+        """Both paths agree that more tiles -> more checkpoint energy."""
+        env = LightEnvironment.brighter()
+        few = build(har, 8.0, uF(470), 2)
+        many = build(har, 8.0, uF(470), 8)
+        for evaluate in (
+            lambda d: evaluator.evaluate(d, env),
+            lambda d: evaluator.simulate(d, env).metrics,
+        ):
+            assert (evaluate(many).energy.checkpoint
+                    > evaluate(few).energy.checkpoint)
+
+    def test_exceptions_only_in_step_path(self, har, evaluator):
+        """The analytical path folds exceptions into r_exc; the step
+        path reports them explicitly when power actually fails."""
+        env = LightEnvironment.darker()
+        design = build(zoo.cifar10_cnn(), 2.0, mF(1), 8)
+        evaluator_cifar = ChrysalisEvaluator(zoo.cifar10_cnn())
+        analytical = evaluator_cifar.evaluate(design, env)
+        stepped = evaluator_cifar.simulate(design, env).metrics
+        assert analytical.exceptions == 0
+        assert stepped.feasible
+        assert stepped.power_cycles >= 1

@@ -1,0 +1,74 @@
+"""Tests for day-scale operation simulation."""
+
+import pytest
+
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.sim.longrun import simulate_day
+from repro.units import uF
+from repro.workloads import zoo
+
+
+@pytest.fixture(scope="module")
+def setup():
+    network = zoo.cifar10_cnn()
+    design = AuTDesign.with_default_mappings(
+        EnergyDesign(panel_area_cm2=6.0, capacitance_f=uF(2200)),
+        InferenceDesign.msp430(), network, n_tiles=8)
+    return network, design
+
+
+class TestDaySimulation:
+    def test_work_happens_only_in_daylight(self, setup):
+        network, design = setup
+        result = simulate_day(design, network, LightEnvironment.brighter())
+        assert result.inferences > 0
+        for hour in result.per_hour:
+            assert 6 <= hour <= 18  # the diurnal window
+
+    def test_noon_is_the_productive_peak(self, setup):
+        network, design = setup
+        result = simulate_day(design, network, LightEnvironment.brighter())
+        peak_hour = max(result.per_hour, key=result.per_hour.get)
+        assert 9 <= peak_hour <= 15
+
+    def test_darker_day_yields_fewer_inferences(self, setup):
+        network, design = setup
+        bright = simulate_day(design, network, LightEnvironment.brighter())
+        dark = simulate_day(design, network, LightEnvironment.darker())
+        assert dark.inferences < bright.inferences
+
+    def test_bigger_panel_more_daily_work(self, setup):
+        network, _ = setup
+        def day_with(panel):
+            design = AuTDesign.with_default_mappings(
+                EnergyDesign(panel_area_cm2=panel, capacitance_f=uF(2200)),
+                InferenceDesign.msp430(), network, n_tiles=8)
+            return simulate_day(design, network,
+                                LightEnvironment.brighter()).inferences
+        assert day_with(12.0) > day_with(3.0)
+
+    def test_start_hour_respected(self, setup):
+        network, design = setup
+        afternoon = simulate_day(design, network,
+                                 LightEnvironment.brighter(),
+                                 start_hour=15.0)
+        full_day = simulate_day(design, network,
+                                LightEnvironment.brighter())
+        assert afternoon.inferences < full_day.inferences
+
+    def test_render_histogram(self, setup):
+        network, design = setup
+        result = simulate_day(design, network, LightEnvironment.brighter())
+        text = result.render()
+        assert "inferences/day" in text
+        assert "12:00" in text
+
+    def test_hopeless_environment_zero_inferences(self, setup):
+        network, _ = setup
+        starved = AuTDesign.with_default_mappings(
+            EnergyDesign(panel_area_cm2=1.0, capacitance_f=uF(10)),
+            InferenceDesign.msp430(), network, n_tiles=1)
+        result = simulate_day(starved, network, LightEnvironment.indoor())
+        assert result.inferences == 0
+        assert result.first_completion_hour is None

@@ -1,0 +1,57 @@
+"""Tests for loop-nest lowering (Fig. 4's bottom half)."""
+
+import pytest
+
+from repro.dataflow.loopnest import LoopNest
+from repro.dataflow.mapping import LayerMapping
+from repro.dataflow.directives import DataflowStyle
+from repro.workloads.layers import Conv2D
+
+
+@pytest.fixture
+def conv():
+    return Conv2D("c", in_channels=4, out_channels=8, in_height=8,
+                  in_width=8, kernel=3, padding=1)
+
+
+def nest_for(conv, n_tiles=4, n_pes=4):
+    mapping = LayerMapping(style=DataflowStyle.WEIGHT_STATIONARY,
+                           n_tiles=n_tiles, tile_dim="Y", spatial_dim="K")
+    directives = mapping.to_directives(conv, n_pes=n_pes)
+    return LoopNest.from_mapping(directives, conv)
+
+
+class TestLowering:
+    def test_trip_count_covers_iteration_space(self, conv):
+        nest = nest_for(conv)
+        full = 1
+        for v in conv.dims().values():
+            full *= v
+        assert nest.trip_count >= full
+
+    def test_ckpt_loop_is_outermost(self, conv):
+        nest = nest_for(conv)
+        assert nest.loops[0].kind == "ckpt"
+        assert nest.loops[0].dim == "Y"
+
+    def test_spatial_loop_present(self, conv):
+        nest = nest_for(conv)
+        kinds = [loop.kind for loop in nest.loops]
+        assert "spatial" in kinds
+
+    def test_no_ckpt_loop_for_single_tile(self, conv):
+        nest = nest_for(conv, n_tiles=1)
+        assert all(loop.kind != "ckpt" for loop in nest.loops)
+
+
+class TestRendering:
+    def test_render_contains_annotations(self, conv):
+        text = nest_for(conv).render()
+        assert "InterTempMap" in text
+        assert "parallel_for" in text
+        assert "MAC(...)" in text
+
+    def test_render_indented_nesting(self, conv):
+        lines = nest_for(conv).render().splitlines()
+        indents = [len(line) - len(line.lstrip()) for line in lines]
+        assert indents == sorted(indents)

@@ -1,0 +1,104 @@
+"""Tests for the SW-level mapping optimizer."""
+
+import pytest
+
+from repro.design import EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.explore.mapper_search import MappingOptimizer
+from repro.hardware.accelerators import AcceleratorFamily
+from repro.sim.analytical import AnalyticalModel
+from repro.design import AuTDesign
+from repro.units import uF, mF
+from repro.workloads import zoo
+
+
+@pytest.fixture
+def har():
+    return zoo.har_cnn()
+
+
+def optimize(network, panel_cm2=8.0, capacitance=uF(470),
+             inference=None, environments=None):
+    optimizer = MappingOptimizer(network, environments=environments)
+    energy = EnergyDesign(panel_area_cm2=panel_cm2,
+                          capacitance_f=capacitance)
+    return optimizer.optimize(energy, inference or InferenceDesign.msp430())
+
+
+class TestBasicOperation:
+    def test_one_mapping_per_layer(self, har):
+        mappings = optimize(har)
+        assert mappings is not None
+        assert len(mappings) == len(har)
+
+    def test_mappings_are_feasible(self, har):
+        mappings = optimize(har)
+        energy = EnergyDesign(panel_area_cm2=8.0, capacitance_f=uF(470))
+        design = AuTDesign(energy=energy,
+                           inference=InferenceDesign.msp430(),
+                           mappings=mappings)
+        for env in LightEnvironment.paper_environments():
+            metrics = AnalyticalModel(design, har, env).evaluate()
+            assert metrics.feasible
+
+    def test_unmappable_returns_none(self):
+        """A microscopic capacitor cannot host even single-MAC tiles of a
+        big conv layer in the dark."""
+        mappings = optimize(zoo.cifar10_cnn(), panel_cm2=1.0,
+                            capacitance=uF(1),
+                            environments=[LightEnvironment.indoor()])
+        assert mappings is None
+
+
+class TestAdaptivity:
+    def test_smaller_cycle_energy_means_more_tiles(self, har):
+        """Eq. 9's driving effect: a smaller capacitor forces finer
+        intermittent partitioning."""
+        big = optimize(zoo.cifar10_cnn(), capacitance=mF(2.2))
+        small = optimize(zoo.cifar10_cnn(), capacitance=uF(220))
+        assert big is not None and small is not None
+        total_big = sum(m.n_tiles for m in big)
+        total_small = sum(m.n_tiles for m in small)
+        assert total_small > total_big
+
+    def test_darker_environment_means_more_tiles(self):
+        """Low k_eh shrinks E_available (Eq. 3), pushing N_tile up —
+        the exact observation §III-B-3 makes."""
+        bright = optimize(zoo.cifar10_cnn(), capacitance=uF(220),
+                          environments=[LightEnvironment.brighter()])
+        dark = optimize(zoo.cifar10_cnn(), capacitance=uF(220),
+                        environments=[LightEnvironment.darker()])
+        assert bright is not None and dark is not None
+        assert (sum(m.n_tiles for m in dark)
+                >= sum(m.n_tiles for m in bright))
+
+    def test_accelerator_families_pick_their_strengths(self):
+        """On the TPU (penalised OS/IS) conv layers should lean WS more
+        often than on the flexible Eyeriss."""
+        net = zoo.cifar10_cnn()
+        tpu = optimize(net, inference=InferenceDesign(
+            family=AcceleratorFamily.TPU, n_pes=64, cache_bytes_per_pe=512))
+        assert tpu is not None
+        ws_count = sum(1 for m in tpu if m.style.value == "ws")
+        assert ws_count >= len(tpu) / 2
+
+
+class TestExactness:
+    def test_chosen_mapping_not_worse_than_defaults(self, har):
+        """The optimizer's pick must beat (or tie) the naive default
+        mapping on mean energy."""
+        optimizer = MappingOptimizer(har)
+        energy = EnergyDesign(panel_area_cm2=8.0, capacitance_f=uF(470))
+        inference = InferenceDesign.msp430()
+        models = optimizer._models(energy, inference)
+        chosen = optimizer.optimize(energy, inference)
+        from repro.dataflow.mapping import LayerMapping
+        for layer, mapping in zip(har, chosen):
+            best = optimizer._mean_energy(layer, mapping, models)
+            for n in (1, 2, 4):
+                candidate = LayerMapping.default(layer, n_tiles=n)
+                if not optimizer._feasible_everywhere(layer, candidate,
+                                                      models):
+                    continue
+                assert best <= optimizer._mean_energy(
+                    layer, candidate, models) * (1 + 1e-9)

@@ -1,0 +1,62 @@
+"""Tests for memory technologies and blocks."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.memory import FRAM, LPDDR_LIKE, SRAM, MemoryBlock
+from repro.units import KB
+
+
+class TestTechnologies:
+    def test_fram_is_nonvolatile(self):
+        assert FRAM.volatile is False
+        assert FRAM.static_power_per_byte == 0.0
+
+    def test_sram_is_volatile_and_leaky(self):
+        assert SRAM.volatile is True
+        assert SRAM.static_power_per_byte > 0.0
+
+    def test_fram_writes_cost_more_than_reads(self):
+        assert FRAM.write_energy_per_byte > FRAM.read_energy_per_byte
+
+    def test_sram_cheaper_than_fram(self):
+        assert SRAM.read_energy_per_byte < FRAM.read_energy_per_byte
+
+    def test_lpddr_nonvolatile_role(self):
+        assert LPDDR_LIKE.volatile is False
+        assert LPDDR_LIKE.read_bandwidth > FRAM.read_bandwidth
+
+    def test_energy_linear_in_bytes(self):
+        assert FRAM.read_energy(100) == pytest.approx(
+            100 * FRAM.read_energy_per_byte)
+        assert FRAM.write_energy(100) == pytest.approx(
+            100 * FRAM.write_energy_per_byte)
+
+    def test_time_linear_in_bytes(self):
+        assert SRAM.read_time(SRAM.read_bandwidth) == pytest.approx(1.0)
+
+
+class TestMemoryBlock:
+    def test_static_power_is_size_times_p_mem(self):
+        block = MemoryBlock(SRAM, KB(8))
+        assert block.static_power == pytest.approx(
+            KB(8) * SRAM.static_power_per_byte)
+
+    def test_fram_block_retains_for_free(self):
+        assert MemoryBlock(FRAM, KB(256)).static_power == 0.0
+
+    def test_fits(self):
+        block = MemoryBlock(SRAM, 1024)
+        assert block.fits(1024)
+        assert not block.fits(1025)
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBlock(SRAM, 0)
+
+    def test_msp430_scale_energies(self):
+        """FRAM access on an MSP430-class system: ~nJ for a handful of
+        bytes — consistent with the paper's Table II e_r/e_w scale."""
+        block = MemoryBlock(FRAM, KB(256))
+        assert 1e-10 < block.read_energy(1) < 1e-8
+        assert 1e-10 < block.write_energy(1) < 1e-8

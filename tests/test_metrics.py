@@ -1,0 +1,49 @@
+"""Tests for result metrics and the energy breakdown."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import EnergyBreakdown, InferenceMetrics
+
+
+class TestEnergyBreakdown:
+    def test_inference_is_compute_plus_movement(self):
+        b = EnergyBreakdown(compute=1.0, vm=2.0, nvm=3.0, static=4.0,
+                            checkpoint=5.0, cap_leakage=6.0, conversion=7.0)
+        assert b.inference == 6.0
+        assert b.overhead == 22.0
+        assert b.total == 28.0
+
+    def test_scaled(self):
+        b = EnergyBreakdown(compute=2.0, vm=4.0)
+        half = b.scaled(0.5)
+        assert half.compute == 1.0
+        assert half.vm == 2.0
+        assert b.compute == 2.0  # original untouched
+
+    def test_add_in_place(self):
+        a = EnergyBreakdown(compute=1.0)
+        a.add(EnergyBreakdown(compute=2.0, nvm=3.0))
+        assert a.compute == 3.0
+        assert a.nvm == 3.0
+
+
+class TestInferenceMetrics:
+    def test_system_efficiency(self):
+        m = InferenceMetrics(
+            e2e_latency=1.0, busy_time=0.5, charge_time=0.5,
+            energy=EnergyBreakdown(compute=2.0, vm=1.0, nvm=1.0),
+            harvested_energy=8.0,
+        )
+        assert m.system_efficiency == pytest.approx(0.5)
+
+    def test_system_efficiency_zero_harvest(self):
+        m = InferenceMetrics(e2e_latency=1.0, busy_time=1.0, charge_time=0.0)
+        assert m.system_efficiency == 0.0
+
+    def test_infeasible_marker(self):
+        m = InferenceMetrics.infeasible("because")
+        assert not m.feasible
+        assert m.infeasible_reason == "because"
+        assert math.isinf(m.e2e_latency)

@@ -1,0 +1,56 @@
+"""Tests for the depthwise-separable extension workload."""
+
+import pytest
+
+from repro import Chrysalis, Objective, zoo
+from repro.design import EnergyDesign, InferenceDesign
+from repro.explore.ga import GAConfig
+from repro.explore.mapper_search import MappingOptimizer
+from repro.hardware.accelerators import AcceleratorFamily
+from repro.units import uF
+from repro.workloads.layers import LayerKind
+
+
+@pytest.fixture
+def network():
+    return zoo.mobilenet_tiny()
+
+
+class TestStructure:
+    def test_registered(self):
+        assert zoo.workload_by_name("mobilenet").name == "mobilenet_tiny"
+
+    def test_contains_depthwise_layers(self, network):
+        kinds = {layer.kind for layer in network}
+        assert LayerKind.DEPTHWISE_CONV in kinds
+        assert LayerKind.CONV in kinds
+
+    def test_edge_scale(self, network):
+        assert network.params < 50e3
+        assert 1e6 < network.macs < 20e6
+
+    def test_depthwise_cheaper_than_equivalent_conv(self, network):
+        dw = next(l for l in network if l.kind is LayerKind.DEPTHWISE_CONV)
+        # A standard conv with the same shape would contract over all
+        # channels: C x more MACs.
+        assert dw.macs * dw.channels == dw.macs * dw.dims()["K"]
+        assert dw.dims()["C"] == 1
+
+
+class TestMapping:
+    def test_mapper_handles_depthwise(self, network):
+        mappings = MappingOptimizer(network).optimize(
+            EnergyDesign(panel_area_cm2=8.0, capacitance_f=uF(470)),
+            InferenceDesign(family=AcceleratorFamily.TPU, n_pes=32,
+                            cache_bytes_per_pe=512))
+        assert mappings is not None
+        assert len(mappings) == len(network)
+
+    def test_search_completes(self, network):
+        tool = Chrysalis(network, setup="existing",
+                         objective=Objective.lat_sp(),
+                         ga_config=GAConfig(population_size=6,
+                                            generations=3, seed=0))
+        solution = tool.generate()
+        assert solution.average_metrics.feasible
+        assert any(row.layer.startswith("dw") for row in solution.layer_plan)

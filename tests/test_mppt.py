@@ -1,0 +1,55 @@
+"""Tests for the perturb-and-observe MPPT tracker."""
+
+import pytest
+
+from repro.energy.mppt import PerturbObserveTracker
+from repro.energy.solar_panel import SolarPanel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def panel():
+    return SolarPanel(area_cm2=10.0)
+
+
+def test_tracker_converges_near_mpp(panel):
+    tracker = PerturbObserveTracker(panel, step_voltage=0.02)
+    for _ in range(300):
+        tracker.step(1e-3)
+    assert abs(tracker.operating_voltage - panel.v_mpp) < 0.15
+
+
+def test_tracking_efficiency_is_high_but_below_one(panel):
+    tracker = PerturbObserveTracker(panel, step_voltage=0.02)
+    eff = tracker.tracking_efficiency(1e-3, iterations=400)
+    assert 0.85 < eff <= 1.0
+
+
+def test_smaller_steps_track_tighter(panel):
+    coarse = PerturbObserveTracker(panel, step_voltage=0.2)
+    fine = PerturbObserveTracker(panel, step_voltage=0.02)
+    eff_coarse = coarse.tracking_efficiency(1e-3, iterations=400)
+    eff_fine = fine.tracking_efficiency(1e-3, iterations=400)
+    assert eff_fine > eff_coarse
+
+
+def test_dark_conditions_report_full_efficiency(panel):
+    tracker = PerturbObserveTracker(panel)
+    assert tracker.tracking_efficiency(0.0) == 1.0
+
+
+def test_starts_at_fractional_voc(panel):
+    tracker = PerturbObserveTracker(panel)
+    assert tracker.operating_voltage == pytest.approx(0.8 * panel.v_oc)
+
+
+def test_operating_voltage_stays_in_range(panel):
+    tracker = PerturbObserveTracker(panel, step_voltage=0.5)
+    for _ in range(100):
+        tracker.step(1e-3)
+        assert 0.0 <= tracker.operating_voltage <= panel.v_oc
+
+
+def test_invalid_step_rejected(panel):
+    with pytest.raises(ConfigurationError):
+        PerturbObserveTracker(panel, step_voltage=0.0)

@@ -1,0 +1,132 @@
+"""Tests for the NSGA-II multi-objective explorer."""
+
+import math
+
+import pytest
+
+from repro.errors import SearchError
+from repro.explore.ga import GAConfig
+from repro.explore.nsga2 import (
+    NSGA2,
+    ParetoExplorer,
+    _Individual,
+    crowding_distance,
+    fast_non_dominated_sort,
+)
+from repro.explore.space import DesignSpace, ParameterSpec
+from repro.workloads import zoo
+
+
+@pytest.fixture
+def space():
+    return DesignSpace(parameters=(
+        ParameterSpec("x", "float", 0.0, 1.0),
+        ParameterSpec("y", "float", 0.0, 1.0),
+    ))
+
+
+def schaffer_like(genome):
+    """A 2-objective problem with a known front: f1 = x, f2 = 1 - x
+    (plus a penalty pulling y to 0, so the front is the x axis)."""
+    x, y = genome["x"], genome["y"]
+    return (x + y, (1.0 - x) + y)
+
+
+class TestSorting:
+    def _individuals(self, values):
+        return [_Individual(genome={}, values=v) for v in values]
+
+    def test_single_front_when_all_incomparable(self):
+        pop = self._individuals([(1, 3), (2, 2), (3, 1)])
+        fronts = fast_non_dominated_sort(pop)
+        assert len(fronts) == 1
+        assert len(fronts[0]) == 3
+
+    def test_layered_fronts(self):
+        pop = self._individuals([(1, 1), (2, 2), (3, 3)])
+        fronts = fast_non_dominated_sort(pop)
+        assert [len(f) for f in fronts] == [1, 1, 1]
+        assert fronts[0][0].values == (1, 1)
+
+    def test_ranks_assigned(self):
+        pop = self._individuals([(1, 1), (2, 2)])
+        fast_non_dominated_sort(pop)
+        assert pop[0].rank == 0
+        assert pop[1].rank == 1
+
+    def test_crowding_boundary_infinite(self):
+        front = self._individuals([(1, 3), (2, 2), (3, 1)])
+        crowding_distance(front)
+        ordered = sorted(front, key=lambda ind: ind.values[0])
+        assert math.isinf(ordered[0].crowding)
+        assert math.isinf(ordered[-1].crowding)
+        assert math.isfinite(ordered[1].crowding)
+
+
+class TestNSGA2:
+    def test_converges_to_known_front(self, space):
+        algorithm = NSGA2(space, schaffer_like, GAConfig(
+            population_size=24, generations=30, seed=1))
+        front = algorithm.run()
+        # The true front is y = 0 with f1 + f2 = 1.
+        assert len(front) >= 5
+        for point in front:
+            assert point.values[0] + point.values[1] < 1.3
+
+    def test_front_is_nondominated(self, space):
+        front = NSGA2(space, schaffer_like, GAConfig(
+            population_size=16, generations=10, seed=2)).run()
+        for a in front:
+            for b in front:
+                assert not a.dominates(b)
+
+    def test_front_spans_tradeoff(self, space):
+        front = NSGA2(space, schaffer_like, GAConfig(
+            population_size=24, generations=25, seed=3)).run()
+        f1_values = [p.values[0] for p in front]
+        assert max(f1_values) - min(f1_values) > 0.3
+
+    def test_deterministic_per_seed(self, space):
+        def run(seed):
+            return NSGA2(space, schaffer_like, GAConfig(
+                population_size=12, generations=8, seed=seed)).run()
+        a = [p.values for p in run(5)]
+        b = [p.values for p in run(5)]
+        assert a == b
+
+    def test_all_infeasible_raises(self, space):
+        algorithm = NSGA2(space, lambda g: (math.inf, math.inf),
+                          GAConfig(population_size=8, generations=3))
+        with pytest.raises(SearchError):
+            algorithm.run()
+
+    def test_seeds_enter_population(self, space):
+        seen = []
+
+        def spy(genome):
+            seen.append(dict(genome))
+            return schaffer_like(genome)
+
+        seeds = [{"x": 0.123456, "y": 0.0}]
+        NSGA2(space, spy, GAConfig(population_size=6, generations=2),
+              seeds=seeds).run()
+        assert any(g.get("x") == 0.123456 for g in seen)
+
+
+class TestParetoExplorer:
+    def test_produces_design_tradeoff_front(self):
+        explorer = ParetoExplorer(
+            zoo.har_cnn(), DesignSpace.existing_aut(),
+            ga_config=GAConfig(population_size=10, generations=5, seed=0))
+        front = explorer.run()
+        assert len(front) >= 2
+        # Sorted by panel area, latencies must strictly decrease
+        # (non-dominated 2-D front).
+        panels = [p.values[0] for p in front]
+        latencies = [p.values[1] for p in front]
+        assert panels == sorted(panels)
+        assert latencies == sorted(latencies, reverse=True)
+        # Payloads are real designs within the Table IV bounds.
+        for point in front:
+            design = point.payload
+            assert 1.0 <= design.energy.panel_area_cm2 <= 30.0

@@ -1,0 +1,109 @@
+"""Cross-validation of the layer IR against actual numpy computation.
+
+The analytical models count MACs and shapes symbolically; these tests
+execute real convolutions/matmuls with numpy on random tensors and
+verify that the IR's output shapes and MAC counts match what genuinely
+happens — guarding the foundation everything else is built on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.layers import Conv2D, Dense, DepthwiseConv2D, Pool2D
+
+
+def conv2d_forward(x, w, stride, padding):
+    """Reference NCHW convolution, returning (output, mac_count)."""
+    c_in, h, w_in = x.shape
+    k_out, _, kh, kw = w.shape
+    x_padded = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w_in + 2 * padding - kw) // stride + 1
+    out = np.zeros((k_out, out_h, out_w))
+    macs = 0
+    for k in range(k_out):
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = x_padded[:, i * stride:i * stride + kh,
+                                 j * stride:j * stride + kw]
+                out[k, i, j] = float(np.sum(patch * w[k]))
+                macs += patch.size
+    return out, macs
+
+
+conv_cases = st.tuples(
+    st.integers(min_value=1, max_value=4),   # in channels
+    st.integers(min_value=1, max_value=6),   # out channels
+    st.integers(min_value=5, max_value=12),  # spatial size
+    st.sampled_from([1, 3]),                 # kernel
+    st.sampled_from([1, 2]),                 # stride
+    st.sampled_from([0, 1]),                 # padding
+)
+
+
+@given(case=conv_cases)
+@settings(max_examples=25, deadline=None)
+def test_conv_shape_and_macs_match_numpy(case):
+    c_in, c_out, size, kernel, stride, padding = case
+    layer = Conv2D("c", in_channels=c_in, out_channels=c_out,
+                   in_height=size, in_width=size, kernel=kernel,
+                   stride=stride, padding=padding, bias=False)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(c_in, size, size))
+    w = rng.normal(size=(c_out, c_in, kernel, kernel))
+    out, macs = conv2d_forward(x, w, stride, padding)
+    assert out.shape == layer.output_shape
+    assert macs == layer.macs
+    assert w.size == layer.params  # bias=False
+
+
+def test_dense_matches_numpy():
+    layer = Dense("fc", in_features=37, out_features=11, batch=3,
+                  bias=False)
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(3, 37))
+    w = rng.normal(size=(37, 11))
+    out = x @ w
+    assert out.shape == layer.output_shape
+    assert x.shape[0] * w.size == layer.macs
+    assert w.size == layer.params
+
+
+def test_depthwise_matches_numpy():
+    channels, size, kernel = 5, 9, 3
+    layer = DepthwiseConv2D("dw", channels=channels, in_height=size,
+                            in_width=size, kernel=kernel, padding=1,
+                            bias=False)
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(channels, size, size))
+    w = rng.normal(size=(channels, 1, kernel, kernel))
+    macs = 0
+    out_maps = []
+    for c in range(channels):
+        out_c, macs_c = conv2d_forward(x[c:c + 1], w[c:c + 1], 1, 1)
+        out_maps.append(out_c)
+        macs += macs_c
+    out = np.concatenate(out_maps)
+    assert out.shape == layer.output_shape
+    assert macs == layer.macs
+
+
+def test_pool_output_shape_matches_numpy():
+    layer = Pool2D("p", channels=3, in_height=10, in_width=10,
+                   kernel=2, stride=2)
+    x = np.arange(300.0).reshape(3, 10, 10)
+    pooled = x.reshape(3, 5, 2, 5, 2).max(axis=(2, 4))
+    assert pooled.shape == layer.output_shape
+
+
+@given(case=conv_cases)
+@settings(max_examples=25, deadline=None)
+def test_weight_bytes_match_array_nbytes(case):
+    c_in, c_out, size, kernel, stride, padding = case
+    layer = Conv2D("c", in_channels=c_in, out_channels=c_out,
+                   in_height=size, in_width=size, kernel=kernel,
+                   stride=stride, padding=padding, bias=False,
+                   bytes_per_element=1)
+    w = np.zeros((c_out, c_in, kernel, kernel), dtype=np.int8)
+    assert layer.weight_bytes == w.nbytes

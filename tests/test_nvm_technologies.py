@@ -1,0 +1,59 @@
+"""Tests for alternative NVM technologies (ReRAM / MRAM) as the
+checkpoint and backing store of an AuT."""
+
+import pytest
+
+from repro.dataflow.cost_model import DataflowCostModel
+from repro.dataflow.mapping import LayerMapping
+from repro.hardware.accelerators import tpu_like
+from repro.hardware.checkpoint import CheckpointModel
+from repro.hardware.memory import FRAM, MRAM, RERAM
+from repro.workloads.layers import Conv2D
+
+
+@pytest.fixture
+def conv():
+    return Conv2D("c", in_channels=16, out_channels=32, in_height=16,
+                  in_width=16, kernel=3, padding=1)
+
+
+class TestTechnologies:
+    def test_all_nonvolatile(self):
+        for tech in (FRAM, RERAM, MRAM):
+            assert not tech.volatile
+            assert tech.static_power_per_byte == 0.0
+
+    def test_reram_write_asymmetry(self):
+        assert RERAM.write_energy_per_byte > 10 * RERAM.read_energy_per_byte
+        assert RERAM.write_bandwidth < RERAM.read_bandwidth
+
+    def test_mram_reads_near_sram_speed(self):
+        assert MRAM.read_energy_per_byte < FRAM.read_energy_per_byte
+
+
+class TestCheckpointCostByTechnology:
+    @pytest.mark.parametrize("tech", [FRAM, RERAM, MRAM],
+                             ids=lambda t: t.name)
+    def test_checkpoint_model_works_on_any_nvm(self, tech):
+        model = CheckpointModel(nvm=tech)
+        assert model.save_energy(1024.0) > 0
+        assert model.resume_energy(1024.0) > 0
+
+    def test_reram_penalises_checkpoint_heavy_designs(self, conv):
+        """Write-expensive NVM makes fine intermittent tiling costlier —
+        the crossover the NVM-technology choice creates."""
+        def ckpt_energy(tech):
+            hw = tpu_like(nvm_technology=tech)
+            model = DataflowCostModel(hw, CheckpointModel(nvm=tech))
+            mapping = LayerMapping.default(conv, n_tiles=8)
+            return model.layer_cost(conv, mapping).checkpoint_energy
+
+        assert ckpt_energy(RERAM) > ckpt_energy(FRAM) > ckpt_energy(MRAM)
+
+    def test_accelerator_accepts_alternative_nvm(self, conv):
+        for tech in (RERAM, MRAM):
+            hw = tpu_like(nvm_technology=tech)
+            assert hw.nvm.technology is tech
+            model = DataflowCostModel(hw, CheckpointModel(nvm=tech))
+            cost = model.layer_cost(conv, LayerMapping.default(conv))
+            assert cost.energy > 0

@@ -1,0 +1,83 @@
+"""Tests for the paper's three objective functions."""
+
+import math
+
+import pytest
+
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.errors import ConfigurationError
+from repro.explore.objectives import Objective, ObjectiveKind
+from repro.sim.metrics import InferenceMetrics
+from repro.units import uF
+from repro.workloads import zoo
+
+
+def metrics(latency):
+    return InferenceMetrics(e2e_latency=latency, busy_time=latency,
+                            charge_time=0.0)
+
+
+def design(panel_cm2):
+    net = zoo.simple_conv()
+    return AuTDesign.with_default_mappings(
+        EnergyDesign(panel_area_cm2=panel_cm2, capacitance_f=uF(100)),
+        InferenceDesign.msp430(), net)
+
+
+class TestConstruction:
+    def test_lat_requires_sp_cap(self):
+        with pytest.raises(ConfigurationError):
+            Objective(ObjectiveKind.LATENCY)
+
+    def test_sp_requires_latency_cap(self):
+        with pytest.raises(ConfigurationError):
+            Objective(ObjectiveKind.SOLAR_PANEL)
+
+    def test_factories(self):
+        assert Objective.lat(10.0).kind is ObjectiveKind.LATENCY
+        assert Objective.sp(5.0).kind is ObjectiveKind.SOLAR_PANEL
+        assert Objective.lat_sp().kind is ObjectiveKind.LATENCY_X_PANEL
+
+
+class TestScoring:
+    def test_lat_scores_latency_when_compliant(self):
+        objective = Objective.lat(10.0)
+        assert objective.score(design(5.0), metrics(2.0)) == 2.0
+
+    def test_lat_penalises_oversized_panel(self):
+        objective = Objective.lat(10.0)
+        compliant = objective.score(design(9.0), metrics(100.0))
+        violating = objective.score(design(11.0), metrics(0.001))
+        assert violating > compliant
+
+    def test_lat_violations_still_ordered(self):
+        objective = Objective.lat(10.0)
+        mild = objective.score(design(11.0), metrics(1.0))
+        severe = objective.score(design(25.0), metrics(1.0))
+        assert mild < severe < math.inf
+
+    def test_sp_scores_area_when_compliant(self):
+        objective = Objective.sp(10.0)
+        assert objective.score(design(7.0), metrics(5.0)) == 7.0
+
+    def test_sp_penalises_slow_designs(self):
+        objective = Objective.sp(1.0)
+        compliant = objective.score(design(29.0), metrics(0.9))
+        violating = objective.score(design(1.0), metrics(2.0))
+        assert violating > compliant
+
+    def test_lat_sp_is_product(self):
+        objective = Objective.lat_sp()
+        assert objective.score(design(4.0), metrics(2.5)) == pytest.approx(10.0)
+
+    def test_infeasible_scores_infinity(self):
+        for objective in (Objective.lat(10.0), Objective.sp(10.0),
+                          Objective.lat_sp()):
+            score = objective.score(design(5.0),
+                                    InferenceMetrics.infeasible("x"))
+            assert math.isinf(score)
+
+    def test_value_labels_readable(self):
+        assert "cm^2" in Objective.lat(10.0).value_label()
+        assert "lat" in Objective.sp(5.0).value_label()
+        assert "latency x panel" in Objective.lat_sp().value_label()

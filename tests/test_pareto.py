@@ -1,0 +1,71 @@
+"""Tests for Pareto-front extraction."""
+
+import pytest
+
+from repro.explore.pareto import ParetoPoint, pareto_front
+
+
+def P(*values, payload=None):
+    return ParetoPoint(values=tuple(float(v) for v in values),
+                       payload=payload)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert P(1, 1).dominates(P(2, 2))
+
+    def test_partial_improvement_dominates(self):
+        assert P(1, 2).dominates(P(2, 2))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not P(1, 1).dominates(P(1, 1))
+
+    def test_tradeoff_points_incomparable(self):
+        assert not P(1, 3).dominates(P(3, 1))
+        assert not P(3, 1).dominates(P(1, 3))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            P(1, 2).dominates(P(1, 2, 3))
+
+
+class TestFront:
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_single_point(self):
+        point = P(1, 1)
+        assert pareto_front([point]) == [point]
+
+    def test_removes_dominated(self):
+        points = [P(1, 3), P(2, 2), P(3, 1), P(3, 3), P(2.5, 2.5)]
+        front = pareto_front(points)
+        assert {p.values for p in front} == {(1, 3), (2, 2), (3, 1)}
+
+    def test_sorted_by_first_coordinate(self):
+        points = [P(3, 1), P(1, 3), P(2, 2)]
+        front = pareto_front(points)
+        assert [p.values[0] for p in front] == [1.0, 2.0, 3.0]
+
+    def test_duplicates_kept_once_on_sweep(self):
+        points = [P(1, 1), P(1, 1), P(2, 0.5)]
+        front = pareto_front(points)
+        assert (1.0, 1.0) in {p.values for p in front}
+        assert (2.0, 0.5) in {p.values for p in front}
+
+    def test_payload_preserved(self):
+        front = pareto_front([P(1, 1, payload="design-a"), P(0.5, 2)])
+        payloads = {p.payload for p in front}
+        assert "design-a" in payloads
+
+    def test_three_dimensional_fallback(self):
+        points = [P(1, 1, 1), P(2, 2, 2), P(1, 2, 0.5)]
+        front = pareto_front(points)
+        assert {p.values for p in front} == {(1, 1, 1), (1, 2, 0.5)}
+
+    def test_front_of_front_is_identity(self):
+        import random
+        rng = random.Random(7)
+        points = [P(rng.random(), rng.random()) for _ in range(100)]
+        front = pareto_front(points)
+        assert pareto_front(front) == front

@@ -1,0 +1,72 @@
+"""Tests for the BQ25570-like power-management IC model."""
+
+import pytest
+
+from repro.energy.pmic import PowerManagementIC
+from repro.errors import ConfigurationError
+
+
+class TestPowerPaths:
+    def test_charge_power_applies_boost_efficiency(self):
+        pmic = PowerManagementIC(quiescent_power=0.0)
+        assert pmic.charge_power(10e-3) == pytest.approx(8.5e-3)
+
+    def test_quiescent_power_subtracted(self):
+        pmic = PowerManagementIC(quiescent_power=1e-6)
+        expected = 10e-3 * pmic.boost_efficiency - 1e-6
+        assert pmic.charge_power(10e-3) == pytest.approx(expected)
+
+    def test_charge_power_floors_at_zero(self):
+        pmic = PowerManagementIC(quiescent_power=1e-3)
+        assert pmic.charge_power(1e-6) == 0.0
+
+    def test_drain_power_exceeds_load(self):
+        pmic = PowerManagementIC()
+        assert pmic.drain_power(9e-3) == pytest.approx(1e-2)
+
+    def test_usable_cycle_energy(self):
+        pmic = PowerManagementIC(v_on=3.0, v_off=2.2)
+        c = 100e-6
+        raw = 0.5 * c * (3.0**2 - 2.2**2)
+        assert pmic.usable_cycle_energy(c) == pytest.approx(
+            raw * pmic.buck_efficiency
+        )
+
+    def test_negative_inputs_rejected(self):
+        pmic = PowerManagementIC()
+        with pytest.raises(ConfigurationError):
+            pmic.charge_power(-1.0)
+        with pytest.raises(ConfigurationError):
+            pmic.drain_power(-1.0)
+
+
+class TestHysteresisComparator:
+    def test_off_until_v_on(self):
+        pmic = PowerManagementIC(v_on=3.0, v_off=2.2)
+        assert pmic.rail_enabled(2.9, currently_on=False) is False
+        assert pmic.rail_enabled(3.0, currently_on=False) is True
+
+    def test_on_until_v_off(self):
+        pmic = PowerManagementIC(v_on=3.0, v_off=2.2)
+        assert pmic.rail_enabled(2.5, currently_on=True) is True
+        assert pmic.rail_enabled(2.19, currently_on=True) is False
+
+    def test_hysteresis_window(self):
+        # Between v_off and v_on the state is sticky.
+        pmic = PowerManagementIC(v_on=3.0, v_off=2.2)
+        assert pmic.rail_enabled(2.6, currently_on=True) is True
+        assert pmic.rail_enabled(2.6, currently_on=False) is False
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"v_on": 2.0, "v_off": 2.5},
+        {"v_on": 3.0, "v_off": 0.0},
+        {"boost_efficiency": 0.0},
+        {"boost_efficiency": 1.1},
+        {"buck_efficiency": -0.5},
+        {"quiescent_power": -1e-9},
+    ])
+    def test_bad_construction(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PowerManagementIC(**kwargs)

@@ -1,0 +1,99 @@
+"""Property-based tests for the dataflow cost model's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.cost_model import DataflowCostModel
+from repro.dataflow.directives import DataflowStyle
+from repro.dataflow.mapping import LayerMapping
+from repro.hardware.accelerators import eyeriss_like, tpu_like
+from repro.hardware.checkpoint import CheckpointModel
+from repro.workloads.layers import Conv2D, Dense
+
+conv_layers = st.builds(
+    Conv2D,
+    st.just("conv"),
+    in_channels=st.integers(min_value=1, max_value=32),
+    out_channels=st.integers(min_value=1, max_value=64),
+    in_height=st.integers(min_value=8, max_value=48),
+    in_width=st.integers(min_value=8, max_value=48),
+    kernel=st.sampled_from([1, 3, 5]),
+    stride=st.sampled_from([1, 2]),
+    padding=st.sampled_from([0, 1]),
+)
+
+dense_layers = st.builds(
+    Dense,
+    st.just("fc"),
+    in_features=st.integers(min_value=1, max_value=2048),
+    out_features=st.integers(min_value=1, max_value=2048),
+    batch=st.integers(min_value=1, max_value=16),
+)
+
+layers = st.one_of(conv_layers, dense_layers)
+styles = st.sampled_from(list(DataflowStyle))
+n_tiles = st.integers(min_value=1, max_value=64)
+hardwares = st.sampled_from([
+    tpu_like(n_pes=8, cache_bytes_per_pe=256),
+    tpu_like(n_pes=64, cache_bytes_per_pe=1024),
+    eyeriss_like(n_pes=32, cache_bytes_per_pe=512),
+])
+
+
+def model_for(hw):
+    return DataflowCostModel(hw, CheckpointModel(nvm=hw.nvm.technology))
+
+
+@given(layer=layers, style=styles, n=n_tiles, hw=hardwares)
+@settings(max_examples=200, deadline=None)
+def test_costs_are_finite_and_nonnegative(layer, style, n, hw):
+    mapping = LayerMapping.default(layer, style=style, n_tiles=n)
+    cost = model_for(hw).layer_cost(layer, mapping)
+    tile = cost.tile
+    for value in (tile.compute_time, tile.io_time, tile.latency,
+                  tile.compute_energy, tile.vm_energy, tile.nvm_energy,
+                  tile.static_energy, tile.checkpoint_energy,
+                  tile.working_set_bytes, tile.checkpoint_bytes):
+        assert value >= 0.0
+        assert value == value  # not NaN
+        assert value != float("inf")
+
+
+@given(layer=layers, style=styles, n=n_tiles, hw=hardwares)
+@settings(max_examples=150, deadline=None)
+def test_macs_cover_the_layer(layer, style, n, hw):
+    mapping = LayerMapping.default(layer, style=style, n_tiles=n)
+    cost = model_for(hw).layer_cost(layer, mapping)
+    assert cost.macs >= layer.macs
+
+
+@given(layer=layers, style=styles, n=n_tiles, hw=hardwares)
+@settings(max_examples=150, deadline=None)
+def test_latency_at_least_compute_bound(layer, style, n, hw):
+    mapping = LayerMapping.default(layer, style=style, n_tiles=n)
+    cost = model_for(hw).layer_cost(layer, mapping)
+    assert cost.tile.latency >= cost.tile.compute_time - 1e-18
+
+
+@given(layer=layers, style=styles, hw=hardwares)
+@settings(max_examples=100, deadline=None)
+def test_nvm_traffic_at_least_tensor_volumes(layer, style, hw):
+    """Every tile must read its inputs+weights and write its outputs at
+    least once — NVM traffic cannot go below the tensor volumes."""
+    mapping = LayerMapping.default(layer, style=style, n_tiles=1)
+    cost = model_for(hw).layer_cost(layer, mapping)
+    tile = cost.tile
+    assert tile.nvm_write_bytes >= layer.output_bytes * 0.99
+
+
+@given(layer=layers, style=styles, n=st.integers(min_value=2, max_value=32),
+       hw=hardwares)
+@settings(max_examples=100, deadline=None)
+def test_checkpoint_bytes_bounded_by_vm(layer, style, n, hw):
+    """N_ckpt cannot exceed header + live fraction of the whole VM."""
+    model = model_for(hw)
+    mapping = LayerMapping.default(layer, style=style, n_tiles=n)
+    cost = model.layer_cost(layer, mapping)
+    bound = (model.checkpoint.header_bytes
+             + model.checkpoint.live_fraction * hw.vm.size_bytes)
+    assert cost.tile.checkpoint_bytes <= bound + 1e-9

@@ -1,0 +1,78 @@
+"""Property-based tests for energy-subsystem invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.capacitor import Capacitor
+from repro.energy.controller import EnergyController, PowerState
+from repro.energy.environment import LightEnvironment
+from repro.energy.harvester import SolarHarvester
+from repro.energy.pmic import PowerManagementIC
+from repro.energy.solar_panel import SolarPanel
+
+panel_areas = st.floats(min_value=1.0, max_value=30.0)
+capacitances = st.floats(min_value=1e-6, max_value=1e-2)
+loads = st.floats(min_value=0.0, max_value=0.05)
+steps = st.integers(min_value=1, max_value=50)
+
+
+def make_controller(area, capacitance, voltage=0.0):
+    return EnergyController(
+        harvester=SolarHarvester(SolarPanel(area_cm2=area),
+                                 LightEnvironment.brighter()),
+        capacitor=Capacitor(capacitance=capacitance, rated_voltage=5.0,
+                            voltage=voltage),
+        pmic=PowerManagementIC(),
+    )
+
+
+@given(area=panel_areas, capacitance=capacitances, load=loads, n=steps)
+@settings(max_examples=100, deadline=None)
+def test_energy_balance_always_closes(area, capacitance, load, n):
+    """Conservation: harvested + initial == delivered + losses + stored,
+    for arbitrary load patterns."""
+    controller = make_controller(area, capacitance, voltage=3.0)
+    initial = controller.capacitor.stored_energy()
+    for _ in range(n):
+        controller.step(0.1, load_power=load)
+    acct = controller.accounting
+    lhs = initial + acct.harvested
+    rhs = (controller.capacitor.stored_energy() + acct.delivered
+           + acct.leaked + acct.conversion_loss + acct.curtailed)
+    assert abs(lhs - rhs) <= 1e-9 + 0.03 * max(lhs, rhs)
+
+
+@given(area=panel_areas, capacitance=capacitances, load=loads, n=steps)
+@settings(max_examples=100, deadline=None)
+def test_accounting_is_monotone(area, capacitance, load, n):
+    controller = make_controller(area, capacitance)
+    last_harvested = 0.0
+    for _ in range(n):
+        controller.step(0.1, load_power=load)
+        assert controller.accounting.harvested >= last_harvested
+        last_harvested = controller.accounting.harvested
+        assert controller.accounting.delivered >= 0.0
+        assert controller.accounting.leaked >= 0.0
+
+
+@given(area=panel_areas, capacitance=capacitances)
+@settings(max_examples=100, deadline=None)
+def test_rail_state_consistent_with_thresholds(area, capacitance):
+    controller = make_controller(area, capacitance)
+    pmic = controller.pmic
+    for _ in range(30):
+        state = controller.step(0.5, load_power=10e-3)
+        if state is PowerState.ON:
+            assert controller.voltage >= pmic.v_off - 1e-9
+        else:
+            assert controller.voltage < pmic.v_on
+
+
+@given(area=panel_areas, capacitance=capacitances)
+@settings(max_examples=60, deadline=None)
+def test_fast_forward_lands_exactly_at_v_on(area, capacitance):
+    controller = make_controller(area, capacitance)
+    wait = controller.fast_forward_to_on()
+    if wait != float("inf"):
+        assert controller.voltage >= controller.pmic.v_on - 1e-6
+        assert controller.state is PowerState.ON

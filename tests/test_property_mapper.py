@@ -1,0 +1,68 @@
+"""Property-based tests for the SW-level mapping optimizer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.explore.mapper_search import MappingOptimizer
+from repro.hardware.accelerators import AcceleratorFamily
+from repro.sim.analytical import AnalyticalModel
+from repro.workloads import zoo
+
+panels = st.floats(min_value=2.0, max_value=30.0)
+caps = st.floats(min_value=5e-5, max_value=5e-3)
+networks = st.sampled_from(["har", "kws", "simple_conv"])
+hardwares = st.sampled_from([
+    InferenceDesign.msp430(),
+    InferenceDesign(family=AcceleratorFamily.TPU, n_pes=32,
+                    cache_bytes_per_pe=512),
+])
+
+
+@given(panel=panels, cap=caps, name=networks, inference=hardwares)
+@settings(max_examples=40, deadline=None)
+def test_optimizer_output_is_always_feasible(panel, cap, name, inference):
+    """Whatever the mapper returns must evaluate as feasible in every
+    environment it optimised for — its core contract."""
+    network = zoo.workload_by_name(name)
+    energy = EnergyDesign(panel_area_cm2=panel, capacitance_f=cap)
+    mappings = MappingOptimizer(network).optimize(energy, inference)
+    if mappings is None:
+        return  # allowed: the design point is genuinely unusable
+    design = AuTDesign(energy=energy, inference=inference,
+                       mappings=mappings)
+    for environment in LightEnvironment.paper_environments():
+        metrics = AnalyticalModel(design, network, environment).evaluate()
+        assert metrics.feasible, environment.name
+
+
+@given(panel=panels, cap=caps, name=networks)
+@settings(max_examples=30, deadline=None)
+def test_optimizer_deterministic(panel, cap, name):
+    network = zoo.workload_by_name(name)
+    energy = EnergyDesign(panel_area_cm2=panel, capacitance_f=cap)
+    inference = InferenceDesign.msp430()
+    first = MappingOptimizer(network).optimize(energy, inference)
+    second = MappingOptimizer(network).optimize(energy, inference)
+    assert first == second
+
+
+@given(panel=panels, name=networks)
+@settings(max_examples=30, deadline=None)
+def test_larger_capacitor_never_needs_more_tiles(panel, name):
+    """Eq. 9 direction: growing the energy bank can only coarsen (or
+    keep) the intermittent partition."""
+    network = zoo.workload_by_name(name)
+    inference = InferenceDesign.msp430()
+    small = MappingOptimizer(network).optimize(
+        EnergyDesign(panel_area_cm2=panel, capacitance_f=2e-4), inference)
+    large = MappingOptimizer(network).optimize(
+        EnergyDesign(panel_area_cm2=panel, capacitance_f=2e-3), inference)
+    if small is None or large is None:
+        return
+    small_tiles = sum(m.effective_n_tiles(l)
+                      for m, l in zip(small, network))
+    large_tiles = sum(m.effective_n_tiles(l)
+                      for m, l in zip(large, network))
+    assert large_tiles <= small_tiles

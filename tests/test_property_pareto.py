@@ -1,0 +1,58 @@
+"""Property-based tests for Pareto-front extraction."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.explore.pareto import ParetoPoint, pareto_front
+
+coords = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+points_2d = st.lists(
+    st.builds(lambda a, b: ParetoPoint(values=(a, b)), coords, coords),
+    min_size=0, max_size=60,
+)
+
+
+@given(points=points_2d)
+def test_front_is_subset(points):
+    front = pareto_front(points)
+    values = {p.values for p in points}
+    assert all(p.values in values for p in front)
+
+
+@given(points=points_2d)
+def test_front_members_mutually_nondominated(points):
+    front = pareto_front(points)
+    for a in front:
+        for b in front:
+            assert not a.dominates(b)
+
+
+@given(points=points_2d)
+def test_every_excluded_point_is_dominated_or_duplicate(points):
+    front = pareto_front(points)
+    front_values = {p.values for p in front}
+    for point in points:
+        if point.values in front_values:
+            continue
+        assert any(f.dominates(point) for f in front) or any(
+            f.values == point.values for f in front)
+
+
+@given(points=points_2d)
+def test_front_is_idempotent(points):
+    front = pareto_front(points)
+    assert [p.values for p in pareto_front(front)] == \
+        [p.values for p in front]
+
+
+@given(points=points_2d, extra=coords)
+def test_adding_dominated_point_changes_nothing(points, extra):
+    front = pareto_front(points)
+    if not front:
+        return
+    worst = max(p.values[0] for p in points), max(p.values[1]
+                                                  for p in points)
+    dominated = ParetoPoint(values=(worst[0] + 1.0 + extra,
+                                    worst[1] + 1.0 + extra))
+    front_after = pareto_front(list(points) + [dominated])
+    assert [p.values for p in front_after] == [p.values for p in front]

@@ -1,0 +1,70 @@
+"""Tests for the per-layer profiling report."""
+
+import pytest
+
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.sim.report import profile_design, render_profile
+from repro.units import uF
+from repro.workloads import zoo
+
+
+@pytest.fixture
+def setup():
+    network = zoo.har_cnn()
+    design = AuTDesign.with_default_mappings(
+        EnergyDesign(panel_area_cm2=8.0, capacitance_f=uF(470)),
+        InferenceDesign.msp430(), network, n_tiles=2)
+    return network, design
+
+
+class TestProfile:
+    def test_one_row_per_layer(self, setup):
+        network, design = setup
+        profiles = profile_design(design, network,
+                                  LightEnvironment.brighter())
+        assert len(profiles) == len(network)
+        assert [p.layer for p in profiles] == [l.name for l in network]
+
+    def test_energy_shares_sum_to_one(self, setup):
+        network, design = setup
+        profiles = profile_design(design, network,
+                                  LightEnvironment.brighter())
+        assert sum(p.energy_share for p in profiles) == pytest.approx(1.0)
+
+    def test_macs_match_layers(self, setup):
+        network, design = setup
+        profiles = profile_design(design, network,
+                                  LightEnvironment.brighter())
+        for profile, layer in zip(profiles, network):
+            assert profile.macs == layer.macs
+
+    def test_heaviest_layer_dominates(self, setup):
+        network, design = setup
+        profiles = profile_design(design, network,
+                                  LightEnvironment.brighter())
+        heaviest = max(profiles, key=lambda p: p.energy_uj)
+        # HAR's conv1 has the most MACs; energy must concentrate there
+        # or in another conv — not in the 96-MAC fc2.
+        assert heaviest.layer != "fc2"
+        assert heaviest.energy_share > 1.0 / len(profiles)
+
+
+class TestRender:
+    def test_render_contains_every_layer(self, setup):
+        network, design = setup
+        profiles = profile_design(design, network,
+                                  LightEnvironment.brighter())
+        text = render_profile(profiles)
+        for layer in network:
+            assert layer.name in text
+        assert "total" in text
+
+    def test_top_n_truncation(self, setup):
+        network, design = setup
+        profiles = profile_design(design, network,
+                                  LightEnvironment.brighter())
+        text = render_profile(profiles, top=2)
+        body_rows = [line for line in text.splitlines()
+                     if line and not line.startswith(("layer", "-", "total"))]
+        assert len(body_rows) == 2

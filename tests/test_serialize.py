@@ -1,0 +1,123 @@
+"""Tests for design/solution JSON serialization."""
+
+import json
+
+import pytest
+
+from repro import Chrysalis, Objective, zoo
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.dataflow.directives import DataflowStyle
+from repro.dataflow.mapping import LayerMapping
+from repro.energy.environment import LightEnvironment
+from repro.errors import ConfigurationError
+from repro.explore.ga import GAConfig
+from repro.hardware.accelerators import AcceleratorFamily
+from repro.serialize import (
+    design_from_dict,
+    design_from_json,
+    design_to_dict,
+    design_to_json,
+    mapping_from_dict,
+    mapping_to_dict,
+    solution_to_dict,
+)
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.units import uF
+from repro.workloads.layers import DIM_NAMES
+
+
+@pytest.fixture
+def design():
+    network = zoo.har_cnn()
+    base = AuTDesign.with_default_mappings(
+        EnergyDesign(panel_area_cm2=7.5, capacitance_f=uF(330)),
+        InferenceDesign(family=AcceleratorFamily.TPU, n_pes=48,
+                        cache_bytes_per_pe=768),
+        network, n_tiles=3)
+    # Exercise a multi-dimensional mapping in the round trip.
+    fancy = LayerMapping(style=DataflowStyle.OUTPUT_STATIONARY, n_tiles=4,
+                         tile_dim="Y", spatial_dim="K",
+                         secondary_dim="C", n_tiles_2=2)
+    return base.replace_mapping(0, fancy)
+
+
+class TestRoundTrip:
+    def test_design_round_trips(self, design):
+        clone = design_from_dict(design_to_dict(design))
+        assert clone == design
+
+    def test_json_round_trips(self, design):
+        clone = design_from_json(design_to_json(design))
+        assert clone == design
+
+    def test_json_is_valid_and_versioned(self, design):
+        data = json.loads(design_to_json(design))
+        assert data["schema_version"] == 1
+        assert data["inference"]["family"] == "tpu"
+
+    def test_mapping_round_trip_preserves_secondary(self, design):
+        mapping = design.mappings[0]
+        clone = mapping_from_dict(mapping_to_dict(mapping))
+        assert clone == mapping
+        assert clone.secondary_dim == "C"
+
+    def test_reloaded_design_evaluates_identically(self, design):
+        network = zoo.har_cnn()
+        clone = design_from_json(design_to_json(design))
+        evaluator = ChrysalisEvaluator(network)
+        env = LightEnvironment.brighter()
+        original = evaluator.evaluate(design, env)
+        reloaded = evaluator.evaluate(clone, env)
+        assert reloaded.e2e_latency == original.e2e_latency
+        assert reloaded.total_energy == original.total_energy
+
+
+class TestValidationOnLoad:
+    def test_wrong_schema_version(self, design):
+        data = design_to_dict(design)
+        data["schema_version"] = 99
+        with pytest.raises(ConfigurationError, match="schema"):
+            design_from_dict(data)
+
+    def test_missing_section(self, design):
+        data = design_to_dict(design)
+        del data["energy"]
+        with pytest.raises(ConfigurationError):
+            design_from_dict(data)
+
+    def test_tampered_values_fail_validation(self, design):
+        data = design_to_dict(design)
+        data["energy"]["panel_area_cm2"] = -4.0
+        with pytest.raises(ConfigurationError):
+            design_from_dict(data)
+
+    def test_bad_mapping_dims_fail(self, design):
+        data = design_to_dict(design)
+        data["mappings"][0]["tile_dim"] = "Z"
+        with pytest.raises(Exception):
+            design_from_dict(data)
+        assert "Z" not in DIM_NAMES
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ConfigurationError, match="JSON"):
+            design_from_json("{not json")
+
+    def test_non_object_json(self):
+        with pytest.raises(ConfigurationError):
+            design_from_json("[1, 2, 3]")
+
+
+class TestSolutionExport:
+    def test_solution_to_dict(self):
+        tool = Chrysalis(zoo.har_cnn(), setup="existing",
+                         objective=Objective.lat_sp(),
+                         ga_config=GAConfig(population_size=6,
+                                            generations=3, seed=0))
+        solution = tool.generate()
+        data = solution_to_dict(solution)
+        assert json.dumps(data)  # JSON-compatible throughout
+        assert data["score"] == solution.score
+        assert len(data["layer_plan"]) == len(solution.layer_plan)
+        # The embedded design reloads into the same architecture.
+        clone = design_from_dict(data["design"])
+        assert clone == solution.design

@@ -1,0 +1,60 @@
+"""Tests for the solar panel model (Eq. 1 + P-V curve)."""
+
+import pytest
+
+from repro.energy.solar_panel import SolarPanel
+from repro.errors import ConfigurationError
+
+
+class TestEquationOne:
+    def test_power_is_area_times_k_eh(self):
+        panel = SolarPanel(area_cm2=8.0)
+        assert panel.power(1.5e-3) == pytest.approx(12e-3)
+
+    def test_power_scales_linearly_with_area(self):
+        k_eh = 2e-3
+        small = SolarPanel(area_cm2=5.0).power(k_eh)
+        large = SolarPanel(area_cm2=15.0).power(k_eh)
+        assert large == pytest.approx(3.0 * small)
+
+    def test_zero_light_zero_power(self):
+        assert SolarPanel(area_cm2=10.0).power(0.0) == 0.0
+
+    def test_negative_k_eh_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SolarPanel(area_cm2=1.0).power(-1.0)
+
+    @pytest.mark.parametrize("area", [0.0, -3.0])
+    def test_invalid_area_rejected(self, area):
+        with pytest.raises(ConfigurationError):
+            SolarPanel(area_cm2=area)
+
+    def test_voltage_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SolarPanel(area_cm2=1.0, v_mpp=2.5, v_oc=2.0)
+
+
+class TestPVCurve:
+    def test_peak_at_mpp(self):
+        panel = SolarPanel(area_cm2=10.0)
+        k_eh = 1e-3
+        p_mpp = panel.power_at_voltage(k_eh, panel.v_mpp)
+        assert p_mpp == pytest.approx(panel.power(k_eh), rel=1e-6)
+        for v in (0.5, 1.0, 1.5, 2.2, 2.4):
+            assert panel.power_at_voltage(k_eh, v) <= p_mpp + 1e-12
+
+    def test_zero_at_endpoints(self):
+        panel = SolarPanel(area_cm2=10.0)
+        assert panel.power_at_voltage(1e-3, 0.0) == 0.0
+        assert panel.power_at_voltage(1e-3, panel.v_oc) == 0.0
+        assert panel.power_at_voltage(1e-3, panel.v_oc + 1.0) == 0.0
+
+    def test_curve_monotone_on_each_side(self):
+        panel = SolarPanel(area_cm2=10.0)
+        k_eh = 1e-3
+        rising = [panel.power_at_voltage(k_eh, v)
+                  for v in (0.2, 0.6, 1.0, 1.4, 1.8, 2.0)]
+        assert rising == sorted(rising)
+        falling = [panel.power_at_voltage(k_eh, v)
+                   for v in (2.0, 2.2, 2.35, 2.5)]
+        assert falling == sorted(falling, reverse=True)

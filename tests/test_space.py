@@ -1,0 +1,131 @@
+"""Tests for design-space definitions and genome plumbing."""
+
+import random
+
+import pytest
+
+from repro.errors import DesignSpaceError
+from repro.explore.space import DesignSpace, ParameterSpec
+from repro.hardware.accelerators import AcceleratorFamily
+from repro.units import uF, mF
+from repro.workloads import zoo
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestParameterSpec:
+    def test_float_sampling_in_range(self, rng):
+        spec = ParameterSpec("x", "float", 1.0, 30.0)
+        for _ in range(100):
+            assert 1.0 <= spec.sample(rng) <= 30.0
+
+    def test_log_sampling_spans_decades(self, rng):
+        spec = ParameterSpec("c", "float_log", uF(1), mF(10))
+        samples = [spec.sample(rng) for _ in range(500)]
+        assert any(s < uF(10) for s in samples)
+        assert any(s > mF(1) for s in samples)
+
+    def test_int_log_sampling(self, rng):
+        spec = ParameterSpec("n", "int_log", 1, 168)
+        samples = {spec.sample(rng) for _ in range(300)}
+        assert all(isinstance(s, int) and 1 <= s <= 168 for s in samples)
+        assert min(samples) < 8 and max(samples) > 64
+
+    def test_choice_sampling(self, rng):
+        spec = ParameterSpec("arch", "choice", choices=("a", "b"))
+        assert {spec.sample(rng) for _ in range(50)} == {"a", "b"}
+
+    def test_mutation_stays_in_range(self, rng):
+        spec = ParameterSpec("x", "float", 1.0, 30.0)
+        value = 15.0
+        for _ in range(200):
+            value = spec.mutate(value, rng)
+            assert 1.0 <= value <= 30.0
+
+    def test_int_mutation_returns_int(self, rng):
+        spec = ParameterSpec("n", "int_log", 1, 168)
+        assert isinstance(spec.mutate(42, rng), int)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"kind": "float", "low": 5.0, "high": 1.0},
+        {"kind": "float_log", "low": 0.0, "high": 1.0},
+        {"kind": "choice"},
+        {"kind": "mystery", "low": 0.0, "high": 1.0},
+    ])
+    def test_bad_specs(self, kwargs):
+        with pytest.raises(DesignSpaceError):
+            ParameterSpec("bad", **kwargs)
+
+
+class TestDesignSpaces:
+    def test_existing_aut_matches_table_iv(self):
+        space = DesignSpace.existing_aut()
+        assert set(space.names) == {"panel_area_cm2", "capacitance_f"}
+        panel = space.spec("panel_area_cm2")
+        assert panel.low == 1.0 and panel.high == 30.0
+        cap = space.spec("capacitance_f")
+        assert cap.low == pytest.approx(uF(1))
+        assert cap.high == pytest.approx(mF(10))
+
+    def test_future_aut_matches_table_v(self):
+        space = DesignSpace.future_aut()
+        assert set(space.names) == {
+            "panel_area_cm2", "capacitance_f", "family", "n_pes",
+            "cache_bytes_per_pe"}
+        pes = space.spec("n_pes")
+        assert pes.low == 1 and pes.high == 168
+        cache = space.spec("cache_bytes_per_pe")
+        assert cache.low == 128 and cache.high == 2048
+
+    def test_sample_includes_fixed(self, rng):
+        space = DesignSpace.existing_aut()
+        genome = space.sample(rng)
+        assert genome["family"] is AcceleratorFamily.MSP430
+
+    def test_crossover_mixes_parents(self, rng):
+        space = DesignSpace.future_aut()
+        a, b = space.sample(rng), space.sample(rng)
+        child = space.crossover(a, b, rng)
+        for name in space.names:
+            assert child[name] in (a[name], b[name])
+
+    def test_restricted_removes_gene(self, rng):
+        space = DesignSpace.future_aut().restricted(n_pes=64)
+        assert "n_pes" not in space.names
+        assert space.sample(rng)["n_pes"] == 64
+
+    def test_restricted_unknown_name_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace.existing_aut().restricted(warp_drive=9)
+
+    def test_duplicate_parameter_names_rejected(self):
+        spec = ParameterSpec("x", "float", 0.0, 1.0)
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(parameters=(spec, spec))
+
+
+class TestLowering:
+    def test_to_design_existing(self, rng):
+        from repro.dataflow.mapping import LayerMapping
+        net = zoo.har_cnn()
+        space = DesignSpace.existing_aut()
+        genome = space.sample(rng)
+        mappings = tuple(LayerMapping.default(l) for l in net)
+        design = space.to_design(genome, mappings)
+        assert design.inference.family is AcceleratorFamily.MSP430
+        assert design.energy.panel_area_cm2 == genome["panel_area_cm2"]
+
+    def test_to_design_future(self, rng):
+        from repro.dataflow.mapping import LayerMapping
+        net = zoo.cifar10_cnn()
+        space = DesignSpace.future_aut()
+        genome = dict(space.sample(rng))
+        genome["family"] = AcceleratorFamily.TPU
+        genome["n_pes"] = 99
+        mappings = tuple(LayerMapping.default(l) for l in net)
+        design = space.to_design(genome, mappings)
+        assert design.inference.family is AcceleratorFamily.TPU
+        assert design.inference.n_pes == 99

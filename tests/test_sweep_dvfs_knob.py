@@ -1,0 +1,34 @@
+"""Sweep coverage for the DVFS knob and render of 2-D grids."""
+
+
+from repro.design import EnergyDesign, InferenceDesign
+from repro.explore.sweeps import sweep
+from repro.hardware.accelerators import AcceleratorFamily
+from repro.units import uF
+from repro.workloads import zoo
+
+
+def test_clock_scale_sweep_shows_race_vs_crawl():
+    """The underclock/overclock tradeoff: busy time falls with clock
+    while compute energy rises."""
+    energy = EnergyDesign(panel_area_cm2=8.0, capacitance_f=uF(470))
+    inference = InferenceDesign(family=AcceleratorFamily.TPU, n_pes=32,
+                                cache_bytes_per_pe=512)
+    result = sweep(zoo.cifar10_cnn(), "clock_scale",
+                   [0.25, 0.5, 1.0, 2.0], energy, inference)
+    points = result.feasible_points()
+    assert len(points) == 4
+    busy = [p.metrics.busy_time for p in points]
+    assert busy == sorted(busy, reverse=True)  # faster clock, less busy
+    compute = [p.metrics.energy.compute for p in points]
+    assert compute == sorted(compute)  # faster clock, more joules
+
+
+def test_cache_sweep_traffic_direction():
+    energy = EnergyDesign(panel_area_cm2=10.0, capacitance_f=uF(470))
+    inference = InferenceDesign(family=AcceleratorFamily.EYERISS, n_pes=64,
+                                cache_bytes_per_pe=128)
+    result = sweep(zoo.alexnet(), "cache_bytes_per_pe",
+                   [128, 512, 2048], energy, inference)
+    vm_energy = [p.metrics.energy.vm for p in result.feasible_points()]
+    assert vm_energy == sorted(vm_energy, reverse=True)

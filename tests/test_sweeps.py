@@ -1,0 +1,102 @@
+"""Tests for the structured sweep API."""
+
+import pytest
+
+from repro.design import EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.errors import DesignSpaceError
+from repro.explore.sweeps import SweepResult, grid_sweep, sweep
+from repro.hardware.accelerators import AcceleratorFamily
+from repro.units import uF, mF
+from repro.workloads import zoo
+
+
+@pytest.fixture
+def base():
+    return (EnergyDesign(panel_area_cm2=8.0, capacitance_f=uF(470)),
+            InferenceDesign.msp430())
+
+
+class TestSweep:
+    def test_panel_sweep_latency_monotone(self, base):
+        energy, inference = base
+        result = sweep(zoo.har_cnn(), "panel_area_cm2",
+                       [2.0, 4.0, 8.0, 16.0], energy, inference)
+        latencies = [p.metrics.sustained_period
+                     for p in result.feasible_points()]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_capacitor_sweep_marks_unavailable_points(self, base):
+        energy, inference = base
+        result = sweep(zoo.cifar10_cnn(), "capacitance_f",
+                       [1e-6, uF(470), mF(2.2)], energy, inference,
+                       environments=[LightEnvironment.darker()])
+        assert not result.points[0].feasible  # 1 uF cannot run CIFAR
+        assert result.points[1].feasible
+
+    def test_best_returns_minimum_latency_point(self, base):
+        energy, inference = base
+        result = sweep(zoo.har_cnn(), "panel_area_cm2",
+                       [2.0, 8.0, 20.0], energy, inference)
+        assert result.best().value == 20.0
+
+    def test_best_with_custom_key(self, base):
+        energy, inference = base
+        result = sweep(zoo.har_cnn(), "panel_area_cm2",
+                       [2.0, 8.0, 20.0], energy, inference)
+        best_eff = result.best(key=lambda m: -m.system_efficiency)
+        assert best_eff.value == 2.0  # small panels waste least harvest
+
+    def test_inference_knob_sweep(self):
+        energy = EnergyDesign(panel_area_cm2=10.0, capacitance_f=uF(470))
+        inference = InferenceDesign(family=AcceleratorFamily.TPU, n_pes=8,
+                                    cache_bytes_per_pe=512)
+        result = sweep(zoo.cifar10_cnn(), "n_pes", [4, 32, 128],
+                       energy, inference)
+        busy = [p.metrics.busy_time for p in result.feasible_points()]
+        assert busy == sorted(busy, reverse=True)  # more PEs, less busy
+
+    def test_unknown_knob_rejected(self, base):
+        energy, inference = base
+        with pytest.raises(DesignSpaceError, match="knob"):
+            sweep(zoo.har_cnn(), "warp_factor", [1.0], energy, inference)
+
+    def test_render_contains_every_point(self, base):
+        energy, inference = base
+        result = sweep(zoo.har_cnn(), "panel_area_cm2", [2.0, 8.0],
+                       energy, inference)
+        text = result.render()
+        assert "latency" in text
+        assert len(text.splitlines()) == 3
+
+    def test_all_infeasible_best_raises(self, base):
+        _, inference = base
+        energy = EnergyDesign(panel_area_cm2=1.0, capacitance_f=1e-6)
+        result = sweep(zoo.cifar10_cnn(), "panel_area_cm2", [1.0],
+                       energy, inference,
+                       environments=[LightEnvironment.indoor()])
+        with pytest.raises(DesignSpaceError):
+            result.best()
+
+
+class TestGridSweep:
+    def test_reproduces_fig8_fig9_structure(self, base):
+        energy, inference = base
+        grid = grid_sweep(zoo.har_cnn(),
+                          "panel_area_cm2", [4.0, 12.0],
+                          "capacitance_f", [uF(100), mF(1)],
+                          energy, inference)
+        assert set(grid) == {4.0, 12.0}
+        for result in grid.values():
+            assert isinstance(result, SweepResult)
+            assert len(result.points) == 2
+
+    def test_bigger_panel_column_is_faster(self, base):
+        energy, inference = base
+        grid = grid_sweep(zoo.har_cnn(),
+                          "panel_area_cm2", [2.0, 16.0],
+                          "capacitance_f", [uF(470)],
+                          energy, inference)
+        small = grid[2.0].points[0].metrics.sustained_period
+        large = grid[16.0].points[0].metrics.sustained_period
+        assert large < small

@@ -1,0 +1,109 @@
+"""Tests for tile-size enumeration helpers."""
+
+
+import pytest
+
+from repro.dataflow.tiling import (
+    chunk_count,
+    divisors,
+    even_split,
+    halo_extent,
+    pick_intermittent_dim,
+    tile_candidates,
+    tile_space,
+)
+from repro.errors import MappingError
+
+
+class TestDivisors:
+    @pytest.mark.parametrize("n,expected", [
+        (1, [1]),
+        (12, [1, 2, 3, 4, 6, 12]),
+        (13, [1, 13]),
+        (36, [1, 2, 3, 4, 6, 9, 12, 18, 36]),
+    ])
+    def test_known_values(self, n, expected):
+        assert divisors(n) == expected
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(MappingError):
+            divisors(0)
+
+
+class TestEvenSplit:
+    def test_exact_division(self):
+        assert even_split(12, 3) == [4, 4, 4]
+
+    def test_remainder_spread(self):
+        assert even_split(13, 3) == [5, 4, 4]
+        assert sum(even_split(13, 3)) == 13
+
+    def test_more_parts_than_total(self):
+        assert even_split(3, 5) == [1, 1, 1]
+
+    def test_single_part(self):
+        assert even_split(7, 1) == [7]
+
+
+class TestTileCandidates:
+    def test_small_dims_return_all_divisors(self):
+        assert tile_candidates(12) == divisors(12)
+
+    def test_large_dims_subsampled(self):
+        candidates = tile_candidates(720, max_candidates=8)
+        assert len(candidates) <= 8
+        assert candidates[0] == 1
+        assert candidates[-1] == 720
+        assert all(720 % c == 0 for c in candidates)
+
+    def test_tile_space_unknown_dim(self):
+        with pytest.raises(MappingError):
+            tile_space({"K": 4}, ["Q"])
+
+    def test_tile_space_builds_per_dim(self):
+        space = tile_space({"K": 8, "Y": 6}, ["K", "Y"])
+        assert space["K"] == [1, 2, 4, 8]
+        assert space["Y"] == [1, 2, 3, 6]
+
+
+class TestChunkCount:
+    def test_ceiling_semantics(self):
+        assert chunk_count(10, 3) == 4
+        assert chunk_count(9, 3) == 3
+
+    def test_bad_chunk(self):
+        with pytest.raises(MappingError):
+            chunk_count(10, 0)
+
+
+class TestHalo:
+    def test_unit_stride(self):
+        # 8 outputs with a 3-wide kernel need 10 inputs.
+        assert halo_extent(8, 3, 1) == 10
+
+    def test_stride_two(self):
+        assert halo_extent(8, 3, 2) == 17
+
+    def test_pointwise(self):
+        assert halo_extent(5, 1, 1) == 5
+
+    def test_full_layer_recovers_input_extent(self):
+        # out = (in - k)/s + 1  =>  halo(out) == in
+        in_size, k, s = 32, 5, 3
+        out = (in_size - k) // s + 1
+        assert halo_extent(out, k, s) <= in_size
+
+
+class TestPickIntermittentDim:
+    def test_prefers_y(self):
+        assert pick_intermittent_dim({"K": 4, "C": 3, "R": 3, "S": 3,
+                                      "Y": 8, "X": 8}) == "Y"
+
+    def test_falls_back_to_k(self):
+        assert pick_intermittent_dim({"K": 64, "C": 256, "R": 1, "S": 1,
+                                      "Y": 1, "X": 1}) == "K"
+
+    def test_degenerate_all_ones(self):
+        dim = pick_intermittent_dim({"K": 1, "C": 1, "R": 1, "S": 1,
+                                     "Y": 1, "X": 1})
+        assert dim in {"K", "C", "R", "S", "Y", "X"}

@@ -1,0 +1,38 @@
+"""Tests for the simulation event trace."""
+
+from repro.sim.trace import Event, EventKind, Trace
+
+
+class TestTrace:
+    def test_record_and_count(self):
+        trace = Trace()
+        trace.record(0.0, EventKind.POWER_ON)
+        trace.record(1.0, EventKind.TILE_STARTED, layer="conv", tile=0)
+        trace.record(2.0, EventKind.TILE_COMPLETED, layer="conv", tile=0)
+        assert len(trace) == 3
+        assert trace.count(EventKind.POWER_ON) == 1
+        assert trace.count(EventKind.POWER_OFF) == 0
+
+    def test_of_kind_filters(self):
+        trace = Trace()
+        for i in range(3):
+            trace.record(float(i), EventKind.TILE_COMPLETED, layer="l",
+                         tile=i)
+        trace.record(3.0, EventKind.INFERENCE_COMPLETED)
+        tiles = trace.of_kind(EventKind.TILE_COMPLETED)
+        assert [e.tile for e in tiles] == [0, 1, 2]
+
+    def test_render_limit(self):
+        trace = Trace()
+        for i in range(10):
+            trace.record(float(i), EventKind.POWER_ON)
+        text = trace.render(limit=3)
+        assert "7 more events" in text
+
+    def test_event_render(self):
+        event = Event(1.5, EventKind.CHECKPOINT_SAVED, layer="fc", tile=2,
+                      detail="boundary")
+        text = event.render()
+        assert "checkpoint_saved" in text
+        assert "fc[2]" in text
+        assert "boundary" in text

@@ -1,0 +1,97 @@
+"""Tests for trace analysis."""
+
+import pytest
+
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.sim.trace import EventKind, Trace
+from repro.sim.trace_analysis import analyze_trace
+from repro.units import mF
+from repro.workloads import zoo
+
+
+def simulated_trace(panel=2.0, cap=mF(1), n_tiles=8,
+                    environment=None):
+    network = zoo.cifar10_cnn()
+    design = AuTDesign.with_default_mappings(
+        EnergyDesign(panel_area_cm2=panel, capacitance_f=cap),
+        InferenceDesign.msp430(), network, n_tiles=n_tiles)
+    evaluator = ChrysalisEvaluator(network)
+    env = environment or LightEnvironment.darker()
+    return evaluator.simulate(design, env)
+
+
+class TestSyntheticTraces:
+    def test_single_cycle(self):
+        trace = Trace()
+        trace.record(0.0, EventKind.POWER_ON)
+        trace.record(1.0, EventKind.TILE_COMPLETED, layer="a", tile=0)
+        trace.record(2.0, EventKind.TILE_COMPLETED, layer="a", tile=1)
+        trace.record(3.0, EventKind.INFERENCE_COMPLETED)
+        analysis = analyze_trace(trace)
+        assert len(analysis.cycles) == 1
+        assert analysis.cycles[0].duration == pytest.approx(3.0)
+        assert analysis.cycles[0].tiles_completed == 2
+        assert analysis.duty_cycle == pytest.approx(1.0)
+
+    def test_two_cycles_with_gap(self):
+        trace = Trace()
+        trace.record(0.0, EventKind.POWER_ON)
+        trace.record(1.0, EventKind.TILE_COMPLETED, layer="a", tile=0)
+        trace.record(1.5, EventKind.POWER_OFF)
+        trace.record(4.5, EventKind.POWER_ON)
+        trace.record(5.0, EventKind.TILE_COMPLETED, layer="b", tile=0)
+        trace.record(5.5, EventKind.INFERENCE_COMPLETED)
+        analysis = analyze_trace(trace)
+        assert len(analysis.cycles) == 2
+        assert analysis.on_time == pytest.approx(1.5 + 1.0)
+        assert analysis.duty_cycle == pytest.approx(2.5 / 5.5)
+        assert analysis.tiles_per_layer == {"a": 1, "b": 1}
+
+    def test_exception_attribution(self):
+        trace = Trace()
+        trace.record(0.0, EventKind.POWER_ON)
+        trace.record(1.0, EventKind.POWER_OFF)
+        trace.record(1.0, EventKind.EXCEPTION, layer="conv2", tile=3)
+        trace.record(2.0, EventKind.POWER_ON)
+        trace.record(3.0, EventKind.INFERENCE_COMPLETED)
+        analysis = analyze_trace(trace)
+        assert analysis.exceptions_per_layer == {"conv2": 1}
+        assert "conv2" in analysis.render()
+
+    def test_empty_trace(self):
+        analysis = analyze_trace(Trace())
+        assert analysis.cycles == []
+        assert analysis.duty_cycle == 0.0
+        assert analysis.mean_cycle_duration == 0.0
+
+
+class TestRealTraces:
+    def test_intermittent_run_statistics(self):
+        result = simulated_trace()
+        assert result.metrics.feasible
+        analysis = analyze_trace(result.trace)
+        assert len(analysis.cycles) >= 1
+        assert 0.0 < analysis.duty_cycle <= 1.0
+        total_tiles = sum(analysis.tiles_per_layer.values())
+        assert total_tiles == result.trace.count(EventKind.TILE_COMPLETED)
+
+    def test_duty_cycle_tracks_metrics(self):
+        result = simulated_trace()
+        analysis = analyze_trace(result.trace)
+        metrics_duty = result.metrics.busy_time / result.metrics.e2e_latency
+        assert analysis.duty_cycle == pytest.approx(metrics_duty, abs=0.15)
+
+    def test_bright_run_is_single_cycle(self):
+        result = simulated_trace(panel=20.0, cap=mF(2.2), n_tiles=4,
+                                 environment=LightEnvironment.brighter())
+        analysis = analyze_trace(result.trace)
+        assert len(analysis.cycles) == 1
+        assert analysis.duty_cycle > 0.95
+
+    def test_render_smoke(self):
+        analysis = analyze_trace(simulated_trace().trace)
+        text = analysis.render()
+        assert "duty cycle" in text
+        assert "tiles/cycle" in text

@@ -1,0 +1,90 @@
+"""Doc-fidelity tests: the TUTORIAL.md snippets must actually run.
+
+Each test mirrors one tutorial section (with smaller search budgets so
+the suite stays fast).  If an API change breaks the docs, this file
+breaks first.
+"""
+
+import pytest
+
+from repro import Chrysalis, LightEnvironment, Objective
+from repro.core.describer import describe_design
+from repro.design import EnergyDesign, InferenceDesign
+from repro.explore.ga import GAConfig
+from repro.explore.sweeps import sweep
+from repro.serialize import design_from_json, design_to_json
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.sim.report import profile_design, render_profile
+from repro.sim.trace_analysis import analyze_trace
+from repro.units import uF
+from repro.workloads import Conv2D, Dense, Network, Pool2D, zoo
+
+FAST = GAConfig(population_size=6, generations=3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return zoo.har_cnn()
+
+
+@pytest.fixture(scope="module")
+def solution(network):
+    return Chrysalis(network, setup="existing",
+                     objective=Objective.lat_sp(), ga_config=FAST).generate()
+
+
+def test_section_1_custom_network():
+    net = Network.chain("mysensor", (1, 64, 64), [
+        Conv2D("conv1", in_channels=1, out_channels=8,
+               in_height=64, in_width=64, kernel=3, padding=1),
+        Pool2D("pool1", channels=8, in_height=64, in_width=64),
+        Dense("fc", in_features=8 * 32 * 32, out_features=4),
+    ])
+    assert net.macs > 0
+    assert "mysensor" in net.summary()
+
+
+def test_section_2_environments():
+    brighter, darker = LightEnvironment.paper_environments()
+    assert brighter.k_eh > darker.k_eh > 0
+
+
+def test_section_3_objectives_construct():
+    Objective.lat(sp_constraint_cm2=6.0)
+    Objective.sp(latency_constraint_s=2.0)
+    Objective.lat_sp()
+
+
+def test_section_4_inspection(network, solution):
+    design = solution.design
+    assert "Mapping describer" in describe_design(network=network,
+                                                  design=design,
+                                                  loop_nests=True)
+    profile = profile_design(design, network, LightEnvironment.brighter())
+    assert "total" in render_profile(profile)
+
+
+def test_section_5_step_validation(network, solution):
+    evaluator = ChrysalisEvaluator(network)
+    result = evaluator.simulate(solution.design,
+                                LightEnvironment.darker())
+    assert result.metrics.feasible
+    analysis = analyze_trace(result.trace)
+    assert "duty cycle" in analysis.render()
+    assert result.trace.render(limit=10)
+
+
+def test_section_6_sweep(network):
+    result = sweep(network, "capacitance_f",
+                   [uF(47), uF(220), uF(1000)],
+                   EnergyDesign(panel_area_cm2=8.0, capacitance_f=uF(470)),
+                   InferenceDesign.msp430())
+    assert result.best().value in (uF(47), uF(220), uF(1000))
+    assert "latency" in result.render()
+
+
+def test_section_7_persistence(network, solution, tmp_path):
+    path = tmp_path / "design.json"
+    path.write_text(design_to_json(solution.design))
+    reloaded = design_from_json(path.read_text())
+    assert reloaded == solution.design

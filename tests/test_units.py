@@ -1,0 +1,39 @@
+"""Unit-helper sanity checks."""
+
+import pytest
+
+from repro import units
+
+
+def test_capacitance_helpers():
+    assert units.uF(1) == pytest.approx(1e-6)
+    assert units.mF(10) == pytest.approx(1e-2)
+    assert units.uF(1000) == pytest.approx(units.mF(1))
+
+
+def test_energy_helpers():
+    assert units.nJ(1) == pytest.approx(1e-9)
+    assert units.uJ(1) == pytest.approx(1e-6)
+    assert units.mJ(1) == pytest.approx(1e-3)
+    assert units.uJ(1000) == pytest.approx(units.mJ(1))
+
+
+def test_power_helpers():
+    assert units.uW(1) == pytest.approx(1e-6)
+    assert units.mW(7.5) == pytest.approx(7.5e-3)
+
+
+def test_time_helpers():
+    assert units.ms(1447) == pytest.approx(1.447)
+    assert units.us(1) == pytest.approx(1e-6)
+
+
+def test_memory_helpers_are_integers():
+    assert units.KB(8) == 8192
+    assert units.MB(1) == 1024 * 1024
+    assert isinstance(units.KB(1.5), int)
+
+
+def test_irradiance_conversion():
+    # 1000 W/m^2 (STC) is 0.1 W/cm^2.
+    assert units.irradiance_to_w_per_cm2(1000.0) == pytest.approx(0.1)

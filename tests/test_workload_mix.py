@@ -1,0 +1,127 @@
+"""Tests for input-dependent workload mixes (early-exit inference)."""
+
+import math
+
+import pytest
+
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.errors import ConfigurationError
+from repro.explore.mapper_search import MappingOptimizer
+from repro.sim.mix import MixVariant, WorkloadMix, early_exit_mix
+from repro.units import uF
+from repro.workloads import zoo
+
+
+def designed(network, panel=8.0, cap=uF(470)):
+    energy = EnergyDesign(panel_area_cm2=panel, capacitance_f=cap)
+    inference = InferenceDesign.msp430()
+    mappings = MappingOptimizer(network).optimize(energy, inference)
+    assert mappings is not None
+    return AuTDesign(energy=energy, inference=inference, mappings=mappings)
+
+
+@pytest.fixture(scope="module")
+def networks():
+    full = zoo.cifar10_cnn()
+    exit_net = zoo.cifar10_early_exit()
+    return full, exit_net
+
+
+@pytest.fixture(scope="module")
+def mix(networks):
+    full, exit_net = networks
+    return early_exit_mix(full, exit_net,
+                          designed(full), designed(exit_net),
+                          exit_probability=0.7)
+
+
+class TestEarlyExitNetwork:
+    def test_exit_head_is_cheaper(self, networks):
+        full, exit_net = networks
+        assert exit_net.macs < 0.6 * full.macs
+        assert exit_net.input_shape == full.input_shape
+
+    def test_shares_prefix_layers(self, networks):
+        full, exit_net = networks
+        assert [l.name for l in exit_net.layers[:3]] == \
+            [l.name for l in full.layers[:3]]
+
+
+class TestMixEvaluation:
+    def test_expectation_between_variants(self, mix):
+        result = mix.evaluate()
+        assert result.feasible
+        latencies = [m.sustained_period
+                     for m in result.per_variant.values()]
+        assert min(latencies) <= result.expected_latency <= max(latencies)
+
+    def test_worst_case_is_full_network(self, mix):
+        result = mix.evaluate()
+        full_latency = result.per_variant["full"].sustained_period
+        assert result.worst_case_latency == pytest.approx(full_latency)
+
+    def test_more_exits_faster_expectation(self, networks):
+        full, exit_net = networks
+        d_full, d_exit = designed(full), designed(exit_net)
+        lazy = early_exit_mix(full, exit_net, d_full, d_exit, 0.9).evaluate()
+        hard = early_exit_mix(full, exit_net, d_full, d_exit, 0.1).evaluate()
+        assert lazy.expected_latency < hard.expected_latency
+        assert lazy.expected_energy < hard.expected_energy
+
+    def test_spread_nonnegative(self, mix):
+        result = mix.evaluate()
+        assert result.latency_spread >= 0.0
+        assert result.expected_throughput > 0.0
+
+    def test_infeasible_variant_poisons_mix(self, networks):
+        full, exit_net = networks
+        # A starved design for the full network (tiny panel + tiny cap,
+        # single tile) cannot run it.
+        bad = AuTDesign.with_default_mappings(
+            EnergyDesign(panel_area_cm2=1.0, capacitance_f=uF(10)),
+            InferenceDesign.msp430(), full, n_tiles=1)
+        mix = early_exit_mix(full, exit_net, bad, designed(exit_net), 0.5)
+        result = mix.evaluate()
+        assert not result.feasible
+        assert result.infeasible_variant == "full"
+        assert math.isinf(result.expected_latency)
+        assert result.expected_throughput == 0.0
+
+
+class TestValidation:
+    def test_probabilities_must_sum_to_one(self, networks):
+        full, exit_net = networks
+        with pytest.raises(ConfigurationError, match="sum to 1"):
+            WorkloadMix([
+                MixVariant("a", full, designed(full), 0.5),
+                MixVariant("b", exit_net, designed(exit_net), 0.2),
+            ])
+
+    def test_duplicate_names_rejected(self, networks):
+        full, _ = networks
+        design = designed(full)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            WorkloadMix([
+                MixVariant("a", full, design, 0.5),
+                MixVariant("a", full, design, 0.5),
+            ])
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMix([])
+
+    def test_bad_probability(self, networks):
+        full, _ = networks
+        with pytest.raises(ConfigurationError):
+            MixVariant("a", full, designed(full), 0.0)
+
+    def test_bad_exit_probability(self, networks):
+        full, exit_net = networks
+        with pytest.raises(ConfigurationError):
+            early_exit_mix(full, exit_net, designed(full),
+                           designed(exit_net), 1.0)
+
+    def test_design_network_mismatch(self, networks):
+        full, exit_net = networks
+        with pytest.raises(ConfigurationError):
+            MixVariant("a", full, designed(exit_net), 1.0)
