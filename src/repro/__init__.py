@@ -20,6 +20,7 @@ Package map
 ``repro.hardware``   MSP430/LEA and TPU/Eyeriss-like hardware models
 ``repro.sim``        analytical (Eqs. 1-9) and step-based evaluation
 ``repro.explore``    design spaces, objectives, GA, bi-level explorer
+``repro.faults``     seeded fault injection + resilience reporting
 ``repro.core``       the Table II usage-model API
 """
 
@@ -32,6 +33,12 @@ from repro.explore.nsga2 import ParetoExplorer
 from repro.explore.objectives import Objective, ObjectiveKind
 from repro.explore.space import DesignSpace
 from repro.explore.sweeps import grid_sweep, sweep
+from repro.faults import (
+    FaultConfig,
+    FaultInjector,
+    ResilienceReport,
+    run_faults_sweep,
+)
 from repro.serialize import (
     design_from_json,
     design_to_json,
@@ -51,11 +58,14 @@ __all__ = [
     "DesignSpace",
     "EnergyDesign",
     "EvaluationMode",
+    "FaultConfig",
+    "FaultInjector",
     "InferenceDesign",
     "LightEnvironment",
     "Objective",
     "ObjectiveKind",
     "ParetoExplorer",
+    "ResilienceReport",
     "SCENARIOS",
     "Scenario",
     "WorkloadMix",
@@ -64,6 +74,7 @@ __all__ = [
     "design_to_json",
     "early_exit_mix",
     "grid_sweep",
+    "run_faults_sweep",
     "solution_to_dict",
     "sweep",
     "zoo",

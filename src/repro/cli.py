@@ -12,6 +12,9 @@ Commands
 ``simulate``
     Step-simulate an explicit design and print metrics plus the head of
     the event trace.
+``faults-sweep``
+    Stress an explicit design across fault-injection intensities and
+    print the survival-under-faults table.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from repro.errors import ChrysalisError
 from repro.explore.ga import GAConfig
 from repro.explore.mapper_search import MappingOptimizer
 from repro.explore.objectives import Objective
+from repro.faults import FaultConfig, run_faults_sweep
 from repro.hardware.accelerators import AcceleratorFamily
 from repro.serialize import (
     design_from_json,
@@ -37,7 +41,15 @@ from repro.serialize import (
     solution_to_dict,
 )
 from repro.sim.evaluator import ChrysalisEvaluator
+from repro.sim.report import render_faults_sweep
 from repro.workloads import zoo
+
+
+_ENVIRONMENTS = {
+    "brighter": LightEnvironment.brighter,
+    "darker": LightEnvironment.darker,
+    "indoor": LightEnvironment.indoor,
+}
 
 
 def _build_objective(args: argparse.Namespace) -> Objective:
@@ -60,7 +72,8 @@ def _inference_design(args: argparse.Namespace) -> InferenceDesign:
                            cache_bytes_per_pe=args.cache)
 
 
-def _explicit_design(args: argparse.Namespace, network) -> AuTDesign:
+def _explicit_design(args: argparse.Namespace, network,
+                     environments=None) -> AuTDesign:
     if getattr(args, "design", None):
         design = design_from_json(
             pathlib.Path(args.design).read_text())
@@ -69,7 +82,8 @@ def _explicit_design(args: argparse.Namespace, network) -> AuTDesign:
     energy = EnergyDesign(panel_area_cm2=args.panel,
                           capacitance_f=args.cap * 1e-6)
     inference = _inference_design(args)
-    mappings = MappingOptimizer(network).optimize(energy, inference)
+    mappings = MappingOptimizer(
+        network, environments=environments).optimize(energy, inference)
     if mappings is None:
         raise ChrysalisError(
             "no feasible intermittent mapping for this design; "
@@ -123,11 +137,7 @@ def cmd_describe(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     network = zoo.workload_by_name(args.workload)
     design = _explicit_design(args, network)
-    environment = {
-        "brighter": LightEnvironment.brighter,
-        "darker": LightEnvironment.darker,
-        "indoor": LightEnvironment.indoor,
-    }[args.environment]()
+    environment = _ENVIRONMENTS[args.environment]()
     evaluator = ChrysalisEvaluator(network)
     result = evaluator.simulate(design, environment)
     metrics = result.metrics
@@ -145,6 +155,28 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"system efficiency: {metrics.system_efficiency:.3f}")
     print()
     print(result.trace.render(limit=args.trace))
+    return 0
+
+
+def cmd_faults_sweep(args: argparse.Namespace) -> int:
+    network = zoo.workload_by_name(args.workload)
+    environment = _ENVIRONMENTS[args.environment]()
+    # Map the design for the environment being stressed: sweeping a
+    # design that is nominally infeasible there tells you nothing.
+    design = _explicit_design(args, network, environments=(environment,))
+    base = FaultConfig.stress().with_seed(args.fault_seed)
+    cells = run_faults_sweep(
+        design, network, environment,
+        base=base,
+        intensities=tuple(args.intensities),
+        seeds_per_cell=args.seeds_per_cell,
+        max_steps=args.max_steps,
+    )
+    print(f"fault model      : stress profile, seed {args.fault_seed}")
+    print(f"environment      : {args.environment}, "
+          f"{args.seeds_per_cell} seed(s) per intensity")
+    print()
+    print(render_faults_sweep(cells))
     return 0
 
 
@@ -206,6 +238,25 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--trace", type=int, default=10,
                           help="trace events to print")
 
+    faults = sub.add_parser(
+        "faults-sweep",
+        help="stress a design across fault-injection intensities")
+    add_design_args(faults)
+    faults.add_argument("--environment",
+                        choices=("brighter", "darker", "indoor"),
+                        default="brighter")
+    faults.add_argument("--intensities", type=float, nargs="+",
+                        default=[0.0, 0.5, 1.0, 2.0],
+                        help="fault-rate multipliers applied to the "
+                             "stress profile")
+    faults.add_argument("--seeds-per-cell", type=int, default=3,
+                        help="fault seeds simulated per intensity")
+    faults.add_argument("--fault-seed", type=int, default=0,
+                        help="base seed of the fault processes")
+    faults.add_argument("--max-steps", type=int, default=500_000,
+                        help="per-run step budget before the run counts "
+                             "as a non-survivor")
+
     return parser
 
 
@@ -217,6 +268,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "search": cmd_search,
         "describe": cmd_describe,
         "simulate": cmd_simulate,
+        "faults-sweep": cmd_faults_sweep,
     }
     try:
         return handlers[args.command](args)

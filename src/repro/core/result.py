@@ -7,11 +7,12 @@ the per-layer dataflow plan (``N_tile``, preferred dataflow style).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
 
 from repro.design import AuTDesign
 from repro.explore.bilevel import SearchResult
+from repro.faults.report import ResilienceReport
 from repro.sim.metrics import InferenceMetrics
 from repro.workloads.network import Network
 
@@ -38,6 +39,11 @@ class AuTSolution:
     objective_label: str
     score: float
     evaluations: int
+    #: Candidate failures the search absorbed instead of crashing.
+    absorbed_failures: int = 0
+    #: Resilience of the winning design under fault injection, when a
+    #: fault-injected run has been attached with :meth:`with_resilience`.
+    resilience: Optional[ResilienceReport] = None
 
     # -- Table II output accessors ------------------------------------------
 
@@ -82,7 +88,12 @@ class AuTSolution:
             objective_label=objective_label,
             score=result.score,
             evaluations=result.history.evaluations,
+            absorbed_failures=len(result.failures),
         )
+
+    def with_resilience(self, report: ResilienceReport) -> "AuTSolution":
+        """Copy of this solution annotated with a resilience report."""
+        return replace(self, resilience=report)
 
     def report(self) -> str:
         """Human-readable solution report."""
@@ -100,7 +111,19 @@ class AuTSolution:
             f"(ckpt {m.energy.checkpoint * 1e3:.3g} mJ, "
             f"leak {m.energy.cap_leakage * 1e3:.3g} mJ)",
             f"system eff.    : {m.system_efficiency:.3f}",
-            f"HW evaluations : {self.evaluations}",
+            f"HW evaluations : {self.evaluations} "
+            f"({self.absorbed_failures} failure(s) absorbed)",
+        ]
+        if self.resilience is not None:
+            r = self.resilience
+            lines += [
+                f"resilience     : "
+                f"{'completed' if r.completed else 'did not complete'}, "
+                f"fwd progress {r.forward_progress_ratio:.1%}, "
+                f"re-exec {r.reexecution_overhead:.1%}, "
+                f"ckpt loss {r.checkpoint_loss_rate:.1%}",
+            ]
+        lines += [
             "",
             f"{'layer':<16}{'dataflow':<10}{'N_tile':>8}  tile/spatial dims",
         ]

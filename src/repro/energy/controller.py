@@ -21,11 +21,15 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.energy.capacitor import Capacitor
 from repro.energy.harvester import Harvester
 from repro.energy.pmic import PowerManagementIC
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.faults.injector import FaultInjector
 
 
 class PowerState(enum.Enum):
@@ -58,6 +62,10 @@ class EnergyController:
     time: float = 0.0
     state: PowerState = PowerState.OFF
     accounting: EnergyAccounting = field(default_factory=EnergyAccounting)
+    #: Optional fault-injection hook; ``None`` (the default) keeps the
+    #: nominal path untouched, and an injector with all rates zero is
+    #: numerically identical to it.
+    faults: Optional["FaultInjector"] = None
 
     def __post_init__(self) -> None:
         if self.pmic.v_on > self.capacitor.rated_voltage:
@@ -65,6 +73,9 @@ class EnergyController:
                 f"PMIC v_on={self.pmic.v_on} exceeds capacitor rating "
                 f"{self.capacitor.rated_voltage}"
             )
+        # Pristine leakage coefficient — the drift fault ages it as a
+        # function of absolute time, so the baseline must be pinned.
+        self._base_k_cap = self.capacitor.k_cap
         self._sync_state()
 
     # -- observers ---------------------------------------------------------------
@@ -104,9 +115,16 @@ class EnergyController:
                 f"load_power must be non-negative, got {load_power}"
             )
         harvested_power = self.harvester.power_at(self.time)
+        if self.faults is not None:
+            self.capacitor.k_cap = self.faults.k_cap_at(
+                self.time, self._base_k_cap)
+            harvested_power *= self.faults.harvest_factor(self.time)
         charge_power = self.pmic.charge_power(harvested_power)
         if self.rail_on() and load_power > 0:
             drain_power = self.pmic.drain_power(load_power)
+            if self.faults is not None:
+                drain_power *= self.faults.esr_factor(
+                    self.accounting.power_cycles)
         else:
             load_power = 0.0
             drain_power = 0.0
@@ -166,19 +184,67 @@ class EnergyController:
         """
         if self.rail_on():
             return 0.0
+        if self.faults is not None and self.faults.perturbs_charging:
+            return self._fast_forward_windowed(max_wait)
         harvested_power = self.harvester.power_at(self.time)
         charge_power = self.pmic.charge_power(harvested_power)
         wait = self.capacitor.time_to_reach(self.pmic.v_on, charge_power)
         if math.isinf(wait) or wait > max_wait:
             return math.inf
         self._advance(wait, harvested_power, charge_power, 0.0, 0.0)
+        self._snap_to_on()
+        self._transition(v_before=0.0)
+        return wait
+
+    #: Iteration cap of the windowed fast-forward; only a backstop for
+    #: an unbounded ``max_wait`` on a hopeless (leakage-bound) design.
+    MAX_CHARGE_WINDOWS = 1_000_000
+
+    def _fast_forward_windowed(self, max_wait: float) -> float:
+        """Charge to ``v_on`` when faults vary the input over time.
+
+        Shading transients and leakage drift make the charge power
+        piecewise-constant, so the closed-form fast-forward is applied
+        per shading window instead of once.  Unlike the nominal path,
+        a failed (``inf``) fast-forward leaves the partially-charged
+        state behind — callers treat ``inf`` as terminal anyway.
+        """
+        faults, waited = self.faults, 0.0
+        for _ in range(self.MAX_CHARGE_WINDOWS):
+            if waited >= max_wait:
+                return math.inf
+            self.capacitor.k_cap = faults.k_cap_at(self.time,
+                                                   self._base_k_cap)
+            harvested_power = (self.harvester.power_at(self.time)
+                               * faults.harvest_factor(self.time))
+            charge_power = self.pmic.charge_power(harvested_power)
+            window = max(faults.window_end(self.time) - self.time, 1e-9)
+            wait = self.capacitor.time_to_reach(self.pmic.v_on, charge_power)
+            if wait <= window:
+                if waited + wait > max_wait:
+                    return math.inf
+                self._advance(wait, harvested_power, charge_power, 0.0, 0.0)
+                self._snap_to_on()
+                self._transition(v_before=0.0)
+                return waited + wait
+            # Even unshaded input cannot out-run leakage: hopeless.
+            clear_power = self.pmic.charge_power(
+                self.harvester.power_at(self.time))
+            if math.isinf(wait) and math.isinf(
+                    self.capacitor.time_to_reach(self.pmic.v_on,
+                                                 clear_power)):
+                return math.inf
+            chunk = min(window, max_wait - waited)
+            self._advance(chunk, harvested_power, charge_power, 0.0, 0.0)
+            waited += chunk
+        return math.inf
+
+    def _snap_to_on(self) -> None:
         # Snap away the one-ulp float shortfall of the closed-form
         # inversion so the comparator sees exactly U_on.
         if self.capacitor.voltage < self.pmic.v_on:
             self.capacitor.voltage = min(self.pmic.v_on,
                                          self.capacitor.rated_voltage)
-        self._transition(v_before=0.0)
-        return wait
 
     # -- internals -------------------------------------------------------------------
 

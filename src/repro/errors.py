@@ -36,6 +36,19 @@ class InfeasibleDesignError(ChrysalisError):
     full energy cycle can deliver (violates Eq. 8 of the paper)."""
 
 
+class EvaluationTimeout(ChrysalisError):
+    """A candidate evaluation exhausted its step or wall-clock budget.
+
+    Raised by the step simulator when a run exceeds ``max_steps`` /
+    ``time_budget_s``; the hardened explorer converts it into a fitness
+    penalty instead of letting one runaway candidate stall the search."""
+
+
+class FaultInjectionError(ChrysalisError):
+    """A fault-injection configuration is malformed (negative rate,
+    probability above one, non-positive correlation window, ...)."""
+
+
 class SearchError(ChrysalisError):
     """The explorer could not produce a feasible solution (empty design
     space, every candidate infeasible, budget exhausted with no result)."""

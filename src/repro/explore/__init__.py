@@ -16,6 +16,7 @@
 
 from repro.explore.baselines import BASELINE_METHODS, baseline_space
 from repro.explore.bilevel import BilevelExplorer, SearchResult
+from repro.explore.failures import FailureLog, FailureRecord
 from repro.explore.ga import GeneticAlgorithm, GAConfig
 from repro.explore.grid import GridSearch
 from repro.explore.mapper_search import MappingOptimizer
@@ -28,6 +29,8 @@ __all__ = [
     "BASELINE_METHODS",
     "BilevelExplorer",
     "DesignSpace",
+    "FailureLog",
+    "FailureRecord",
     "GAConfig",
     "GeneticAlgorithm",
     "GridSearch",

@@ -16,15 +16,22 @@ from __future__ import annotations
 
 import logging
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
-
-logger = logging.getLogger(__name__)
 
 from repro.dataflow.mapping import LayerMapping
 from repro.design import AuTDesign
 from repro.energy.environment import LightEnvironment
-from repro.errors import SearchError
+from repro.errors import (
+    DesignSpaceError,
+    EvaluationTimeout,
+    InfeasibleDesignError,
+    MappingError,
+    SearchError,
+    SimulationError,
+)
+from repro.explore.failures import FailureLog, describe_genome
 from repro.explore.ga import GAConfig, GAHistory, GeneticAlgorithm
 from repro.explore.mapper_search import MappingOptimizer
 from repro.explore.objectives import Objective
@@ -34,6 +41,19 @@ from repro.hardware.checkpoint import CheckpointModel
 from repro.sim.evaluator import ChrysalisEvaluator
 from repro.sim.metrics import InferenceMetrics
 from repro.workloads.network import Network
+
+logger = logging.getLogger(__name__)
+
+#: Error families absorbed per candidate: anything a machine-generated
+#: genome can plausibly trip over.  Configuration mistakes made by the
+#: *caller* (bad objective, bad GA config) still raise.
+_CANDIDATE_ERRORS = (
+    MappingError,
+    SimulationError,
+    InfeasibleDesignError,
+    DesignSpaceError,
+    EvaluationTimeout,
+)
 
 
 @dataclass
@@ -46,6 +66,8 @@ class SearchResult:
     metrics_by_env: Dict[str, InferenceMetrics]
     history: GAHistory
     evaluated: List[ParetoPoint] = field(default_factory=list)
+    #: Every candidate failure the search absorbed instead of crashing.
+    failures: FailureLog = field(default_factory=FailureLog)
 
     def summary(self) -> str:
         lines = [
@@ -54,6 +76,7 @@ class SearchResult:
             f"avg latency : {self.average.e2e_latency:.4g} s",
             f"avg eff.    : {self.average.system_efficiency:.3f}",
             f"evaluations : {self.history.evaluations}",
+            f"absorbed    : {len(self.failures)} candidate failure(s)",
         ]
         return "\n".join(lines)
 
@@ -65,7 +88,8 @@ class BilevelExplorer:
                  objective: Objective,
                  environments: Optional[Sequence[LightEnvironment]] = None,
                  ga_config: Optional[GAConfig] = None,
-                 checkpoint: Optional[CheckpointModel] = None) -> None:
+                 checkpoint: Optional[CheckpointModel] = None,
+                 candidate_time_budget_s: Optional[float] = None) -> None:
         self.network = network
         self.space = space
         self.objective = objective
@@ -76,21 +100,54 @@ class BilevelExplorer:
         )
         self.ga_config = ga_config or GAConfig()
         self.checkpoint = checkpoint
+        #: Wall-clock budget of one candidate evaluation; an over-budget
+        #: candidate is penalized as an :class:`EvaluationTimeout`.
+        self.candidate_time_budget_s = candidate_time_budget_s
         self.mapper = MappingOptimizer(network, self.environments,
                                        checkpoint=checkpoint)
         self.evaluator = ChrysalisEvaluator(network, self.environments,
                                             checkpoint=checkpoint)
         self.evaluated: List[ParetoPoint] = []
+        self.failures = FailureLog()
         self._design_cache: Dict[int, AuTDesign] = {}
 
     # -- fitness ---------------------------------------------------------------
 
     def evaluate_genome(self, genome: Genome) -> float:
-        """Full bi-level fitness of one HW genome (lower is better)."""
-        design = self.lower_genome(genome)
-        if design is None:
+        """Full bi-level fitness of one HW genome (lower is better).
+
+        Candidate-level failures (unmappable tilings, impossible
+        simulations, exhausted step budgets, ...) never propagate: they
+        become an infinite-fitness penalty plus a structured record in
+        :attr:`failures`, so one broken genome cannot abort a long run.
+        """
+        started = time.monotonic()
+        try:
+            design = self.lower_genome(genome)
+            if design is None:
+                return math.inf
+            metrics = self.evaluator.evaluate_average(design)
+        except _CANDIDATE_ERRORS as error:
+            self.failures.record(
+                candidate=describe_genome(genome), error=error,
+                penalty=math.inf, stage="sw-lowering",
+            )
+            logger.warning("absorbed %s for candidate %s: %s",
+                           type(error).__name__, describe_genome(genome),
+                           error)
             return math.inf
-        metrics = self.evaluator.evaluate_average(design)
+        if (self.candidate_time_budget_s is not None
+                and time.monotonic() - started
+                > self.candidate_time_budget_s):
+            timeout = EvaluationTimeout(
+                f"candidate evaluation exceeded its "
+                f"{self.candidate_time_budget_s:.3g} s budget"
+            )
+            self.failures.record(
+                candidate=describe_genome(genome), error=timeout,
+                penalty=math.inf, stage="hw-fitness",
+            )
+            return math.inf
         score = self.objective.score(design, metrics)
         if metrics.feasible and math.isfinite(metrics.e2e_latency):
             latency = metrics.sustained_period or metrics.e2e_latency
@@ -133,13 +190,22 @@ class BilevelExplorer:
     def run(self) -> SearchResult:
         algorithm = GeneticAlgorithm(self.space, self.evaluate_genome,
                                      self.ga_config,
-                                     seeds=self._seed_genomes())
+                                     seeds=self._seed_genomes(),
+                                     failure_log=self.failures)
         try:
             best_genome, best_score = algorithm.run()
         except SearchError:
+            detail = ""
+            if self.failures:
+                families = ", ".join(
+                    f"{family} x{count}"
+                    for family, count in self.failures.by_family().items())
+                detail = (f" ({len(self.failures)} candidate failure(s) "
+                          f"absorbed: {families})")
             raise SearchError(
                 f"bi-level search found no feasible design for "
-                f"{self.network.name!r} under {self.objective.kind.value!r}"
+                f"{self.network.name!r} under "
+                f"{self.objective.kind.value!r}{detail}"
             ) from None
         if not self.objective.is_compliant_score(best_score):
             raise SearchError(
@@ -169,4 +235,5 @@ class BilevelExplorer:
             metrics_by_env=metrics_by_env,
             history=algorithm.history,
             evaluated=self.evaluated,
+            failures=self.failures,
         )

@@ -1,0 +1,95 @@
+"""Structured per-candidate failure records for hardened searches.
+
+A design-space search evaluates thousands of machine-generated
+candidates; some of them are simply broken (unmappable tilings,
+impossible simulations, runaway step counts).  A broken *candidate*
+must never kill the *search*: the hardened explorer absorbs the error,
+penalizes the candidate's fitness, and appends a :class:`FailureRecord`
+here so the run's :class:`FailureLog` can answer "what failed, why, and
+what did it cost" after the fact — the AutoDNNchip/AgentDSE lesson that
+DSE predictors are only trustworthy when candidate failures are
+reported rather than fatal.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One absorbed candidate failure."""
+
+    #: Human-readable identification of the candidate (genome knobs).
+    candidate: str
+    #: Error family — the exception class name (``MappingError``, ...).
+    family: str
+    #: The exception message.
+    message: str
+    #: Fitness assigned in place of a real score (``inf`` = discarded).
+    penalty: float
+    #: Which search stage absorbed it (``sw-lowering``, ``hw-fitness``...).
+    stage: str
+
+    def render(self) -> str:
+        return (f"[{self.stage}] {self.family}: {self.message} "
+                f"(candidate {self.candidate}, penalty {self.penalty:g})")
+
+
+def describe_genome(genome: Mapping[str, object]) -> str:
+    """Stable one-line rendering of a genome for failure records."""
+    parts = []
+    for name in sorted(genome):
+        value = genome[name]
+        if isinstance(value, float):
+            parts.append(f"{name}={value:.6g}")
+        else:
+            parts.append(f"{name}={getattr(value, 'value', value)}")
+    return " ".join(parts)
+
+
+@dataclass
+class FailureLog:
+    """Append-only log of every failure a search absorbed."""
+
+    records: List[FailureRecord] = field(default_factory=list)
+
+    def record(self, candidate: str, error: BaseException,
+               penalty: float, stage: str) -> FailureRecord:
+        entry = FailureRecord(
+            candidate=candidate,
+            family=type(error).__name__,
+            message=str(error),
+            penalty=penalty,
+            stage=stage,
+        )
+        self.records.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[FailureRecord]:
+        return iter(self.records)
+
+    def by_family(self) -> Dict[str, int]:
+        """Failure counts keyed by error family, most frequent first."""
+        counts = Counter(record.family for record in self.records)
+        return dict(counts.most_common())
+
+    def render(self, limit: int | None = 10) -> str:
+        """Readable summary: family histogram plus the first records."""
+        if not self.records:
+            return "no candidate failures absorbed"
+        lines = [
+            f"{len(self.records)} candidate failure(s) absorbed: "
+            + ", ".join(f"{family} x{count}"
+                        for family, count in self.by_family().items())
+        ]
+        shown = self.records if limit is None else self.records[:limit]
+        lines += [f"  {record.render()}" for record in shown]
+        if limit is not None and len(self.records) > limit:
+            lines.append(f"  ... {len(self.records) - limit} more")
+        return "\n".join(lines)

@@ -19,7 +19,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
-from repro.errors import SearchError
+from repro.errors import ChrysalisError, ConfigurationError, SearchError
+from repro.explore.failures import FailureLog, describe_genome
 from repro.explore.space import DesignSpace, Genome
 
 Fitness = Callable[[Genome], float]
@@ -29,7 +30,13 @@ logger = logging.getLogger(__name__)
 
 @dataclass(frozen=True)
 class GAConfig:
-    """Hyper-parameters of the genetic algorithm."""
+    """Hyper-parameters of the genetic algorithm.
+
+    Invalid hyper-parameters raise :class:`ConfigurationError` (they
+    describe a malformed *configuration*, not a failed *search*); until
+    v1.0 they raised :class:`SearchError` — both remain catchable as
+    :class:`~repro.errors.ChrysalisError`.
+    """
 
     population_size: int = 16
     generations: int = 10
@@ -42,13 +49,15 @@ class GAConfig:
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
-            raise SearchError("population_size must be at least 2")
+            raise ConfigurationError("population_size must be at least 2")
         if self.generations < 1:
-            raise SearchError("generations must be at least 1")
+            raise ConfigurationError("generations must be at least 1")
         if not 1 <= self.tournament_size <= self.population_size:
-            raise SearchError("tournament_size outside [1, population_size]")
+            raise ConfigurationError(
+                "tournament_size outside [1, population_size]")
         if not 0 <= self.elite_count < self.population_size:
-            raise SearchError("elite_count outside [0, population_size)")
+            raise ConfigurationError(
+                "elite_count outside [0, population_size)")
 
 
 @dataclass
@@ -71,13 +80,18 @@ class GeneticAlgorithm:
 
     def __init__(self, space: DesignSpace, fitness: Fitness,
                  config: Optional[GAConfig] = None,
-                 seeds: Optional[List[Genome]] = None) -> None:
+                 seeds: Optional[List[Genome]] = None,
+                 failure_log: Optional[FailureLog] = None) -> None:
         self.space = space
         self.fitness = fitness
         self.config = config or GAConfig()
         self.seeds = list(seeds) if seeds else []
         self.rng = random.Random(self.config.seed)
         self.history = GAHistory()
+        #: Candidate failures absorbed during this run; pass a shared
+        #: log to aggregate across search layers (the bi-level explorer
+        #: does) or read this run-local one afterwards.
+        self.failures = failure_log if failure_log is not None else FailureLog()
         self._cache: dict = {}
 
     # -- public API -----------------------------------------------------------
@@ -114,7 +128,20 @@ class GeneticAlgorithm:
     def _evaluate(self, genome: Genome) -> EvaluatedGenome:
         key = tuple(sorted((k, _hashable(v)) for k, v in genome.items()))
         if key not in self._cache:
-            self._cache[key] = self.fitness(genome)
+            try:
+                fitness = self.fitness(genome)
+            except ChrysalisError as error:
+                # One broken candidate must not kill the whole search:
+                # absorb, penalize, and keep an auditable record.
+                fitness = math.inf
+                self.failures.record(
+                    candidate=describe_genome(genome), error=error,
+                    penalty=fitness, stage="hw-fitness",
+                )
+                logger.warning("absorbed %s for candidate %s: %s",
+                               type(error).__name__,
+                               describe_genome(genome), error)
+            self._cache[key] = fitness
             self.history.evaluations += 1
         return EvaluatedGenome(genome, self._cache[key])
 

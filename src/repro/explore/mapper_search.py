@@ -22,6 +22,7 @@ across them.
 
 from __future__ import annotations
 
+import logging
 import math
 from typing import List, Optional, Sequence, Tuple
 
@@ -30,10 +31,13 @@ from repro.dataflow.mapping import LayerMapping
 from repro.dataflow.tiling import pick_intermittent_dim
 from repro.design import AuTDesign, EnergyDesign, InferenceDesign
 from repro.energy.environment import LightEnvironment
+from repro.errors import MappingError
 from repro.hardware.checkpoint import CheckpointModel
 from repro.sim.analytical import AnalyticalModel
 from repro.workloads.layers import Layer
 from repro.workloads.network import Network
+
+logger = logging.getLogger(__name__)
 
 
 class MappingOptimizer:
@@ -93,11 +97,20 @@ class MappingOptimizer:
         best_score = math.inf
         for style in self.styles:
             for tile_dim, spatial_dim in self._dim_pairs(layer):
-                mapping = self._min_feasible(layer, style, tile_dim,
-                                             spatial_dim, models)
-                if mapping is None:
+                # A (style, dims) combination that the cost model rejects
+                # outright is just an invalid corner of the mapping
+                # space — skip it rather than abort the layer search.
+                try:
+                    mapping = self._min_feasible(layer, style, tile_dim,
+                                                 spatial_dim, models)
+                    if mapping is None:
+                        continue
+                    score = self._mean_energy(layer, mapping, models)
+                except MappingError as error:
+                    logger.debug(
+                        "skipping %s %s/%s on %s: %s", style.value,
+                        tile_dim, spatial_dim, layer.name, error)
                     continue
-                score = self._mean_energy(layer, mapping, models)
                 if score < best_score:
                     best, best_score = mapping, score
         return best

@@ -1,0 +1,31 @@
+"""Fault injection and resilience reporting for intermittent inference.
+
+The nominal simulator models the paper's energy reality on its best
+behaviour; this package models it on its worst:
+
+* :mod:`repro.faults.injector` — seeded, deterministic fault processes
+  (harvester dropout transients, capacitor parameter drift and ESR
+  degradation, checkpoint write failures, brownout-corrupted commits)
+  attached to the energy controller behind an optional hook;
+* :mod:`repro.faults.report` — :class:`ResilienceReport`: forward-
+  progress ratio, re-execution overhead, checkpoint-loss rate and the
+  survival-under-faults curve of one simulated inference;
+* :mod:`repro.faults.sweep` — survival sweeps across fault intensities
+  (the ``repro faults-sweep`` subcommand).
+
+Determinism contract: every fault process is a pure function of the
+:class:`FaultConfig` seed, and a config with all rates zero is
+numerically identical to running with no injector at all.
+"""
+
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.faults.report import ResilienceReport
+from repro.faults.sweep import FaultSweepCell, run_faults_sweep
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultSweepCell",
+    "ResilienceReport",
+    "run_faults_sweep",
+]

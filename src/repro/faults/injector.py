@@ -1,0 +1,228 @@
+"""Seeded, deterministic fault processes for intermittent inference.
+
+The paper's premise is a hostile energy reality: harvest collapses when
+a cloud passes, capacitors age (leakage and ESR drift upward), and the
+checkpoint machinery itself runs on the same failing supply it is meant
+to protect against.  The nominal simulator models none of this; the
+:class:`FaultInjector` adds it *behind an optional hook* so that the
+nominal path is untouched when no injector is attached (or when every
+rate is zero).
+
+Four fault processes are modelled:
+
+* **harvester dropout** — piecewise-constant shading transients: each
+  ``harvest_window_s`` window is shaded with probability
+  ``harvest_dropout_rate``, attenuating harvest by
+  ``harvest_dropout_depth`` (cloud cover, foliage, a passing vehicle);
+* **capacitor parameter drift** — the Eq. 2 leakage coefficient
+  ``k_cap`` grows linearly with time (electrolyte dry-out), and the
+  effective series resistance grows with cycle count, derating the
+  delivered power;
+* **checkpoint write failure** — an NVM commit fails with probability
+  ``ckpt_write_failure_rate``; a read-back verify detects it and the
+  runtime retries, paying the wasted write plus the verify read;
+* **brownout during commit** — when the rail collapses while a
+  checkpoint commit is in flight, the checkpoint is corrupted with
+  probability ``commit_vulnerability`` and the runtime must roll back
+  to the last consistent checkpoint, re-executing the tile.
+
+Every process is a pure function of the configuration seed (window
+index, attempt counter), never of wall-clock or global RNG state, so a
+fixed seed reproduces the exact same fault sequence — the property the
+determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+
+from repro.errors import FaultInjectionError
+
+# Distinct multipliers decorrelate the per-process RNG streams derived
+# from the one user-facing seed (same idiom as FluctuatingHarvester).
+_HARVEST_STREAM = 1_000_003
+_CKPT_STREAM = 9_176_213
+_COMMIT_STREAM = 5_915_587
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates and scales of the injected fault processes.
+
+    All rates default to zero: a default-constructed config is inert
+    and produces byte-identical results to running with no injector.
+    """
+
+    seed: int = 0
+    #: Probability that one harvest window is shaded.
+    harvest_dropout_rate: float = 0.0
+    #: Fraction of harvest power removed while shaded (1.0 = blackout).
+    harvest_dropout_depth: float = 0.9
+    #: Correlation window of the shading process, seconds.
+    harvest_window_s: float = 5.0
+    #: Fractional growth of the capacitor leakage coefficient per
+    #: second of simulated time (electrolyte ageing).
+    cap_leakage_drift_rate: float = 0.0
+    #: Fractional growth of the delivered-power derate per power cycle
+    #: (ESR degradation: every cycle the rail loses a little more).
+    esr_degradation_rate: float = 0.0
+    #: Probability that one checkpoint NVM commit fails its verify.
+    ckpt_write_failure_rate: float = 0.0
+    #: Probability that a brownout mid-commit corrupts the checkpoint
+    #: (forcing a rollback to the last consistent one).
+    commit_vulnerability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("harvest_dropout_rate", "harvest_dropout_depth",
+                     "ckpt_write_failure_rate", "commit_vulnerability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultInjectionError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if self.harvest_window_s <= 0:
+            raise FaultInjectionError(
+                f"harvest_window_s must be positive, got {self.harvest_window_s}"
+            )
+        for name in ("cap_leakage_drift_rate", "esr_degradation_rate"):
+            value = getattr(self, name)
+            if value < 0 or not math.isfinite(value):
+                raise FaultInjectionError(
+                    f"{name} must be finite and non-negative, got {value}"
+                )
+
+    # -- derived configs -----------------------------------------------------
+
+    def scaled(self, intensity: float) -> "FaultConfig":
+        """This config with every rate scaled by ``intensity``.
+
+        Probabilities saturate at 1; drift rates scale linearly.  The
+        fault sweep uses this to trace survival-under-faults curves.
+        """
+        if intensity < 0:
+            raise FaultInjectionError(
+                f"intensity must be non-negative, got {intensity}"
+            )
+        return replace(
+            self,
+            harvest_dropout_rate=min(1.0, self.harvest_dropout_rate * intensity),
+            cap_leakage_drift_rate=self.cap_leakage_drift_rate * intensity,
+            esr_degradation_rate=self.esr_degradation_rate * intensity,
+            ckpt_write_failure_rate=min(
+                1.0, self.ckpt_write_failure_rate * intensity),
+            commit_vulnerability=min(
+                1.0, self.commit_vulnerability * intensity),
+        )
+
+    def with_seed(self, seed: int) -> "FaultConfig":
+        return replace(self, seed=seed)
+
+    @classmethod
+    def stress(cls, seed: int = 0) -> "FaultConfig":
+        """A moderately hostile default for sweeps and examples."""
+        return cls(
+            seed=seed,
+            harvest_dropout_rate=0.15,
+            harvest_dropout_depth=0.9,
+            cap_leakage_drift_rate=1e-5,
+            esr_degradation_rate=1e-4,
+            ckpt_write_failure_rate=0.05,
+            commit_vulnerability=0.5,
+        )
+
+
+class FaultInjector:
+    """Stateful per-run realisation of a :class:`FaultConfig`.
+
+    The time-indexed processes (shading, drift) are pure functions of
+    the config, but the attempt-indexed ones (checkpoint failures,
+    commit corruption) advance internal counters — one injector serves
+    exactly one simulation run.  Call :meth:`fresh` to obtain an
+    identically-seeded injector for another run.
+    """
+
+    def __init__(self, config: FaultConfig | None = None) -> None:
+        self.config = config or FaultConfig()
+        self._ckpt_attempts = 0
+        self._commit_events = 0
+
+    def fresh(self) -> "FaultInjector":
+        """A new injector with the same config and reset counters."""
+        return FaultInjector(self.config)
+
+    # -- activity flags ------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one fault process can fire."""
+        cfg = self.config
+        return any((
+            cfg.harvest_dropout_rate > 0.0,
+            cfg.cap_leakage_drift_rate > 0.0,
+            cfg.esr_degradation_rate > 0.0,
+            cfg.ckpt_write_failure_rate > 0.0,
+            cfg.commit_vulnerability > 0.0,
+        ))
+
+    @property
+    def perturbs_charging(self) -> bool:
+        """True when charging phases cannot be fast-forwarded in one
+        closed-form step (harvest or leakage varies over the phase)."""
+        return (self.config.harvest_dropout_rate > 0.0
+                or self.config.cap_leakage_drift_rate > 0.0)
+
+    # -- time-indexed processes ----------------------------------------------
+
+    def harvest_factor(self, t: float) -> float:
+        """Multiplier on harvested power at simulation time ``t``."""
+        cfg = self.config
+        if cfg.harvest_dropout_rate <= 0.0:
+            return 1.0
+        window = int(t / cfg.harvest_window_s)
+        rng = random.Random(cfg.seed * _HARVEST_STREAM + window)
+        if rng.random() < cfg.harvest_dropout_rate:
+            return 1.0 - cfg.harvest_dropout_depth
+        return 1.0
+
+    def window_end(self, t: float) -> float:
+        """End time of the shading window containing ``t``, seconds."""
+        w = self.config.harvest_window_s
+        return (int(t / w) + 1) * w
+
+    def k_cap_at(self, t: float, base_k_cap: float) -> float:
+        """Aged leakage coefficient at simulation time ``t``."""
+        drift = self.config.cap_leakage_drift_rate
+        if drift <= 0.0:
+            return base_k_cap
+        return base_k_cap * (1.0 + drift * t)
+
+    def esr_factor(self, power_cycles: int) -> float:
+        """Multiplier on rail-side drain power after ``power_cycles``."""
+        rate = self.config.esr_degradation_rate
+        if rate <= 0.0:
+            return 1.0
+        return 1.0 + rate * power_cycles
+
+    # -- attempt-indexed processes ------------------------------------------
+
+    def checkpoint_write_fails(self) -> bool:
+        """Draw the fate of the next checkpoint NVM commit."""
+        self._ckpt_attempts += 1
+        rate = self.config.ckpt_write_failure_rate
+        if rate <= 0.0:
+            return False
+        rng = random.Random(
+            self.config.seed * _CKPT_STREAM + self._ckpt_attempts)
+        return rng.random() < rate
+
+    def commit_corrupts(self) -> bool:
+        """Draw whether a brownout mid-commit corrupted the checkpoint."""
+        self._commit_events += 1
+        rate = self.config.commit_vulnerability
+        if rate <= 0.0:
+            return False
+        rng = random.Random(
+            self.config.seed * _COMMIT_STREAM + self._commit_events)
+        return rng.random() < rate

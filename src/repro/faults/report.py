@@ -1,0 +1,128 @@
+"""Resilience metrics of a (possibly fault-injected) simulation run.
+
+The step simulator already tells us *whether* a design finishes; under
+fault injection the interesting question is *how gracefully*.  The
+:class:`ResilienceReport` condenses one :class:`~repro.sim.engine.
+SimulationResult` into the intermittent-computing resilience figures:
+
+* **forward-progress ratio** — committed tile energy over all delivered
+  energy: how much of what the rail paid for became durable progress;
+* **re-execution overhead** — energy whose work was discarded (volatile
+  progress lost to power failures, tiles replayed after corrupted
+  commits) relative to the committed energy;
+* **checkpoint-loss rate** — fraction of checkpoint commits that failed
+  verify or were corrupted by a brownout;
+* **survival curve** — net fraction of the workload's tiles durably
+  completed as a function of simulated time (rollbacks subtract), the
+  curve a faults sweep plots per fault intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.sim.trace import EventKind, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import SimulationResult
+
+#: Survival curves are capped to this many samples so that reports on
+#: million-tile runs stay plottable; endpoints are always kept.
+MAX_CURVE_POINTS = 200
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """How robustly one simulated inference made forward progress."""
+
+    #: Whether the inference ran to completion.
+    completed: bool
+    #: Committed (durable) tile energy / delivered rail energy, in [0, 1].
+    forward_progress_ratio: float
+    #: Discarded-work energy / committed energy (0 = nothing re-executed).
+    reexecution_overhead: float
+    #: (failed + corrupted commits) / attempted commits, in [0, 1].
+    checkpoint_loss_rate: float
+    #: (simulated time, net fraction of tiles durably completed) samples.
+    survival_curve: List[Tuple[float, float]] = field(default_factory=list)
+    power_cycles: int = 0
+    #: Unplanned mid-tile power failures.
+    exceptions: int = 0
+    #: Tiles replayed because a brownout corrupted their commit.
+    rollbacks: int = 0
+    #: Checkpoint commits that failed verify and were retried.
+    checkpoint_retries: int = 0
+    #: Rail energy whose work was discarded, J.
+    wasted_energy_j: float = 0.0
+    #: Total rail-side energy delivered to the load, J.
+    delivered_energy_j: float = 0.0
+
+    @classmethod
+    def from_simulation(cls, result: "SimulationResult") -> "ResilienceReport":
+        """Distil the resilience figures out of one simulation run."""
+        inference = result.inference
+        trace = result.trace
+        plan = list(inference.plan)
+
+        total_tiles = sum(cost.n_tiles for cost in plan)
+        committed = _committed_energy(inference, plan)
+        delivered = result.energy.accounting.delivered
+
+        saved = trace.count(EventKind.CHECKPOINT_SAVED)
+        failed = trace.count(EventKind.CHECKPOINT_FAILED)
+        rolled = trace.count(EventKind.ROLLBACK)
+        attempts = saved + failed + rolled
+        loss_rate = (failed + rolled) / attempts if attempts else 0.0
+
+        return cls(
+            completed=inference.finished,
+            forward_progress_ratio=(
+                min(committed / delivered, 1.0) if delivered > 0.0 else 0.0),
+            reexecution_overhead=(
+                inference.wasted_energy / committed if committed > 0.0
+                else 0.0),
+            checkpoint_loss_rate=loss_rate,
+            survival_curve=_survival_curve(trace, total_tiles),
+            power_cycles=result.energy.accounting.power_cycles,
+            exceptions=inference.exceptions,
+            rollbacks=inference.rollbacks,
+            checkpoint_retries=inference.checkpoint_retries,
+            wasted_energy_j=inference.wasted_energy,
+            delivered_energy_j=delivered,
+        )
+
+
+def _committed_energy(inference, plan) -> float:
+    """Durable (checkpoint-protected) tile energy accumulated so far, J."""
+    committed = 0.0
+    for i, cost in enumerate(plan):
+        tile_energy = cost.tile.energy_without_checkpoint
+        if i < inference.layer_index or inference.finished:
+            committed += cost.n_tiles * tile_energy
+        elif i == inference.layer_index:
+            committed += inference.tile_index * tile_energy
+    return committed
+
+
+def _survival_curve(trace: Trace,
+                    total_tiles: int) -> List[Tuple[float, float]]:
+    """Net completed-tile fraction over time; rollbacks subtract."""
+    if total_tiles <= 0:
+        return []
+    points: List[Tuple[float, float]] = [(0.0, 0.0)]
+    net = 0
+    for event in trace:
+        if event.kind is EventKind.TILE_COMPLETED:
+            net += 1
+        elif event.kind is EventKind.ROLLBACK:
+            net -= 1
+        else:
+            continue
+        points.append((event.time, net / total_tiles))
+    if len(points) <= MAX_CURVE_POINTS:
+        return points
+    stride = (len(points) - 1) / (MAX_CURVE_POINTS - 1)
+    sampled = [points[round(k * stride)] for k in range(MAX_CURVE_POINTS - 1)]
+    sampled.append(points[-1])
+    return sampled

@@ -96,6 +96,22 @@ class CheckpointModel:
     def resume_time(self, working_set_bytes: float) -> float:
         return self.nvm.read_time(self.checkpoint_bytes(working_set_bytes))
 
+    def commit_retry_energy(self, working_set_bytes: float) -> float:
+        """Energy of one failed-and-retried commit, J.
+
+        A failed NVM write still consumed its energy; the read-back
+        verify that detects the failure costs one extra read of the
+        checkpoint volume.  The successful retry itself is charged as a
+        normal save by the caller.
+        """
+        volume = self.checkpoint_bytes(working_set_bytes)
+        return self.nvm.write_energy(volume) + self.nvm.read_energy(volume)
+
+    def commit_retry_time(self, working_set_bytes: float) -> float:
+        """Duration of one failed-and-retried commit, s."""
+        volume = self.checkpoint_bytes(working_set_bytes)
+        return self.nvm.write_time(volume) + self.nvm.read_time(volume)
+
     def expected_tile_overhead_energy(self, working_set_bytes: float) -> float:
         """Expected checkpoint energy charged to one tile (Eq. 5 term).
 

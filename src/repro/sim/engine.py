@@ -18,10 +18,12 @@ failure and reports the design infeasible instead of looping forever.
 from __future__ import annotations
 
 import math
+import time as _time
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.energy.controller import EnergyController
-from repro.errors import SimulationError
+from repro.errors import EvaluationTimeout, SimulationError
 from repro.sim.intermittent import InferenceController
 from repro.sim.metrics import InferenceMetrics
 from repro.sim.trace import EventKind, Trace
@@ -45,29 +47,71 @@ class StepSimulator:
     #: from a partially drained capacitor, so allow one retry).
     MAX_TILE_RETRIES = 2
 
+    #: Consecutive verify failures of the same planned checkpoint before
+    #: the runtime gives up on committing it and rolls the tile back.
+    MAX_CHECKPOINT_RETRIES = 4
+
     def __init__(self, energy: EnergyController, inference: InferenceController,
                  steps_per_tile: int = 16,
-                 max_charge_wait: float = 3600.0 * 24) -> None:
+                 max_charge_wait: float = 3600.0 * 24,
+                 max_steps: Optional[int] = None,
+                 time_budget_s: Optional[float] = None) -> None:
         if steps_per_tile <= 0:
             raise SimulationError(
                 f"steps_per_tile must be positive, got {steps_per_tile}"
+            )
+        if max_charge_wait <= 0:
+            raise SimulationError(
+                f"max_charge_wait must be positive, got {max_charge_wait} "
+                "(a non-positive wait declares every design infeasible)"
+            )
+        if max_steps is not None and max_steps <= 0:
+            raise SimulationError(
+                f"max_steps must be positive, got {max_steps}"
+            )
+        if time_budget_s is not None and time_budget_s <= 0:
+            raise SimulationError(
+                f"time_budget_s must be positive, got {time_budget_s}"
             )
         self.energy = energy
         self.inference = inference
         self.steps_per_tile = steps_per_tile
         self.max_charge_wait = max_charge_wait
+        self.max_steps = max_steps
+        self.time_budget_s = time_budget_s
         self.trace = Trace()
 
     def run(self) -> SimulationResult:
-        """Simulate until the inference finishes or proves infeasible."""
+        """Simulate until the inference finishes or proves infeasible.
+
+        Raises :class:`EvaluationTimeout` when the run exhausts its
+        ``max_steps`` / ``time_budget_s`` budget — fault injection can
+        turn a finite design into an endless rollback/retry grind, and
+        a search must be able to penalize such candidates instead of
+        hanging on them.
+        """
         energy, inference = self.energy, self.inference
         busy_time = 0.0
         charge_time = 0.0
         fail_streak = 0
         last_fail_key = None
         last_fail_retained = -1.0
+        steps = 0
+        deadline = (None if self.time_budget_s is None
+                    else _time.monotonic() + self.time_budget_s)
 
         while not inference.finished:
+            steps += 1
+            if self.max_steps is not None and steps > self.max_steps:
+                raise EvaluationTimeout(
+                    f"simulation exceeded its step budget of "
+                    f"{self.max_steps} steps"
+                )
+            if deadline is not None and _time.monotonic() > deadline:
+                raise EvaluationTimeout(
+                    f"simulation exceeded its wall-clock budget of "
+                    f"{self.time_budget_s:.3g} s"
+                )
             if not energy.rail_on():
                 wait = energy.fast_forward_to_on(self.max_charge_wait)
                 if math.isinf(wait):
@@ -141,7 +185,16 @@ class StepSimulator:
     # -- internals ---------------------------------------------------------------
 
     def _charge_boundary_checkpoint(self) -> None:
-        """Draw the planned inter-tile checkpoint energy from storage."""
+        """Draw the planned inter-tile checkpoint energy from storage.
+
+        Under fault injection the commit itself can misbehave: the NVM
+        write may fail its read-back verify (detected, paid for, and
+        retried up to :attr:`MAX_CHECKPOINT_RETRIES` times), and a
+        brownout while the commit is in flight may corrupt it, forcing
+        a rollback to the last consistent checkpoint — the just-
+        completed tile is reverted and re-executed.  With no injector
+        attached the nominal single-save path below runs unchanged.
+        """
         inference, energy = self.inference, self.energy
         if inference.finished:
             return
@@ -152,10 +205,42 @@ class StepSimulator:
         if round_energy <= 0.0:
             return
         round_time = inference.checkpoint_round_time()
-        energy.step(round_time, round_energy / max(round_time, 1e-9))
-        self.trace.record(energy.time, EventKind.CHECKPOINT_SAVED,
-                          layer=inference.current_layer.layer_name,
-                          tile=inference.tile_index)
+        faults = energy.faults
+        retries = 0
+        while True:
+            energy.step(round_time, round_energy / max(round_time, 1e-9))
+            browned_out = not energy.rail_on()
+            if (browned_out and faults is not None
+                    and faults.commit_corrupts()):
+                layer, tile = inference.rollback_tile()
+                self.trace.record(energy.time, EventKind.ROLLBACK,
+                                  layer=layer, tile=tile,
+                                  detail="brownout corrupted commit")
+                return
+            if faults is not None and faults.checkpoint_write_fails():
+                self.trace.record(energy.time, EventKind.CHECKPOINT_FAILED,
+                                  layer=inference.current_layer.layer_name,
+                                  tile=inference.tile_index,
+                                  detail="NVM write failed verify")
+                # The wasted write + verify read go on the checkpoint
+                # bill; the storage draw of the retry itself happens at
+                # the top of the next loop iteration.
+                inference.checkpoint_retry()
+                retries += 1
+                if retries >= self.MAX_CHECKPOINT_RETRIES:
+                    # The boundary state never reached NVM: replay the
+                    # tile from the last consistent checkpoint.
+                    layer, tile = inference.rollback_tile()
+                    self.trace.record(
+                        energy.time, EventKind.ROLLBACK,
+                        layer=layer, tile=tile,
+                        detail=f"commit abandoned after {retries} retries")
+                    return
+                continue
+            self.trace.record(energy.time, EventKind.CHECKPOINT_SAVED,
+                              layer=inference.current_layer.layer_name,
+                              tile=inference.tile_index)
+            return
 
     def _metrics(self, busy_time: float, charge_time: float) -> InferenceMetrics:
         acct = self.energy.accounting

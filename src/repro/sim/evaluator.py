@@ -13,7 +13,7 @@ and darker) "to ensure the system is able to run in both environments";
 from __future__ import annotations
 
 import enum
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.design import AuTDesign
 from repro.energy.controller import EnergyController
@@ -26,6 +26,9 @@ from repro.sim.engine import SimulationResult, StepSimulator
 from repro.sim.intermittent import InferenceController
 from repro.sim.metrics import InferenceMetrics
 from repro.workloads.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.faults.injector import FaultInjector
 
 
 class EvaluationMode(enum.Enum):
@@ -42,7 +45,10 @@ class ChrysalisEvaluator:
                  environments: Optional[Sequence[LightEnvironment]] = None,
                  mode: EvaluationMode = EvaluationMode.ANALYTICAL,
                  checkpoint: Optional[CheckpointModel] = None,
-                 steps_per_tile: int = 16) -> None:
+                 steps_per_tile: int = 16,
+                 faults: Optional["FaultInjector"] = None,
+                 max_steps: Optional[int] = None,
+                 time_budget_s: Optional[float] = None) -> None:
         self.network = network
         self.environments = tuple(
             environments
@@ -54,6 +60,9 @@ class ChrysalisEvaluator:
         self.mode = mode
         self.checkpoint = checkpoint
         self.steps_per_tile = steps_per_tile
+        self.faults = faults
+        self.max_steps = max_steps
+        self.time_budget_s = time_budget_s
 
     # -- single environment ------------------------------------------------------
 
@@ -66,13 +75,18 @@ class ChrysalisEvaluator:
         return self.simulate(design, environment).metrics
 
     def simulate(self, design: AuTDesign, environment: LightEnvironment,
-                 initial_voltage: Optional[float] = None) -> SimulationResult:
+                 initial_voltage: Optional[float] = None,
+                 faults: Optional["FaultInjector"] = None) -> SimulationResult:
         """Run the step-based simulator regardless of the default mode.
 
         ``initial_voltage`` defaults to the PMIC's on-threshold — the
         steady-state (amortised) semantics the paper's Eq. 7 uses, where
         each inference starts as soon as one energy cycle is banked.
         Pass 0.0 to include the one-time cold-start charge.
+
+        ``faults`` (defaulting to the evaluator-level injector, if any)
+        injects the :mod:`repro.faults` processes; a fresh copy is taken
+        per run so repeated simulations see identical fault sequences.
         """
         model = self._analytical(design, environment)
         plan = model.plan()
@@ -81,15 +95,19 @@ class ChrysalisEvaluator:
         )
         if initial_voltage is None:
             initial_voltage = design.energy.pmic.v_on
+        injector = faults if faults is not None else self.faults
         energy = EnergyController(
             harvester=harvester,
             capacitor=design.energy.build_capacitor(initial_voltage),
             pmic=design.energy.pmic,
+            faults=injector.fresh() if injector is not None else None,
         )
         inference = InferenceController(plan=plan,
                                         checkpoint=model.checkpoint)
         simulator = StepSimulator(energy, inference,
-                                  steps_per_tile=self.steps_per_tile)
+                                  steps_per_tile=self.steps_per_tile,
+                                  max_steps=self.max_steps,
+                                  time_budget_s=self.time_budget_s)
         return simulator.run()
 
     # -- the paper's two-environment protocol -------------------------------------

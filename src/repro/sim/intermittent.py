@@ -51,6 +51,13 @@ class InferenceController:
     exceptions: int = 0
     planned_checkpoints: int = 0
     breakdown: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    #: Delivered energy whose work was discarded (volatile progress lost
+    #: to power failures, tiles replayed after corrupted commits), J.
+    wasted_energy: float = 0.0
+    #: Tiles rolled back because a brownout corrupted their commit.
+    rollbacks: int = 0
+    #: Checkpoint commits that failed verify and were retried.
+    checkpoint_retries: int = 0
 
     def __post_init__(self) -> None:
         if not self.plan:
@@ -123,6 +130,46 @@ class InferenceController:
         return (self.checkpoint.save_time(ws)
                 + self.checkpoint.resume_time(ws))
 
+    def checkpoint_retry(self) -> float:
+        """Charge one failed commit + read-back verify; returns its J.
+
+        Called by the engine when fault injection fails a planned
+        checkpoint write: the wasted write and the verify read are
+        added to the checkpoint energy bill, and the retry counter
+        feeds the resilience report.
+        """
+        ws = self.current_layer.tile.working_set_bytes
+        energy = self.checkpoint.commit_retry_energy(ws)
+        self.breakdown.checkpoint += energy
+        self.checkpoint_retries += 1
+        return energy
+
+    def checkpoint_retry_time(self) -> float:
+        """Duration of one failed commit + verify round, s."""
+        ws = self.current_layer.tile.working_set_bytes
+        return self.checkpoint.commit_retry_time(ws)
+
+    def rollback_tile(self) -> Tuple[str, int]:
+        """Revert the last completed tile after a corrupted commit.
+
+        A brownout corrupted the in-flight checkpoint, so the restore
+        finds only the *previous* consistent checkpoint: the tile whose
+        boundary was being committed must be re-executed.  Its energy
+        was genuinely spent (it stays in the breakdown) but the work is
+        lost, so it also counts as waste.  Returns the (layer, tile)
+        that will re-execute.
+        """
+        if self.tile_index <= 0:
+            raise SimulationError(
+                "rollback requested with no in-layer checkpoint boundary"
+            )
+        self.tile_index -= 1
+        tile = self.current_layer.tile
+        self.wasted_energy += tile.energy_without_checkpoint
+        self.rollbacks += 1
+        self.tile_energy_done = 0.0
+        return (self.current_layer.layer_name, self.tile_index)
+
     def _emergency_round_energy(self) -> float:
         ws = self.current_layer.tile.working_set_bytes
         if self.strategy is CheckpointStrategy.JIT:
@@ -174,6 +221,7 @@ class InferenceController:
         self.breakdown.checkpoint += self._emergency_round_energy()
         if self.strategy is CheckpointStrategy.JIT:
             return False
+        self.wasted_energy += self.tile_energy_done
         self.tile_energy_done = 0.0
         return True
 

@@ -1,22 +1,27 @@
-"""Per-layer profiling reports for a design on a workload.
+"""Per-layer profiling and resilience reports for a design.
 
 The evaluator's metrics summarise a whole inference; designers also
 want the layer-by-layer picture — where the MACs, the bytes, the
 checkpoints and the energy cycles actually go.  :func:`profile_design`
 produces that table from the analytical model, and
-:func:`render_profile` formats it.
+:func:`render_profile` formats it.  :func:`render_resilience` and
+:func:`render_faults_sweep` format the :mod:`repro.faults` outputs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.design import AuTDesign
 from repro.energy.environment import LightEnvironment
 from repro.hardware.checkpoint import CheckpointModel
 from repro.sim.analytical import AnalyticalModel
 from repro.workloads.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.report import ResilienceReport
+    from repro.faults.sweep import FaultSweepCell
 
 
 @dataclass(frozen=True)
@@ -85,4 +90,45 @@ def render_profile(profiles: List[LayerProfile],
     lines.append("-" * len(header))
     lines.append(f"{'total':<30}{sum(p.n_tiles for p in profiles):>6}"
                  f"{total_ms:>10.3f}{total_uj:>12.2f}")
+    return "\n".join(lines)
+
+
+def render_resilience(report: "ResilienceReport") -> str:
+    """Readable summary of one run's resilience figures."""
+    lines = [
+        f"completed        : {'yes' if report.completed else 'no'}",
+        f"forward progress : {report.forward_progress_ratio:.1%} of "
+        f"{report.delivered_energy_j * 1e6:.1f} uJ delivered",
+        f"re-exec overhead : {report.reexecution_overhead:.1%} "
+        f"({report.wasted_energy_j * 1e6:.2f} uJ discarded)",
+        f"ckpt loss rate   : {report.checkpoint_loss_rate:.1%} "
+        f"({report.checkpoint_retries} retried, "
+        f"{report.rollbacks} rolled back)",
+        f"power cycles     : {report.power_cycles} "
+        f"({report.exceptions} unplanned)",
+    ]
+    if report.survival_curve:
+        t_end, frac_end = report.survival_curve[-1]
+        lines.append(f"survival curve   : {len(report.survival_curve)} "
+                     f"samples, {frac_end:.1%} of tiles durable at "
+                     f"{t_end:.3g} s")
+    return "\n".join(lines)
+
+
+def render_faults_sweep(cells: Sequence["FaultSweepCell"]) -> str:
+    """Survival-under-faults table, one row per intensity."""
+    header = (f"{'intensity':>10}{'survival':>10}{'latency s':>12}"
+              f"{'fwd prog':>10}{'re-exec':>9}{'ckpt loss':>11}"
+              f"{'rollbacks':>11}{'exceptions':>12}")
+    lines = [header, "-" * len(header)]
+    for cell in cells:
+        latency = (f"{cell.mean_latency_s:>12.4g}"
+                   if cell.mean_latency_s != float("inf")
+                   else f"{'-':>12}")
+        lines.append(
+            f"{cell.intensity:>10.2f}{cell.survival:>9.0%}{latency}"
+            f"{cell.mean_forward_progress:>9.1%}"
+            f"{cell.mean_reexecution_overhead:>8.1%}"
+            f"{cell.mean_checkpoint_loss_rate:>10.1%}"
+            f"{cell.mean_rollbacks:>11.1f}{cell.mean_exceptions:>12.1f}")
     return "\n".join(lines)

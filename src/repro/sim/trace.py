@@ -19,6 +19,8 @@ class EventKind(Enum):
     TILE_COMPLETED = "tile_completed"
     CHECKPOINT_SAVED = "checkpoint_saved"
     CHECKPOINT_RESUMED = "checkpoint_resumed"
+    CHECKPOINT_FAILED = "checkpoint_failed"  # NVM commit failed verify
+    ROLLBACK = "rollback"  # corrupted commit; replay last checkpoint
     EXCEPTION = "exception"  # unplanned mid-tile power failure
     LAYER_COMPLETED = "layer_completed"
     INFERENCE_COMPLETED = "inference_completed"

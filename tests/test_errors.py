@@ -1,0 +1,74 @@
+"""Tests for the exception hierarchy.
+
+The library's contract is that *every* error it raises derives from
+:class:`ChrysalisError`, so callers can fence off library failures with
+one except clause — the hardened search pipeline depends on this to
+absorb candidate failures without masking genuine bugs.
+"""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    ChrysalisError,
+    ConfigurationError,
+    EvaluationTimeout,
+    FaultInjectionError,
+    SearchError,
+)
+from repro.explore.ga import GAConfig
+from repro.faults import FaultConfig
+
+
+def _all_error_classes():
+    return [
+        obj for _, obj in inspect.getmembers(errors_module, inspect.isclass)
+        if issubclass(obj, Exception) and obj.__module__ == errors_module.__name__
+    ]
+
+
+class TestHierarchy:
+    def test_every_error_is_a_chrysalis_error(self):
+        classes = _all_error_classes()
+        assert len(classes) >= 9  # the full family, not a stub module
+        for cls in classes:
+            assert issubclass(cls, ChrysalisError), cls.__name__
+
+    def test_every_error_catchable_with_one_clause(self):
+        for cls in _all_error_classes():
+            if cls is ChrysalisError:
+                continue
+            with pytest.raises(ChrysalisError):
+                raise cls("synthetic")
+
+    def test_families_stay_distinguishable(self):
+        with pytest.raises(ChrysalisError) as excinfo:
+            raise EvaluationTimeout("budget gone")
+        assert isinstance(excinfo.value, EvaluationTimeout)
+        assert not isinstance(excinfo.value, SearchError)
+
+    def test_plain_exceptions_not_absorbed(self):
+        """Non-library bugs (TypeError & co.) must escape a
+        ``except ChrysalisError`` fence."""
+        assert not issubclass(ValueError, ChrysalisError)
+        assert not issubclass(ChrysalisError, ValueError)
+
+
+class TestReclassifications:
+    def test_ga_config_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            GAConfig(population_size=1)
+
+    def test_ga_config_still_catchable_as_chrysalis_error(self):
+        # Callers of the pre-v1.0 API caught SearchError via the base
+        # class; the reclassification must not break that idiom.
+        with pytest.raises(ChrysalisError):
+            GAConfig(generations=0)
+
+    def test_fault_config_raises_fault_injection_error(self):
+        with pytest.raises(FaultInjectionError):
+            FaultConfig(harvest_dropout_rate=1.5)
+        with pytest.raises(ChrysalisError):
+            FaultConfig(harvest_window_s=0.0)

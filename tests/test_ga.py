@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.errors import SearchError
+from repro.errors import ConfigurationError, SearchError
 from repro.explore.ga import GAConfig, GeneticAlgorithm
 from repro.explore.random_search import RandomSearch
 from repro.explore.grid import GridSearch
@@ -79,7 +79,9 @@ class TestGeneticAlgorithm:
         {"elite_count": 16},
     ])
     def test_bad_config(self, kwargs):
-        with pytest.raises(SearchError):
+        # Malformed hyper-parameters are a configuration mistake, not a
+        # failed search (reclassified from SearchError in v1.0).
+        with pytest.raises(ConfigurationError):
             GAConfig(**kwargs)
 
 
