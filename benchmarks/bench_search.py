@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Search-throughput benchmark: serial vs memoized vs parallel.
+
+Runs the same fixed-seed bi-level search three ways —
+
+* ``serial-cold``   — one process, every cache disabled and empty;
+* ``memoized``      — one process, layer-cost + mapper caches on
+  (cleared first, so the number measures *within-run* amortization);
+* ``parallel``      — ``--workers`` processes on top of the caches —
+
+verifies that all three return the *identical* best design and score
+(the PR's core invariant), and writes the resulting throughput and
+cache-hit numbers to ``BENCH_search.json``.
+
+Each mode is timed ``--repeats`` times and the fastest run is kept, so
+the reported speedups are about the code, not scheduler noise.  CI runs
+``--smoke`` (a ~1 s budget) and archives the JSON as an artifact; the
+smoke budget is sized so the memoized configuration clears a 2x
+evals/s speedup over serial-cold with margin.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_search.py --smoke
+    PYTHONPATH=src python benchmarks/bench_search.py \
+        --workload cifar10 --population 24 --generations 12 --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Optional
+
+from repro.dataflow.cost_model import (clear_layer_cost_cache,
+                                       configure_layer_cost_cache)
+from repro.explore.bilevel import BilevelExplorer, SearchResult
+from repro.explore.ga import GAConfig
+from repro.explore.objectives import Objective
+from repro.explore.space import DesignSpace
+from repro.workloads import zoo
+
+
+def _run_search(workload: str, setup: str, config: GAConfig,
+                caches: bool) -> SearchResult:
+    configure_layer_cost_cache(enabled=caches)
+    clear_layer_cost_cache()
+    space = (DesignSpace.existing_aut() if setup == "existing"
+             else DesignSpace.future_aut())
+    explorer = BilevelExplorer(
+        network=zoo.workload_by_name(workload),
+        space=space,
+        objective=Objective.lat_sp(),
+        ga_config=config,
+    )
+    return explorer.run()
+
+
+def _bench_mode(workload: str, setup: str, config: GAConfig,
+                caches: bool, repeats: int) -> SearchResult:
+    """Fastest of ``repeats`` runs (results are deterministic)."""
+    best: Optional[SearchResult] = None
+    for _ in range(repeats):
+        result = _run_search(workload, setup, config, caches)
+        if best is None or result.stats.search_seconds < \
+                best.stats.search_seconds:
+            best = result
+    assert best is not None
+    return best
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fixed budget for CI (~seconds)")
+    parser.add_argument("--workload", default="har")
+    parser.add_argument("--setup", choices=("existing", "future"),
+                        default="existing")
+    parser.add_argument("--population", type=int, default=24)
+    parser.add_argument("--generations", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed runs per mode; fastest is reported")
+    parser.add_argument("--output", default="BENCH_search.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.population, args.generations = 16, 10
+
+    base = dict(population_size=args.population,
+                generations=args.generations, seed=args.seed)
+    serial_cfg = GAConfig(**base)
+    parallel_cfg = GAConfig(**base, workers=args.workers)
+
+    print(f"benchmarking {args.workload} ({args.setup} space), "
+          f"population={args.population} generations={args.generations} "
+          f"seed={args.seed}")
+
+    modes = {}
+    modes["serial_cold"] = _bench_mode(
+        args.workload, args.setup, serial_cfg, caches=False,
+        repeats=args.repeats)
+    modes["memoized"] = _bench_mode(
+        args.workload, args.setup, serial_cfg, caches=True,
+        repeats=args.repeats)
+    modes["parallel"] = _bench_mode(
+        args.workload, args.setup, parallel_cfg, caches=True,
+        repeats=args.repeats)
+    configure_layer_cost_cache(enabled=True)
+
+    reference = modes["serial_cold"]
+    identical_best = all(
+        result.score == reference.score and result.design == reference.design
+        for result in modes.values()
+    )
+
+    cold_rate = reference.stats.evals_per_second
+    report = {
+        "workload": args.workload,
+        "setup": args.setup,
+        "population": args.population,
+        "generations": args.generations,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "identical_best": identical_best,
+        "best_score": reference.score,
+        "modes": {name: result.stats.as_dict()
+                  for name, result in modes.items()},
+        "speedup_memoized": (modes["memoized"].stats.evals_per_second
+                             / cold_rate if cold_rate else 0.0),
+        "speedup_parallel": (modes["parallel"].stats.evals_per_second
+                             / cold_rate if cold_rate else 0.0),
+    }
+
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+    for name, result in modes.items():
+        stats = result.stats
+        print(f"  {name:<12} {stats.search_seconds:8.3f} s  "
+              f"{stats.evals_per_second:8.1f} evals/s  "
+              f"layer hits {stats.layer_cost_hit_rate:6.1%}  "
+              f"mapper hits {stats.mapper_hit_rate:6.1%}")
+    print(f"  speedup: memoized {report['speedup_memoized']:.2f}x, "
+          f"parallel {report['speedup_parallel']:.2f}x "
+          f"({args.workers} workers)")
+    print(f"  identical best across modes: {identical_best}")
+    print(f"report written to {path}")
+
+    if not identical_best:
+        print("ERROR: modes disagreed on the best design", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -112,10 +112,15 @@ def cmd_search(args: argparse.Namespace) -> int:
         setup=args.setup,
         objective=_build_objective(args),
         ga_config=GAConfig(population_size=args.population,
-                           generations=args.generations, seed=args.seed),
+                           generations=args.generations, seed=args.seed,
+                           workers=args.workers),
     )
     solution = tool.generate()
     print(solution.report())
+    if tool.last_result is not None:
+        print()
+        print("-- search throughput " + "-" * 24)
+        print(tool.last_result.stats.render())
     if args.output:
         path = pathlib.Path(args.output)
         path.write_text(json.dumps(solution_to_dict(solution), indent=2))
@@ -202,6 +207,9 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--population", type=int, default=12)
     search.add_argument("--generations", type=int, default=8)
     search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--workers", type=int, default=1,
+                        help="worker processes for genome evaluation "
+                             "(1 = serial; N > 1 gives identical results)")
     search.add_argument("--output", default=None,
                         help="write the full solution as JSON")
     search.add_argument("--design-output", default=None,

@@ -27,12 +27,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.dataflow.directives import DataflowStyle
 from repro.dataflow.mapping import LayerMapping
 from repro.dataflow.tiling import halo_extent
-from repro.errors import MappingError
+from repro.errors import ConfigurationError, MappingError
 from repro.hardware.accelerators import AcceleratorConfig
 from repro.hardware.checkpoint import CheckpointModel
 from repro.workloads.layers import Layer, LayerKind
@@ -40,6 +40,98 @@ from repro.workloads.layers import Layer, LayerKind
 #: Fraction of each PE cache reserved for the resident operand; the rest
 #: stages the streaming operands.
 _RESIDENT_CACHE_SHARE = 0.7
+
+#: Energy of one pooling operation relative to a full MAC.  A pooling
+#: datapath performs a comparison/accumulate without the multiplier,
+#: which dominates MAC energy; 0.3 is the ballpark of published
+#: comparator-vs-MAC breakdowns at int8.  Pooling *time* is unchanged
+#: (a compare still occupies an issue slot), only the datapath energy
+#: is discounted.
+_POOL_OP_ENERGY_SCALE = 0.3
+
+
+class _LayerCostCache:
+    """Process-local cache of :class:`LayerCost` results.
+
+    The bi-level explorer re-prices identical ``(hardware, checkpoint,
+    layer, mapping)`` combinations millions of times: the SW-level
+    mapping scan queries one model per environment (tile costs are
+    environment-independent), and every genome sharing an inference
+    configuration repeats the whole scan.  :class:`LayerCost` is frozen,
+    so cached instances are safe to share.
+
+    The hit path must cost single-digit microseconds or it eats its own
+    savings, so the structure is two-level: each
+    :class:`DataflowCostModel` resolves its ``(hardware, checkpoint)``
+    prefix to a per-prefix dict once at construction, and every lookup
+    is then a single probe keyed by the raw ``(layer, mapping)`` pair.
+    The bound is enforced by flushing everything when the entry count
+    exceeds ``maxsize`` (at the default bound a realistic search never
+    gets there), which keeps per-hit bookkeeping at zero.
+    """
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        self.maxsize = maxsize
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._size = 0
+        self._maps: Dict[tuple, Dict[tuple, LayerCost]] = {}
+
+    def map_for(self, prefix: tuple) -> Dict[tuple, "LayerCost"]:
+        """The per-prefix entry dict (created on first use)."""
+        entries = self._maps.get(prefix)
+        if entries is None:
+            entries = self._maps[prefix] = {}
+        return entries
+
+    def note_insert(self) -> None:
+        """Account one insertion; flush if the bound is exceeded."""
+        self._size += 1
+        if self._size > self.maxsize:
+            self._flush()
+
+    def _flush(self) -> None:
+        # Clear the per-prefix dicts in place so models holding a
+        # reference see the flush too.
+        for entries in self._maps.values():
+            entries.clear()
+        self._size = 0
+
+    def clear(self) -> None:
+        self._flush()
+        self._maps.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+
+_LAYER_COST_CACHE = _LayerCostCache()
+
+
+def configure_layer_cost_cache(enabled: Optional[bool] = None,
+                               maxsize: Optional[int] = None) -> None:
+    """Tune the process-wide layer-cost cache (bench/testing hook)."""
+    if maxsize is not None:
+        if maxsize < 1:
+            raise ConfigurationError(
+                f"layer-cost cache maxsize must be positive, got {maxsize}"
+            )
+        _LAYER_COST_CACHE.maxsize = maxsize
+    if enabled is not None:
+        _LAYER_COST_CACHE.enabled = enabled
+
+
+def clear_layer_cost_cache() -> None:
+    """Drop all entries and reset the hit/miss counters."""
+    _LAYER_COST_CACHE.clear()
+
+
+def layer_cost_cache_stats() -> Tuple[int, int]:
+    """``(hits, misses)`` of the process-wide layer-cost cache."""
+    return _LAYER_COST_CACHE.hits, _LAYER_COST_CACHE.misses
 
 
 @dataclass(frozen=True)
@@ -127,12 +219,40 @@ class DataflowCostModel:
                  checkpoint: CheckpointModel) -> None:
         self.hardware = hardware
         self.checkpoint = checkpoint
+        #: Hashable identity shared by every model built on the same
+        #: hardware/checkpoint pair — resolved once, here, to the cache
+        #: bucket for that prefix so the per-call hit path never hashes
+        #: the hardware config again.  Tile costs do not depend on the
+        #: light environment, so the prefix deliberately omits it:
+        #: models for different environments share entries.
+        self._cache_prefix = (hardware.cache_key(), checkpoint)
+        self._cache_map = _LAYER_COST_CACHE.map_for(self._cache_prefix)
 
     # -- public API -----------------------------------------------------------
 
     def layer_cost(self, layer: Layer, mapping: LayerMapping) -> LayerCost:
-        """Cost of executing ``layer`` under ``mapping``."""
-        mapping = mapping.clamped(layer)
+        """Cost of executing ``layer`` under ``mapping`` (memoized).
+
+        Entries are keyed by the *raw* mapping; clamping is
+        deterministic, so two raw mappings that clamp to the same
+        effective mapping simply occupy two entries with equal values.
+        """
+        cache = _LAYER_COST_CACHE
+        if not cache.enabled:
+            return self._layer_cost_uncached(layer, mapping.clamped(layer))
+        key = (layer, mapping)
+        cost = self._cache_map.get(key)
+        if cost is not None:
+            cache.hits += 1
+            return cost
+        cache.misses += 1
+        cost = self._layer_cost_uncached(layer, mapping.clamped(layer))
+        self._cache_map[key] = cost
+        cache.note_insert()
+        return cost
+
+    def _layer_cost_uncached(self, layer: Layer,
+                             mapping: LayerMapping) -> LayerCost:
         n_tiles = mapping.effective_n_tiles(layer)
         tile = self._tile_cost(layer, mapping, n_tiles)
         return LayerCost(layer_name=layer.name, n_tiles=n_tiles, tile=tile)
@@ -148,8 +268,9 @@ class DataflowCostModel:
         hw = self.hardware
         tile_dims = mapping.tile_dims(layer)
         macs = math.prod(tile_dims.values())
-        if layer.kind in (LayerKind.POOL, LayerKind.EMBEDDING):
-            macs = 0 if layer.kind is LayerKind.EMBEDDING else macs
+        if layer.kind is LayerKind.EMBEDDING:
+            # Table lookups: no datapath ops at all.
+            macs = 0
 
         in_bytes, w_bytes, out_bytes = self._tile_tensor_bytes(layer, mapping,
                                                                tile_dims)
@@ -206,6 +327,9 @@ class DataflowCostModel:
         # --- energies -----------------------------------------------------------
         bpe = layer.bytes_per_element
         compute_energy = hw.pes.compute_energy(macs)
+        if layer.kind is LayerKind.POOL:
+            # Pooling ops are comparisons/accumulates, not full MACs.
+            compute_energy *= _POOL_OP_ENERGY_SCALE
         compute_energy += 3.0 * macs * bpe * hw.pes.cache_access_energy_per_byte
         vm_energy = vm_traffic * (
             vm_tech.read_energy_per_byte + hw.noc_energy_per_byte

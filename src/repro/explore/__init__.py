@@ -8,6 +8,9 @@
 * :mod:`repro.explore.mapper_search` — SW-level per-layer mapping
   optimisation (the GAMMA-like inner search);
 * :mod:`repro.explore.bilevel` — the bi-level HW/SW strategy of §III-C;
+* :mod:`repro.explore.parallel` — process-parallel generation
+  evaluation (opt-in via ``GAConfig.workers``);
+* :mod:`repro.explore.stats` — throughput / cache observability;
 * :mod:`repro.explore.baselines` — the six ablated methods of Table VI;
 * :mod:`repro.explore.random_search` / :mod:`repro.explore.grid` —
   alternative strategies for the search-ablation benchmarks;
@@ -21,9 +24,11 @@ from repro.explore.ga import GeneticAlgorithm, GAConfig
 from repro.explore.grid import GridSearch
 from repro.explore.mapper_search import MappingOptimizer
 from repro.explore.objectives import Objective, ObjectiveKind
+from repro.explore.parallel import ParallelGenomeEvaluator
 from repro.explore.pareto import ParetoPoint, pareto_front
 from repro.explore.random_search import RandomSearch
 from repro.explore.space import DesignSpace, ParameterSpec
+from repro.explore.stats import SearchStats
 
 __all__ = [
     "BASELINE_METHODS",
@@ -37,10 +42,12 @@ __all__ = [
     "MappingOptimizer",
     "Objective",
     "ObjectiveKind",
+    "ParallelGenomeEvaluator",
     "ParameterSpec",
     "ParetoPoint",
     "RandomSearch",
     "SearchResult",
+    "SearchStats",
     "baseline_space",
     "pareto_front",
 ]

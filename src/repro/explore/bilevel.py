@@ -18,12 +18,14 @@ import logging
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.dataflow.cost_model import layer_cost_cache_stats
 from repro.dataflow.mapping import LayerMapping
-from repro.design import AuTDesign
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
 from repro.energy.environment import LightEnvironment
 from repro.errors import (
+    ChrysalisError,
     DesignSpaceError,
     EvaluationTimeout,
     InfeasibleDesignError,
@@ -31,12 +33,13 @@ from repro.errors import (
     SearchError,
     SimulationError,
 )
-from repro.explore.failures import FailureLog, describe_genome
-from repro.explore.ga import GAConfig, GAHistory, GeneticAlgorithm
+from repro.explore.failures import FailureLog, FailureRecord, describe_genome
+from repro.explore.ga import GAConfig, GAHistory, GeneticAlgorithm, genome_key
 from repro.explore.mapper_search import MappingOptimizer
 from repro.explore.objectives import Objective
 from repro.explore.pareto import ParetoPoint
 from repro.explore.space import DesignSpace, Genome
+from repro.explore.stats import GenomeOutcome, SearchStats
 from repro.hardware.checkpoint import CheckpointModel
 from repro.sim.evaluator import ChrysalisEvaluator
 from repro.sim.metrics import InferenceMetrics
@@ -68,6 +71,8 @@ class SearchResult:
     evaluated: List[ParetoPoint] = field(default_factory=list)
     #: Every candidate failure the search absorbed instead of crashing.
     failures: FailureLog = field(default_factory=FailureLog)
+    #: Throughput / cache observability of the run.
+    stats: SearchStats = field(default_factory=SearchStats)
 
     def summary(self) -> str:
         lines = [
@@ -78,6 +83,7 @@ class SearchResult:
             f"evaluations : {self.history.evaluations}",
             f"absorbed    : {len(self.failures)} candidate failure(s)",
         ]
+        lines.append(self.stats.render())
         return "\n".join(lines)
 
 
@@ -109,7 +115,24 @@ class BilevelExplorer:
                                             checkpoint=checkpoint)
         self.evaluated: List[ParetoPoint] = []
         self.failures = FailureLog()
-        self._design_cache: Dict[int, AuTDesign] = {}
+        #: Observability of the most recent (or in-flight) run.
+        self.stats = SearchStats()
+        #: Lowered designs keyed by :func:`genome_key` — lets ``run()``
+        #: reuse the winner instead of re-running the SW-level search
+        #: (the pre-v1.1 cache was keyed by ``id(design.mappings)`` and
+        #: never read).
+        self._design_cache: Dict[tuple, AuTDesign] = {}
+        #: Whole SW-level search results keyed by the canonical
+        #: ``(EnergyDesign, InferenceDesign)`` projection of a genome, so
+        #: genomes differing only in genes the lowering ignores reuse the
+        #: entire mapper result.  ``None`` (unmappable) is cached too.
+        self._mapper_cache: Dict[
+            Tuple[EnergyDesign, InferenceDesign],
+            Optional[Tuple[LayerMapping, ...]],
+        ] = {}
+        self._mapper_hits = 0
+        self._mapper_misses = 0
+        self._design_cache_hits = 0
 
     # -- fitness ---------------------------------------------------------------
 
@@ -121,51 +144,124 @@ class BilevelExplorer:
         become an infinite-fitness penalty plus a structured record in
         :attr:`failures`, so one broken genome cannot abort a long run.
         """
+        return self.apply_outcome(genome, self.compute_outcome(genome))
+
+    def compute_outcome(self, genome: Genome) -> GenomeOutcome:
+        """Evaluate one genome without touching shared search state.
+
+        This is the function worker processes run: every side effect the
+        serial path would have applied (failure records, Pareto points,
+        cache warming) is returned as data for :meth:`apply_outcome` to
+        replay in deterministic order.
+        """
         started = time.monotonic()
+        layer_hits0, layer_misses0 = layer_cost_cache_stats()
+        mapper_hits0, mapper_misses0 = self._mapper_hits, self._mapper_misses
+        score = math.inf
+        design: Optional[AuTDesign] = None
+        point: Optional[Tuple[float, float]] = None
+        failure: Optional[FailureRecord] = None
         try:
             design = self.lower_genome(genome)
-            if design is None:
-                return math.inf
-            metrics = self.evaluator.evaluate_average(design)
+            if design is not None:
+                metrics = self.evaluator.evaluate_average(design)
         except _CANDIDATE_ERRORS as error:
-            self.failures.record(
-                candidate=describe_genome(genome), error=error,
-                penalty=math.inf, stage="sw-lowering",
-            )
+            failure = self._failure(genome, error, stage="sw-lowering")
+            design = None
+        except ChrysalisError as error:
+            # Non-candidate library errors were historically absorbed by
+            # the GA layer; absorbing them here keeps the serial and
+            # parallel paths byte-identical.
+            failure = self._failure(genome, error, stage="hw-fitness")
+            design = None
+        else:
+            if design is not None:
+                elapsed = time.monotonic() - started
+                if (self.candidate_time_budget_s is not None
+                        and elapsed > self.candidate_time_budget_s):
+                    timeout = EvaluationTimeout(
+                        f"candidate evaluation exceeded its "
+                        f"{self.candidate_time_budget_s:.3g} s budget"
+                    )
+                    failure = self._failure(genome, timeout,
+                                            stage="hw-fitness")
+                    design = None
+                else:
+                    score = self.objective.score(design, metrics)
+                    if (metrics.feasible
+                            and math.isfinite(metrics.e2e_latency)):
+                        latency = (metrics.sustained_period
+                                   or metrics.e2e_latency)
+                        point = (design.energy.panel_area_cm2, latency)
+        layer_hits1, layer_misses1 = layer_cost_cache_stats()
+        return GenomeOutcome(
+            score=score,
+            design=design if math.isfinite(score) else None,
+            point=point,
+            failure=failure,
+            eval_seconds=time.monotonic() - started,
+            mapper_hits=self._mapper_hits - mapper_hits0,
+            mapper_misses=self._mapper_misses - mapper_misses0,
+            layer_cost_hits=layer_hits1 - layer_hits0,
+            layer_cost_misses=layer_misses1 - layer_misses0,
+        )
+
+    def apply_outcome(self, genome: Genome, outcome: GenomeOutcome) -> float:
+        """Fold one evaluation's side effects back into the search."""
+        self.stats.hw_evaluations += 1
+        self.stats.eval_seconds += outcome.eval_seconds
+        self.stats.mapper_hits += outcome.mapper_hits
+        self.stats.mapper_misses += outcome.mapper_misses
+        self.stats.layer_cost_hits += outcome.layer_cost_hits
+        self.stats.layer_cost_misses += outcome.layer_cost_misses
+        if outcome.failure is not None:
+            self.failures.records.append(outcome.failure)
             logger.warning("absorbed %s for candidate %s: %s",
-                           type(error).__name__, describe_genome(genome),
-                           error)
-            return math.inf
-        if (self.candidate_time_budget_s is not None
-                and time.monotonic() - started
-                > self.candidate_time_budget_s):
-            timeout = EvaluationTimeout(
-                f"candidate evaluation exceeded its "
-                f"{self.candidate_time_budget_s:.3g} s budget"
+                           outcome.failure.family, outcome.failure.candidate,
+                           outcome.failure.message)
+        if outcome.design is not None:
+            self._design_cache[genome_key(genome)] = outcome.design
+            # Warm the projection cache too: outcomes computed in worker
+            # processes never touched the parent's caches.
+            self._mapper_cache.setdefault(
+                (outcome.design.energy, outcome.design.inference),
+                outcome.design.mappings,
             )
-            self.failures.record(
-                candidate=describe_genome(genome), error=timeout,
-                penalty=math.inf, stage="hw-fitness",
-            )
-            return math.inf
-        score = self.objective.score(design, metrics)
-        if metrics.feasible and math.isfinite(metrics.e2e_latency):
-            latency = metrics.sustained_period or metrics.e2e_latency
+        if outcome.point is not None:
             self.evaluated.append(ParetoPoint(
-                values=(design.energy.panel_area_cm2, latency),
-                payload=design,
+                values=outcome.point, payload=outcome.design,
             ))
-        if math.isfinite(score):
-            self._design_cache[id(design.mappings)] = design
-        return score
+        return outcome.score
+
+    def _failure(self, genome: Genome, error: BaseException,
+                 stage: str) -> FailureRecord:
+        return FailureRecord(
+            candidate=describe_genome(genome),
+            family=type(error).__name__,
+            message=str(error),
+            penalty=math.inf,
+            stage=stage,
+        )
 
     def lower_genome(self, genome: Genome) -> Optional[AuTDesign]:
-        """Run the SW-level search for a genome; ``None`` if unmappable."""
+        """Run the SW-level search for a genome; ``None`` if unmappable.
+
+        Memoized on the genome's canonical ``(energy, inference)``
+        projection: two genomes that lower to the same hardware reuse
+        the whole mapper result.
+        """
         seed_mappings = tuple(
             LayerMapping.default(layer) for layer in self.network
         )
         seeded = self.space.to_design(genome, seed_mappings)
-        mappings = self.mapper.optimize(seeded.energy, seeded.inference)
+        key = (seeded.energy, seeded.inference)
+        if key in self._mapper_cache:
+            self._mapper_hits += 1
+            mappings = self._mapper_cache[key]
+        else:
+            self._mapper_misses += 1
+            mappings = self.mapper.optimize(seeded.energy, seeded.inference)
+            self._mapper_cache[key] = mappings
         if mappings is None:
             return None
         return self.space.to_design(genome, mappings)
@@ -187,11 +283,33 @@ class BilevelExplorer:
                       for seed in seeds[:2]]
         return seeds
 
+    def _reset_run_state(self) -> None:
+        """Fresh per-run accumulators (results, failures, stats).
+
+        A reused explorer must not leak one run's Pareto points or
+        failure records into the next ``run()``'s :class:`SearchResult`.
+        The memoization caches survive on purpose: they are keyed by
+        value and only ever return what a cold evaluation would.
+        """
+        self.evaluated = []
+        self.failures = FailureLog()
+        self.stats = SearchStats(workers=self.ga_config.workers)
+
     def run(self) -> SearchResult:
+        self._reset_run_state()
+        run_started = time.monotonic()
+        batch_evaluator = None
+        if self.ga_config.workers > 1:
+            # Imported lazily: parallel.py imports this module.
+            from repro.explore.parallel import ParallelGenomeEvaluator
+
+            batch_evaluator = ParallelGenomeEvaluator(
+                self, workers=self.ga_config.workers)
         algorithm = GeneticAlgorithm(self.space, self.evaluate_genome,
                                      self.ga_config,
                                      seeds=self._seed_genomes(),
-                                     failure_log=self.failures)
+                                     failure_log=self.failures,
+                                     batch_evaluator=batch_evaluator)
         try:
             best_genome, best_score = algorithm.run()
         except SearchError:
@@ -207,6 +325,9 @@ class BilevelExplorer:
                 f"{self.network.name!r} under "
                 f"{self.objective.kind.value!r}{detail}"
             ) from None
+        finally:
+            if batch_evaluator is not None:
+                batch_evaluator.close()
         if not self.objective.is_compliant_score(best_score):
             raise SearchError(
                 f"bi-level search found no design satisfying the "
@@ -214,7 +335,12 @@ class BilevelExplorer:
                 f"{self.network.name!r} (best score {best_score:.3g} is in "
                 "the penalty band)"
             )
-        design = self.lower_genome(best_genome)
+        design = self._design_cache.get(genome_key(best_genome))
+        if design is not None:
+            self._design_cache_hits += 1
+            self.stats.design_cache_hits += 1
+        else:
+            design = self.lower_genome(best_genome)
         if design is None:
             raise SearchError("winning genome failed to re-lower")
         logger.info(
@@ -228,6 +354,7 @@ class BilevelExplorer:
             for env in self.environments
         }
         average = self.evaluator.evaluate_average(design)
+        self.stats.search_seconds = time.monotonic() - run_started
         return SearchResult(
             design=design,
             score=best_score,
@@ -236,4 +363,5 @@ class BilevelExplorer:
             history=algorithm.history,
             evaluated=self.evaluated,
             failures=self.failures,
+            stats=self.stats,
         )

@@ -17,7 +17,7 @@ import logging
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Protocol, Tuple
 
 from repro.errors import ChrysalisError, ConfigurationError, SearchError
 from repro.explore.failures import FailureLog, describe_genome
@@ -26,6 +26,16 @@ from repro.explore.space import DesignSpace, Genome
 Fitness = Callable[[Genome], float]
 
 logger = logging.getLogger(__name__)
+
+
+def genome_key(genome: Genome) -> tuple:
+    """Canonical hashable key of a genome (order-insensitive).
+
+    Floats are rounded to 12 significant decimals so that values which
+    only differ by representation noise share a cache entry.  Shared by
+    the GA's fitness cache and the bi-level explorer's design cache.
+    """
+    return tuple(sorted((k, _hashable(v)) for k, v in genome.items()))
 
 
 @dataclass(frozen=True)
@@ -46,6 +56,10 @@ class GAConfig:
     mutation_rate: float = 0.4
     mutation_scale: float = 0.3
     seed: int = 0
+    #: Worker processes for fitness evaluation.  1 = serial (default);
+    #: N > 1 evaluates each generation's uncached genomes concurrently
+    #: (generation-synchronous, so results are identical to serial).
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -58,6 +72,20 @@ class GAConfig:
         if not 0 <= self.elite_count < self.population_size:
             raise ConfigurationError(
                 "elite_count outside [0, population_size)")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+
+
+class BatchEvaluator(Protocol):
+    """Evaluates a batch of genomes; owns its own error absorption.
+
+    ``evaluate_many`` must return one lower-is-better fitness per
+    genome, in order (``math.inf`` for penalized candidates).  See
+    :class:`repro.explore.parallel.ParallelGenomeEvaluator`.
+    """
+
+    def evaluate_many(self, genomes: List[Genome]) -> List[float]:
+        ...
 
 
 @dataclass
@@ -81,7 +109,8 @@ class GeneticAlgorithm:
     def __init__(self, space: DesignSpace, fitness: Fitness,
                  config: Optional[GAConfig] = None,
                  seeds: Optional[List[Genome]] = None,
-                 failure_log: Optional[FailureLog] = None) -> None:
+                 failure_log: Optional[FailureLog] = None,
+                 batch_evaluator: Optional["BatchEvaluator"] = None) -> None:
         self.space = space
         self.fitness = fitness
         self.config = config or GAConfig()
@@ -92,6 +121,10 @@ class GeneticAlgorithm:
         #: log to aggregate across search layers (the bi-level explorer
         #: does) or read this run-local one afterwards.
         self.failures = failure_log if failure_log is not None else FailureLog()
+        #: Optional batch evaluator (e.g. a process pool).  When given,
+        #: each generation's *uncached* genomes are handed over in one
+        #: call; the evaluator owns error absorption for that path.
+        self.batch_evaluator = batch_evaluator
         self._cache: dict = {}
 
     # -- public API -----------------------------------------------------------
@@ -106,7 +139,7 @@ class GeneticAlgorithm:
         initial = [dict(seed) for seed in self.seeds[:cfg.population_size]]
         while len(initial) < cfg.population_size:
             initial.append(self.space.sample(self.rng))
-        population = [self._evaluate(genome) for genome in initial]
+        population = self._evaluate_batch(initial)
         best = min(population, key=lambda e: e.fitness)
         self._record(population)
 
@@ -126,24 +159,53 @@ class GeneticAlgorithm:
     # -- internals ----------------------------------------------------------------
 
     def _evaluate(self, genome: Genome) -> EvaluatedGenome:
-        key = tuple(sorted((k, _hashable(v)) for k, v in genome.items()))
-        if key not in self._cache:
-            try:
-                fitness = self.fitness(genome)
-            except ChrysalisError as error:
-                # One broken candidate must not kill the whole search:
-                # absorb, penalize, and keep an auditable record.
-                fitness = math.inf
-                self.failures.record(
-                    candidate=describe_genome(genome), error=error,
-                    penalty=fitness, stage="hw-fitness",
-                )
-                logger.warning("absorbed %s for candidate %s: %s",
-                               type(error).__name__,
-                               describe_genome(genome), error)
-            self._cache[key] = fitness
-            self.history.evaluations += 1
-        return EvaluatedGenome(genome, self._cache[key])
+        return self._evaluate_batch([genome])[0]
+
+    def _evaluate_batch(self, genomes: List[Genome]) -> List[EvaluatedGenome]:
+        """Evaluate one generation's genomes, deduplicated and cached.
+
+        Only genomes whose key is neither cached nor repeated earlier in
+        the batch reach the fitness function — exactly the set the
+        serial one-at-a-time path would have evaluated, so counters and
+        failure records are identical in both modes.
+        """
+        keys = [genome_key(genome) for genome in genomes]
+        fresh: List[Genome] = []
+        fresh_keys: List[tuple] = []
+        seen = set()
+        for genome, key in zip(genomes, keys):
+            if key in self._cache or key in seen:
+                continue
+            seen.add(key)
+            fresh.append(genome)
+            fresh_keys.append(key)
+        if fresh:
+            scores = self._evaluate_fresh(fresh)
+            for key, score in zip(fresh_keys, scores):
+                self._cache[key] = score
+                self.history.evaluations += 1
+        return [EvaluatedGenome(genome, self._cache[key])
+                for genome, key in zip(genomes, keys)]
+
+    def _evaluate_fresh(self, genomes: List[Genome]) -> List[float]:
+        if self.batch_evaluator is not None:
+            return self.batch_evaluator.evaluate_many(genomes)
+        return [self._evaluate_one(genome) for genome in genomes]
+
+    def _evaluate_one(self, genome: Genome) -> float:
+        try:
+            return self.fitness(genome)
+        except ChrysalisError as error:
+            # One broken candidate must not kill the whole search:
+            # absorb, penalize, and keep an auditable record.
+            self.failures.record(
+                candidate=describe_genome(genome), error=error,
+                penalty=math.inf, stage="hw-fitness",
+            )
+            logger.warning("absorbed %s for candidate %s: %s",
+                           type(error).__name__,
+                           describe_genome(genome), error)
+            return math.inf
 
     def _select(self, population: List[EvaluatedGenome]) -> Genome:
         contenders = self.rng.sample(population, self.config.tournament_size)
@@ -155,7 +217,11 @@ class GeneticAlgorithm:
         cfg = self.config
         ranked = sorted(population, key=lambda e: e.fitness)
         next_pop = list(ranked[:cfg.elite_count])
-        while len(next_pop) < cfg.population_size:
+        # Breed the full generation first (the RNG stream only depends
+        # on the parent population), then evaluate it as one batch so a
+        # parallel evaluator can fan the uncached genomes out.
+        children: List[Genome] = []
+        while len(next_pop) + len(children) < cfg.population_size:
             parent_a = self._select(population)
             if self.rng.random() < cfg.crossover_rate:
                 parent_b = self._select(population)
@@ -165,7 +231,8 @@ class GeneticAlgorithm:
             child = self.space.mutate(child, self.rng,
                                       rate=cfg.mutation_rate,
                                       scale=cfg.mutation_scale)
-            next_pop.append(self._evaluate(child))
+            children.append(child)
+        next_pop.extend(self._evaluate_batch(children))
         return next_pop
 
     def _record(self, population: List[EvaluatedGenome]) -> None:

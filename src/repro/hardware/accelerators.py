@@ -99,6 +99,26 @@ class AcceleratorConfig:
     def traffic_penalty(self, style: DataflowStyle) -> float:
         return self.dataflow_penalty.get(style, 1.0)
 
+    def cache_key(self) -> tuple:
+        """Hashable identity for cost-model memoization.
+
+        ``dataflow_penalty`` is a plain mapping, so the dataclass itself
+        is unhashable; this flattens it deterministically.
+        """
+        return (
+            self.name,
+            self.family,
+            self.pes,
+            self.vm,
+            self.nvm,
+            self.noc_energy_per_byte,
+            tuple(sorted((style.value, float(penalty))
+                         for style, penalty in self.dataflow_penalty.items())),
+            self.controller_power,
+            self.native_style,
+            self.overlapped_io,
+        )
+
     @property
     def static_power(self) -> float:
         """Rail-on static draw: controller + PE leakage + VM retention."""

@@ -101,13 +101,25 @@ class AnalyticalModel:
         Scans the divisor-aligned tile counts of the mapping's tile
         dimension; returns ``None`` when even the finest partition does
         not fit an energy cycle (the design is unusable for this layer).
+
+        A multi-dimensional input tile keeps its ``secondary_dim`` /
+        ``n_tiles_2`` split (clamped to the dimension size) in every
+        scanned candidate: dropping it would answer Eq. 9 for a
+        different — coarser — mapping family than the one asked about.
         """
-        bound = layer.dims()[mapping.tile_dim]
+        dims = layer.dims()
+        bound = dims[mapping.tile_dim]
+        secondary = mapping.secondary_dim
+        n_tiles_2 = 1
+        if secondary is not None:
+            n_tiles_2 = min(mapping.n_tiles_2, dims[secondary])
         n = max(1, mapping.n_tiles)
         while n <= bound:
             candidate = LayerMapping(style=mapping.style, n_tiles=n,
                                      tile_dim=mapping.tile_dim,
-                                     spatial_dim=mapping.spatial_dim)
+                                     spatial_dim=mapping.spatial_dim,
+                                     secondary_dim=secondary,
+                                     n_tiles_2=n_tiles_2)
             cost = self.layer_cost(layer, candidate)
             if self.tile_feasible(cost):
                 return n

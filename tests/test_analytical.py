@@ -66,6 +66,32 @@ class TestFeasibility:
             layer, LayerMapping.default(layer, n_tiles=n_min)))
         assert feasible
 
+    def test_min_feasible_n_tiles_keeps_secondary_split(self):
+        """Regression: the Eq. 9 scan used to drop ``secondary_dim`` /
+        ``n_tiles_2``, answering the question for a coarser mapping
+        family — a 2-D-tiled mapping was told it needed far more
+        primary tiles than it actually does."""
+        model = make_model(network=zoo.cifar10_cnn(), capacitance=uF(470),
+                           environment=LightEnvironment.darker(), n_tiles=1)
+        layer = max(model.network, key=lambda l: l.macs)
+        base = LayerMapping.default(layer)
+        split = LayerMapping(style=base.style, n_tiles=1,
+                             tile_dim=base.tile_dim,
+                             spatial_dim=base.spatial_dim,
+                             secondary_dim="C", n_tiles_2=4)
+        n_plain = model.min_feasible_n_tiles(layer, base)
+        n_split = model.min_feasible_n_tiles(layer, split)
+        assert n_plain is not None and n_split is not None
+        # The secondary split already shrinks each tile, so fewer
+        # primary tiles suffice — the buggy scan returned n_plain here.
+        assert n_split < n_plain
+        # And the answer is feasible for the *asked-about* family.
+        candidate = LayerMapping(style=split.style, n_tiles=n_split,
+                                 tile_dim=split.tile_dim,
+                                 spatial_dim=split.spatial_dim,
+                                 secondary_dim="C", n_tiles_2=4)
+        assert model.tile_feasible(model.layer_cost(layer, candidate))
+
     def test_leakage_dominated_design_infeasible(self):
         model = make_model(panel_cm2=1.0, capacitance=mF(10))
         model_dark = AnalyticalModel(

@@ -158,3 +158,69 @@ class TestMSP430Path:
             conv, ws())
         tpu = model_for(tpu_like(n_pes=64)).layer_cost(conv, ws())
         assert msp.busy_time > 100 * tpu.busy_time
+
+
+class TestPoolPricing:
+    def test_pool_datapath_energy_discounted(self):
+        """A pooling op is a comparison/accumulate, not a full MAC:
+        its datapath energy is discounted (the pre-v1.1 branch computed
+        the discount and threw it away)."""
+        from repro.dataflow.cost_model import _POOL_OP_ENERGY_SCALE
+        from repro.workloads.layers import Pool2D
+
+        hw = tpu_like()
+        model = model_for(hw)
+        pool = Pool2D("p", channels=16, in_height=16, in_width=16)
+        tile = model.layer_cost(pool, ws(tile_dim="Y", spatial_dim="X")).tile
+        assert tile.macs > 0
+        # Only the datapath term is discounted; the per-op cache-access
+        # energy is the same for a compare as for a MAC.
+        cache_term = (3.0 * tile.macs * pool.bytes_per_element
+                      * hw.pes.cache_access_energy_per_byte)
+        assert tile.compute_energy == pytest.approx(
+            _POOL_OP_ENERGY_SCALE * hw.pes.compute_energy(tile.macs)
+            + cache_term)
+        assert tile.compute_energy < (hw.pes.compute_energy(tile.macs)
+                                      + cache_term)
+        # Time is not discounted: a compare still occupies an issue slot.
+        assert tile.compute_time == pytest.approx(
+            hw.pes.compute_time(tile.macs, tile.active_pes))
+
+
+class TestLayerCostCache:
+    def test_cached_results_identical(self, conv):
+        from repro.dataflow.cost_model import (clear_layer_cost_cache,
+                                               configure_layer_cost_cache,
+                                               layer_cost_cache_stats)
+
+        try:
+            configure_layer_cost_cache(enabled=False)
+            cold = model_for(tpu_like()).layer_cost(conv, ws(n_tiles=4))
+            configure_layer_cost_cache(enabled=True)
+            clear_layer_cost_cache()
+            model = model_for(tpu_like())
+            miss = model.layer_cost(conv, ws(n_tiles=4))
+            hit = model.layer_cost(conv, ws(n_tiles=4))
+            assert cold == miss == hit
+            assert hit is miss  # the cached instance is shared
+            assert layer_cost_cache_stats() == (1, 1)
+            # A second model on equal hardware shares the entries.
+            other = model_for(tpu_like())
+            assert other.layer_cost(conv, ws(n_tiles=4)) is miss
+            assert layer_cost_cache_stats() == (2, 1)
+        finally:
+            configure_layer_cost_cache(enabled=True)
+            clear_layer_cost_cache()
+
+    def test_different_hardware_do_not_collide(self, conv):
+        from repro.dataflow.cost_model import (clear_layer_cost_cache,
+                                               configure_layer_cost_cache)
+
+        try:
+            configure_layer_cost_cache(enabled=True)
+            clear_layer_cost_cache()
+            small = model_for(tpu_like(n_pes=8)).layer_cost(conv, ws())
+            large = model_for(tpu_like(n_pes=64)).layer_cost(conv, ws())
+            assert small.tile.compute_time > large.tile.compute_time
+        finally:
+            clear_layer_cost_cache()

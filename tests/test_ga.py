@@ -77,12 +77,61 @@ class TestGeneticAlgorithm:
         {"generations": 0},
         {"tournament_size": 0},
         {"elite_count": 16},
+        {"workers": 0},
     ])
     def test_bad_config(self, kwargs):
         # Malformed hyper-parameters are a configuration mistake, not a
         # failed search (reclassified from SearchError in v1.0).
         with pytest.raises(ConfigurationError):
             GAConfig(**kwargs)
+
+    def test_batch_evaluator_matches_serial(self, space):
+        """A batch evaluator must not perturb the search at all: the
+        RNG stream is consumed entirely during breeding, so handing each
+        generation to ``evaluate_many`` yields the identical run."""
+
+        class Recording:
+            def __init__(self):
+                self.batches = []
+
+            def evaluate_many(self, genomes):
+                self.batches.append(len(genomes))
+                return [sphere(g) for g in genomes]
+
+        config = GAConfig(population_size=10, generations=8, seed=4)
+        serial = GeneticAlgorithm(space, sphere, config)
+        serial_result = serial.run()
+        batch = Recording()
+        batched = GeneticAlgorithm(space, sphere, config,
+                                   batch_evaluator=batch)
+        batched_result = batched.run()
+        assert serial_result == batched_result
+        assert serial.history.best == batched.history.best
+        assert serial.history.evaluations == batched.history.evaluations
+        # The whole initial population arrives as one batch.
+        assert batch.batches[0] == 10
+        assert sum(batch.batches) == batched.history.evaluations
+
+    def test_batch_evaluator_sees_only_uncached_genomes(self, space):
+        """Cached/duplicate genomes must be filtered before the batch
+        evaluator runs, exactly like the serial cache path."""
+        seen = []
+
+        class Recording:
+            def evaluate_many(self, genomes):
+                seen.extend(genomes)
+                return [sphere(g) for g in genomes]
+
+        seed_genome = {"x": 1.0, "y": 1.0}
+        ga = GeneticAlgorithm(space, sphere,
+                              GAConfig(population_size=4, generations=2,
+                                       seed=0),
+                              seeds=[seed_genome, dict(seed_genome)],
+                              batch_evaluator=Recording())
+        ga.run()
+        keys = [tuple(sorted(g.items())) for g in seen]
+        assert len(keys) == len(set(keys))
+        assert len(keys) == ga.history.evaluations
 
 
 class TestRandomSearch:
