@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Step-simulator benchmark: exact stepping vs cycle-skipping fast path.
+
+Runs a suite of (design × environment) step simulations twice —
+
+* ``exact`` — ``fast_forward=False``: every tile advanced in
+  ``steps_per_tile`` per-step controller calls;
+* ``fast``  — cycle-skipping enabled: once the per-layer energy cycle
+  stabilises, whole cycles are replayed arithmetically —
+
+verifies on every case that the two paths agree (integer metrics —
+power cycles, exceptions, trace event counts — exactly; float metrics
+within the engine's documented ``1e-9`` relative tolerance), and writes
+wall-clock times and speedups to ``BENCH_sim.json``.
+
+The suite is sized so the steady cycle dominates: many tiles per layer
+with a capacitor holding only a few tiles per energy cycle, which is
+exactly the regime (long intermittent runs) where exact stepping hurts.
+Each case is timed ``--repeats`` times and the fastest run kept, so the
+numbers are about the code, not scheduler noise.  CI runs ``--smoke``
+and archives the JSON next to ``BENCH_search.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py --smoke
+    PYTHONPATH=src python benchmarks/bench_sim.py --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.sim.engine import FAST_REL_TOL, SimulationResult
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.sim.trace import EventKind
+from repro.units import uF
+from repro.workloads import zoo
+
+#: (workload, n_tiles, capacitance, environment) — chosen so each layer
+#: spans many energy cycles (small cap, many small tiles) across three
+#: light levels; the last case is a moderate-cycle control where fewer
+#: cycles repeat and the fast path helps less.
+_SUITE = [
+    ("har", 128, uF(10), "darker"),
+    ("har", 128, uF(10), "indoor"),
+    ("har", 128, uF(6.8), "darker"),
+    ("kws", 144, uF(2.2), "brighter"),
+    ("kws", 144, uF(2.2), "darker"),
+    ("kws", 144, uF(2.2), "indoor"),
+    ("kws", 144, uF(3.3), "darker"),
+    ("kws", 144, uF(4.7), "darker"),
+]
+
+_ENVIRONMENTS = {
+    "brighter": LightEnvironment.brighter,
+    "darker": LightEnvironment.darker,
+    "indoor": LightEnvironment.indoor,
+}
+
+
+def _build(workload: str, n_tiles: int, cap_f: float):
+    network = zoo.workload_by_name(workload)
+    design = AuTDesign.with_default_mappings(
+        EnergyDesign(panel_area_cm2=1.0, capacitance_f=cap_f),
+        InferenceDesign.msp430(), network, n_tiles=n_tiles)
+    return network, design
+
+
+def _time_run(evaluator: ChrysalisEvaluator, design: AuTDesign,
+              environment: LightEnvironment, fast_forward: bool,
+              repeats: int) -> tuple:
+    best_s = math.inf
+    result: Optional[SimulationResult] = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = evaluator.simulate(design, environment,
+                                    fast_forward=fast_forward)
+        best_s = min(best_s, time.perf_counter() - t0)
+    assert result is not None
+    return result, best_s
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=FAST_REL_TOL, abs_tol=1e-12)
+
+
+def _identity_errors(exact: SimulationResult,
+                     fast: SimulationResult) -> List[str]:
+    """Mismatches between the two paths, empty when they agree."""
+    em, fm = exact.metrics, fast.metrics
+    errors = []
+    if em.feasible != fm.feasible:
+        return [f"feasibility {em.feasible} vs {fm.feasible}"]
+    for name in ("e2e_latency", "busy_time", "charge_time",
+                 "harvested_energy", "sustained_period"):
+        a, b = getattr(em, name), getattr(fm, name)
+        if not _close(a, b):
+            errors.append(f"{name} {a!r} vs {b!r}")
+    if not _close(em.total_energy, fm.total_energy):
+        errors.append(f"total_energy {em.total_energy!r} "
+                      f"vs {fm.total_energy!r}")
+    for name in ("power_cycles", "exceptions"):
+        a, b = getattr(em, name), getattr(fm, name)
+        if a != b:
+            errors.append(f"{name} {a} vs {b}")
+    ec, fc = exact.trace.counts(), fast.trace.counts()
+    if ec != fc:
+        diff = {k.value: (ec.get(k, 0), fc.get(k, 0))
+                for k in set(ec) | set(fc)
+                if ec.get(k, 0) != fc.get(k, 0)}
+        errors.append(f"trace counts differ: {diff}")
+    return errors
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fewer repeats for CI (~seconds)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per case; fastest is reported")
+    parser.add_argument("--steps-per-tile", type=int, default=16)
+    parser.add_argument("--output", default="BENCH_sim.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.repeats = 2
+
+    print(f"benchmarking step simulator, {len(_SUITE)} cases, "
+          f"steps_per_tile={args.steps_per_tile}, repeats={args.repeats}")
+
+    cases = []
+    total_exact = total_fast = 0.0
+    failures = []
+    for workload, n_tiles, cap_f, envname in _SUITE:
+        network, design = _build(workload, n_tiles, cap_f)
+        environment = _ENVIRONMENTS[envname]()
+        evaluator = ChrysalisEvaluator(network,
+                                       steps_per_tile=args.steps_per_tile)
+        exact, exact_s = _time_run(evaluator, design, environment,
+                                   fast_forward=False, repeats=args.repeats)
+        fast, fast_s = _time_run(evaluator, design, environment,
+                                 fast_forward=True, repeats=args.repeats)
+        errors = _identity_errors(exact, fast)
+        label = f"{workload}/{n_tiles}t/{cap_f * 1e6:g}uF/{envname}"
+        speedup = exact_s / fast_s if fast_s > 0 else 0.0
+        total_exact += exact_s
+        total_fast += fast_s
+        cases.append({
+            "case": label,
+            "feasible": exact.metrics.feasible,
+            "exact_seconds": exact_s,
+            "fast_seconds": fast_s,
+            "speedup": speedup,
+            "cycles": exact.metrics.power_cycles,
+            "cycles_skipped": fast.fast_cycles_skipped,
+            "fast_segments": fast.fast_segments,
+            "tiles_completed": exact.trace.count(EventKind.TILE_COMPLETED),
+            "metrics_identical": not errors,
+            "errors": errors,
+        })
+        status = "ok" if not errors else "MISMATCH"
+        print(f"  {label:<28} exact {exact_s * 1e3:8.2f} ms  "
+              f"fast {fast_s * 1e3:8.2f} ms  {speedup:6.2f}x  "
+              f"skipped {fast.fast_cycles_skipped:>4}/"
+              f"{exact.metrics.power_cycles:<4}  {status}")
+        if errors:
+            failures.append((label, errors))
+
+    overall = total_exact / total_fast if total_fast > 0 else 0.0
+    report = {
+        "steps_per_tile": args.steps_per_tile,
+        "repeats": args.repeats,
+        "tolerance_rel": FAST_REL_TOL,
+        "cases": cases,
+        "total_exact_seconds": total_exact,
+        "total_fast_seconds": total_fast,
+        "speedup_overall": overall,
+        "metrics_identical": not failures,
+    }
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"  overall: exact {total_exact:.3f} s vs fast {total_fast:.3f} s "
+          f"-> {overall:.2f}x")
+    print(f"report written to {path}")
+
+    if failures:
+        for label, errors in failures:
+            print(f"ERROR: {label}: {'; '.join(errors)}", file=sys.stderr)
+        return 1
+    if overall < 5.0:
+        print(f"ERROR: overall speedup {overall:.2f}x below the 5x bar",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

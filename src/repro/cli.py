@@ -144,7 +144,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     design = _explicit_design(args, network)
     environment = _ENVIRONMENTS[args.environment]()
     evaluator = ChrysalisEvaluator(network)
-    result = evaluator.simulate(design, environment)
+    result = evaluator.simulate(design, environment,
+                                fast_forward=not args.exact)
     metrics = result.metrics
     if not metrics.feasible:
         print(f"infeasible: {metrics.infeasible_reason}")
@@ -158,6 +159,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"power cycles     : {metrics.power_cycles}, "
           f"exceptions: {metrics.exceptions}")
     print(f"system efficiency: {metrics.system_efficiency:.3f}")
+    if result.fast_cycles_skipped:
+        print(f"fast-forward     : {result.fast_cycles_skipped} cycles "
+              f"replayed in {result.fast_segments} segments "
+              f"(use --exact for a full per-step trace)")
     print()
     print(result.trace.render(limit=args.trace))
     return 0
@@ -245,6 +250,9 @@ def build_parser() -> argparse.ArgumentParser:
                           default="brighter")
     simulate.add_argument("--trace", type=int, default=10,
                           help="trace events to print")
+    simulate.add_argument("--exact", action="store_true",
+                          help="disable the cycle-skipping fast path "
+                               "(exact per-step simulation, full trace)")
 
     faults = sub.add_parser(
         "faults-sweep",

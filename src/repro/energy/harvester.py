@@ -41,6 +41,17 @@ class Harvester(Protocol):
         """Electrical output power at time ``t``, W."""
         ...
 
+    @property
+    def constant_power(self) -> bool:
+        """True when ``power_at`` does not depend on ``t``.
+
+        The step simulator's cycle-skipping fast path requires a
+        time-invariant harvest; harvesters that cannot guarantee it
+        (or that omit the property) are conservatively treated as
+        variable and simulated step by step.
+        """
+        ...
+
 
 @dataclass(frozen=True)
 class SolarHarvester:
@@ -66,6 +77,10 @@ class SolarHarvester:
     @property
     def footprint_cm2(self) -> float:
         return self.panel.area_cm2
+
+    @property
+    def constant_power(self) -> bool:
+        return not self.diurnal
 
     def power_at(self, t: float) -> float:
         if self.diurnal:
@@ -110,6 +125,10 @@ class ThermalHarvester:
     def footprint_cm2(self) -> float:
         return self.area_cm2
 
+    @property
+    def constant_power(self) -> bool:
+        return True
+
     def power_at(self, t: float) -> float:
         return self.area_cm2 * self.k_teg_w_per_cm2_k2 * self.delta_t_kelvin**2
 
@@ -132,6 +151,11 @@ class CompositeHarvester:
     @property
     def footprint_cm2(self) -> float:
         return sum(h.footprint_cm2 for h in self.harvesters)
+
+    @property
+    def constant_power(self) -> bool:
+        return all(getattr(h, "constant_power", False)
+                   for h in self.harvesters)
 
     def power_at(self, t: float) -> float:
         return sum(h.power_at(t) for h in self.harvesters)
@@ -167,6 +191,12 @@ class FluctuatingHarvester:
     def footprint_cm2(self) -> float:
         return self.base.footprint_cm2
 
+    @property
+    def constant_power(self) -> bool:
+        # sigma == 0 degenerates to the (possibly constant) base.
+        return (self.sigma == 0.0
+                and getattr(self.base, "constant_power", False))
+
     def attenuation_at(self, t: float) -> float:
         if self.sigma == 0.0:
             return 1.0
@@ -200,6 +230,10 @@ class RFHarvester:
             raise ConfigurationError(
                 f"distance must be positive, got {self.distance_m}"
             )
+
+    @property
+    def constant_power(self) -> bool:
+        return True
 
     def power_at(self, t: float) -> float:
         path_gain = (self.wavelength_m / (4.0 * math.pi * self.distance_m)) ** 2

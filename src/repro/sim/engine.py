@@ -13,6 +13,27 @@ The engine alternates between two regimes:
 A tile that fails to complete even from a brimming capacitor violates
 Eq. 8 (``E_tile <= E_available``); the engine detects the repeated
 failure and reports the design infeasible instead of looping forever.
+
+Cycle-skipping fast path
+------------------------
+
+Under constant harvest and no active fault injector, the
+(charge → execute k tiles → power off) pattern within a layer is
+exactly periodic: every energy cycle starts from the same capacitor
+voltage (``U_on``, pinned by the closed-form charge fast-forward), runs
+the same tile costs at the same step size, and dies at the same
+``U_off`` crossing.  :class:`StepSimulator` observes the boundaries of
+consecutive cycles; once two consecutive cycles produce the same
+signature (tiles completed, step count, per-cycle deltas of every
+:class:`~repro.energy.controller.EnergyAccounting` field and of the
+inference bookkeeping), it replays ``m`` whole cycles arithmetically —
+advancing time, accounting, tile index and ``power_cycles`` in O(1)
+instead of O(m · tiles · steps_per_tile).  The engine drops back to
+exact per-step simulation at layer boundaries (the skip never crosses
+one), near the end of the run, and whenever faults, variable harvest or
+a non-repeating state (e.g. JIT progress carried across cycles)
+disable the fast path.  Replayed cycles advance the trace's per-kind
+counters in bulk; individual events are not materialised.
 """
 
 from __future__ import annotations
@@ -20,7 +41,7 @@ from __future__ import annotations
 import math
 import time as _time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.energy.controller import EnergyController
 from repro.errors import EvaluationTimeout, SimulationError
@@ -37,6 +58,278 @@ class SimulationResult:
     trace: Trace
     energy: EnergyController
     inference: InferenceController
+    #: Whole energy cycles replayed arithmetically by the fast path.
+    fast_cycles_skipped: int = 0
+    #: Number of distinct fast-forward segments (≤ one per layer).
+    fast_segments: int = 0
+
+
+@dataclass
+class _RunState:
+    """Mutable per-run bookkeeping of :meth:`StepSimulator.run`."""
+
+    busy_time: float = 0.0
+    charge_time: float = 0.0
+    steps: int = 0
+    fail_streak: int = 0
+    last_fail_key: Optional[Tuple[int, int]] = None
+    last_fail_retained: float = -1.0
+    cycles_skipped: int = 0
+    fast_segments: int = 0
+
+
+#: Relative tolerance used when matching the float deltas of two
+#: observed cycles (and hence the documented metric tolerance of the
+#: fast path): per-cycle sums differ from one another only by
+#: accumulation rounding, orders of magnitude below this bound.
+FAST_REL_TOL = 1e-9
+#: Absolute float-noise floor for delta matching, in J / s.  Fields that
+#: are identically zero per cycle (e.g. curtailment below the voltage
+#: clamp) carry only rounding residue; treat them as equal.
+FAST_ABS_TOL = 1e-15
+
+
+@dataclass(frozen=True)
+class _CycleSnapshot:
+    """Full replayable state at one steady-cycle boundary.
+
+    A boundary is the instant the rail turns on with the capacitor
+    sitting at exactly ``U_on`` — either the warm start of the run or
+    the end of a closed-form recharge.
+    """
+
+    # exact (integer) state
+    steps: int
+    layer_index: int
+    tile_index: int
+    power_cycles: int
+    exceptions: int
+    planned_checkpoints: int
+    rollbacks: int
+    checkpoint_retries: int
+    fail_streak: int
+    #: last_fail_key relative to (layer_index, tile_index); None if unset.
+    fail_key_rel: Optional[Tuple[int, int]]
+    trace_counts: Dict[EventKind, int]
+    floats: Tuple[float, ...]  # see _FLOAT_FIELDS for the layout
+
+
+#: Names (for documentation) of the slots of ``_CycleSnapshot.floats``:
+#: simulator clocks, inference energy bookkeeping, every float field of
+#: :class:`EnergyAccounting`, and the residual per-tile state.  The last
+#: two entries are ~1e-18 rounding residue under the eager strategy
+#: (``deliver`` subtracts tile costs from delivered energy) — replaying
+#: them by delta keeps the fast path faithful without demanding bitwise
+#: repetition of float noise.
+_FLOAT_FIELDS = (
+    "time", "busy_time", "charge_time",
+    "wasted_energy",
+    "breakdown.compute", "breakdown.vm", "breakdown.nvm",
+    "breakdown.static", "breakdown.checkpoint",
+    "acct.harvested", "acct.stored", "acct.delivered",
+    "acct.leaked", "acct.conversion_loss", "acct.curtailed",
+    "tile_energy_done", "last_fail_retained",
+)
+
+
+@dataclass
+class _CycleDelta:
+    """Per-cycle advance between two consecutive boundaries."""
+
+    steps: int
+    tiles: int
+    power_cycles: int
+    exceptions: int
+    planned_checkpoints: int
+    rollbacks: int
+    checkpoint_retries: int
+    trace_counts: Dict[EventKind, int]
+    floats: Tuple[float, ...]
+
+    @classmethod
+    def between(cls, a: "_CycleSnapshot",
+                b: "_CycleSnapshot") -> Optional["_CycleDelta"]:
+        """Delta ``b - a``, or ``None`` if the pair cannot repeat.
+
+        The skip stays strictly inside one layer, so a boundary pair
+        spanning a layer change — or one that made no whole-tile
+        progress — is not a candidate cycle.
+        """
+        if b.layer_index != a.layer_index:
+            return None
+        tiles = b.tile_index - a.tile_index
+        if tiles <= 0:
+            return None
+        counts = {kind: b.trace_counts.get(kind, 0) - a.trace_counts.get(kind, 0)
+                  for kind in set(a.trace_counts) | set(b.trace_counts)}
+        return cls(
+            steps=b.steps - a.steps,
+            tiles=tiles,
+            power_cycles=b.power_cycles - a.power_cycles,
+            exceptions=b.exceptions - a.exceptions,
+            planned_checkpoints=b.planned_checkpoints - a.planned_checkpoints,
+            rollbacks=b.rollbacks - a.rollbacks,
+            checkpoint_retries=b.checkpoint_retries - a.checkpoint_retries,
+            trace_counts=counts,
+            floats=tuple(fb - fa for fa, fb in zip(a.floats, b.floats)),
+        )
+
+    def matches(self, other: "_CycleDelta") -> bool:
+        """Whether two consecutive cycle deltas describe the same cycle."""
+        if (self.steps != other.steps
+                or self.tiles != other.tiles
+                or self.power_cycles != other.power_cycles
+                or self.exceptions != other.exceptions
+                or self.planned_checkpoints != other.planned_checkpoints
+                or self.rollbacks != other.rollbacks
+                or self.checkpoint_retries != other.checkpoint_retries
+                or self.trace_counts != other.trace_counts):
+            return False
+        return all(
+            math.isclose(x, y, rel_tol=FAST_REL_TOL, abs_tol=FAST_ABS_TOL)
+            for x, y in zip(self.floats, other.floats)
+        )
+
+
+class _CycleObserver:
+    """Detects the steady energy cycle and replays it arithmetically.
+
+    The simulator calls :meth:`observe` at every cycle boundary.  The
+    observer keeps the last boundary snapshot and the delta of the last
+    completed cycle; as soon as two consecutive deltas match (see
+    :meth:`_CycleDelta.matches`) and at least one more whole cycle fits
+    inside the current layer (and inside the remaining step budget), it
+    applies ``m`` cycles worth of deltas to the controller, the
+    inference state, the trace counters and the run clocks in O(1).
+    """
+
+    def __init__(self, simulator: "StepSimulator", state: _RunState) -> None:
+        self.simulator = simulator
+        self.state = state
+        self._previous: Optional[_CycleSnapshot] = None
+        self._last_delta: Optional[_CycleDelta] = None
+
+    # -- boundary handling -------------------------------------------------------
+
+    def observe(self) -> None:
+        """Record a boundary; fast-forward when the cycle has stabilised."""
+        snapshot = self._snapshot()
+        previous, self._previous = self._previous, snapshot
+        if previous is None:
+            return
+        delta = _CycleDelta.between(previous, snapshot)
+        last_delta, self._last_delta = self._last_delta, delta
+        if delta is None or last_delta is None:
+            return
+        if not delta.matches(last_delta):
+            return
+        # The Eq. 8 retry bookkeeping must repeat exactly from cycle to
+        # cycle; residual tile progress is covered by the float deltas
+        # (a JIT tile genuinely spanning cycles changes the tile delta
+        # or layer index instead, which `between` already rejects).
+        if (previous.fail_streak != snapshot.fail_streak
+                or previous.fail_key_rel != snapshot.fail_key_rel):
+            return
+        m = self._skippable_cycles(snapshot, delta)
+        if m >= 1:
+            self._apply(snapshot, delta, m)
+
+    def _skippable_cycles(self, at: _CycleSnapshot,
+                          delta: _CycleDelta) -> int:
+        """How many whole cycles can be replayed from this boundary.
+
+        Every replayed cycle must end strictly inside the current layer
+        (index ≤ n_tiles − 1): the layer-crossing cycle runs tiles with
+        different costs and skips the final in-layer checkpoint, so it
+        is always simulated exactly.  A ``max_steps`` budget caps the
+        skip as well, preserving the exact path's timeout semantics.
+        """
+        simulator = self.simulator
+        layer = simulator.inference.plan[at.layer_index]
+        m = (layer.n_tiles - 1 - at.tile_index) // delta.tiles
+        if simulator.max_steps is not None:
+            m = min(m, (simulator.max_steps - self.state.steps) // delta.steps)
+        return m
+
+    def _apply(self, at: _CycleSnapshot, delta: _CycleDelta, m: int) -> None:
+        """Advance the whole simulation by ``m`` cycles in O(1)."""
+        simulator, st = self.simulator, self.state
+        energy, inference = simulator.energy, simulator.inference
+        acct = energy.accounting
+        breakdown = inference.breakdown
+        d = delta.floats
+
+        energy.time += m * d[0]
+        st.busy_time += m * d[1]
+        st.charge_time += m * d[2]
+        inference.wasted_energy += m * d[3]
+        breakdown.compute += m * d[4]
+        breakdown.vm += m * d[5]
+        breakdown.nvm += m * d[6]
+        breakdown.static += m * d[7]
+        breakdown.checkpoint += m * d[8]
+        acct.harvested += m * d[9]
+        acct.stored += m * d[10]
+        acct.delivered += m * d[11]
+        acct.leaked += m * d[12]
+        acct.conversion_loss += m * d[13]
+        acct.curtailed += m * d[14]
+        inference.tile_energy_done += m * d[15]
+        st.last_fail_retained += m * d[16]
+
+        st.steps += m * delta.steps
+        inference.tile_index += m * delta.tiles
+        acct.power_cycles += m * delta.power_cycles
+        inference.exceptions += m * delta.exceptions
+        inference.planned_checkpoints += m * delta.planned_checkpoints
+        inference.rollbacks += m * delta.rollbacks
+        inference.checkpoint_retries += m * delta.checkpoint_retries
+        if at.fail_key_rel is not None:
+            st.last_fail_key = (inference.layer_index + at.fail_key_rel[0],
+                                inference.tile_index + at.fail_key_rel[1])
+        for kind, count in delta.trace_counts.items():
+            simulator.trace.record_bulk(kind, m * count)
+
+        st.cycles_skipped += m
+        st.fast_segments += 1
+        # The post-skip boundary is a fresh observation base; the next
+        # cycles of this layer (or the next layer) re-stabilise first.
+        self._previous = self._snapshot()
+        self._last_delta = None
+
+    # -- state capture -----------------------------------------------------------
+
+    def _snapshot(self) -> _CycleSnapshot:
+        simulator, st = self.simulator, self.state
+        energy, inference = simulator.energy, simulator.inference
+        acct = energy.accounting
+        breakdown = inference.breakdown
+        key = st.last_fail_key
+        fail_key_rel = (None if key is None else
+                        (key[0] - inference.layer_index,
+                         key[1] - inference.tile_index))
+        return _CycleSnapshot(
+            steps=st.steps,
+            layer_index=inference.layer_index,
+            tile_index=inference.tile_index,
+            power_cycles=acct.power_cycles,
+            exceptions=inference.exceptions,
+            planned_checkpoints=inference.planned_checkpoints,
+            rollbacks=inference.rollbacks,
+            checkpoint_retries=inference.checkpoint_retries,
+            fail_streak=st.fail_streak,
+            fail_key_rel=fail_key_rel,
+            trace_counts=simulator.trace.counts(),
+            floats=(
+                energy.time, st.busy_time, st.charge_time,
+                inference.wasted_energy,
+                breakdown.compute, breakdown.vm, breakdown.nvm,
+                breakdown.static, breakdown.checkpoint,
+                acct.harvested, acct.stored, acct.delivered,
+                acct.leaked, acct.conversion_loss, acct.curtailed,
+                inference.tile_energy_done, st.last_fail_retained,
+            ),
+        )
 
 
 class StepSimulator:
@@ -55,7 +348,9 @@ class StepSimulator:
                  steps_per_tile: int = 16,
                  max_charge_wait: float = 3600.0 * 24,
                  max_steps: Optional[int] = None,
-                 time_budget_s: Optional[float] = None) -> None:
+                 time_budget_s: Optional[float] = None,
+                 fast_forward: bool = True,
+                 trace_capacity: Optional[int] = Trace.DEFAULT_CAPACITY) -> None:
         if steps_per_tile <= 0:
             raise SimulationError(
                 f"steps_per_tile must be positive, got {steps_per_tile}"
@@ -79,7 +374,25 @@ class StepSimulator:
         self.max_charge_wait = max_charge_wait
         self.max_steps = max_steps
         self.time_budget_s = time_budget_s
-        self.trace = Trace()
+        self.fast_forward = fast_forward
+        self.trace = Trace(capacity=trace_capacity)
+
+    def _fast_path_allowed(self) -> bool:
+        """Cycle skipping needs time-invariant dynamics.
+
+        An attached injector with any non-zero rate perturbs harvest,
+        leakage or the checkpoint machinery, and a time-varying
+        harvester breaks the constant-charge-power premise; both force
+        the exact path.  An *inert* injector (all rates zero) is
+        numerically identical to no injector at all — the invariant the
+        fault tests pin — so it keeps the fast path.
+        """
+        if not self.fast_forward:
+            return False
+        faults = self.energy.faults
+        if faults is not None and faults.enabled:
+            return False
+        return bool(getattr(self.energy.harvester, "constant_power", False))
 
     def run(self) -> SimulationResult:
         """Simulate until the inference finishes or proves infeasible.
@@ -88,21 +401,25 @@ class StepSimulator:
         ``max_steps`` / ``time_budget_s`` budget — fault injection can
         turn a finite design into an endless rollback/retry grind, and
         a search must be able to penalize such candidates instead of
-        hanging on them.
+        hanging on them.  Skipped cycles count against ``max_steps`` as
+        if they had been stepped, so budget semantics do not depend on
+        whether the fast path engaged.
         """
-        energy, inference = self.energy, self.inference
-        busy_time = 0.0
-        charge_time = 0.0
-        fail_streak = 0
-        last_fail_key = None
-        last_fail_retained = -1.0
-        steps = 0
+        energy, inference, trace = self.energy, self.inference, self.trace
+        st = _RunState()
         deadline = (None if self.time_budget_s is None
                     else _time.monotonic() + self.time_budget_s)
+        observer = (_CycleObserver(self, st) if self._fast_path_allowed()
+                    else None)
+        v_on = energy.pmic.v_on
+        if (observer is not None and energy.rail_on()
+                and energy.voltage == v_on):
+            # A warm start at exactly U_on is already a cycle boundary.
+            observer.observe()
 
         while not inference.finished:
-            steps += 1
-            if self.max_steps is not None and steps > self.max_steps:
+            st.steps += 1
+            if self.max_steps is not None and st.steps > self.max_steps:
                 raise EvaluationTimeout(
                     f"simulation exceeded its step budget of "
                     f"{self.max_steps} steps"
@@ -117,14 +434,17 @@ class StepSimulator:
                 if math.isinf(wait):
                     return self._infeasible(
                         "harvester cannot charge the capacitor to U_on "
-                        "(leakage outpaces input)", busy_time, charge_time
+                        "(leakage outpaces input)", st
                     )
-                charge_time += wait
-                self.trace.record(energy.time, EventKind.POWER_ON)
+                st.charge_time += wait
+                trace.record(energy.time, EventKind.POWER_ON)
+                if (observer is not None and energy.voltage == v_on
+                        and not inference.finished):
+                    observer.observe()
 
             tile = inference.current_layer.tile
             if inference.tile_energy_done == 0.0:
-                self.trace.record(
+                trace.record(
                     energy.time, EventKind.TILE_STARTED,
                     layer=inference.current_layer.layer_name,
                     tile=inference.tile_index,
@@ -137,20 +457,20 @@ class StepSimulator:
             # output even when the cycle dies mid-step.
             delivered_before = energy.accounting.delivered
             energy.step(dt, power)
-            busy_time += dt
+            st.busy_time += dt
             delivered = energy.accounting.delivered - delivered_before
             completed = inference.deliver(delivered) if delivered > 0 else []
             for layer_name, tile_idx in completed:
-                fail_streak = 0
-                last_fail_key = None
-                last_fail_retained = -1.0
-                self.trace.record(energy.time, EventKind.TILE_COMPLETED,
-                                  layer=layer_name, tile=tile_idx)
+                st.fail_streak = 0
+                st.last_fail_key = None
+                st.last_fail_retained = -1.0
+                trace.record(energy.time, EventKind.TILE_COMPLETED,
+                             layer=layer_name, tile=tile_idx)
                 self._charge_boundary_checkpoint()
 
             if not energy.rail_on() and not inference.finished:
                 # Mid-tile power failure.
-                self.trace.record(energy.time, EventKind.POWER_OFF)
+                trace.record(energy.time, EventKind.POWER_OFF)
                 lost = inference.power_failure()
                 # Progress retained across the failure: 0 under the
                 # eager strategy (volatile state lost), the accumulated
@@ -159,28 +479,27 @@ class StepSimulator:
                 # legitimately spans several energy cycles.
                 retained = inference.tile_energy_done
                 if lost:
-                    self.trace.record(
+                    trace.record(
                         energy.time, EventKind.EXCEPTION,
                         layer=inference.current_layer.layer_name,
                         tile=inference.tile_index,
                     )
                 fail_key = (inference.layer_index, inference.tile_index)
-                if (fail_key == last_fail_key
-                        and retained <= last_fail_retained + 1e-15):
-                    fail_streak += 1
+                if (fail_key == st.last_fail_key
+                        and retained <= st.last_fail_retained + 1e-15):
+                    st.fail_streak += 1
                 else:
-                    fail_streak = 1
-                    last_fail_key = fail_key
-                last_fail_retained = retained
-                if fail_streak >= self.MAX_TILE_RETRIES:
+                    st.fail_streak = 1
+                    st.last_fail_key = fail_key
+                st.last_fail_retained = retained
+                if st.fail_streak >= self.MAX_TILE_RETRIES:
                     return self._infeasible(
                         f"tile {fail_key} needs more energy than one full "
-                        "energy cycle delivers (violates Eq. 8)",
-                        busy_time, charge_time,
+                        "energy cycle delivers (violates Eq. 8)", st,
                     )
 
-        self.trace.record(energy.time, EventKind.INFERENCE_COMPLETED)
-        return self._finished(busy_time, charge_time)
+        trace.record(energy.time, EventKind.INFERENCE_COMPLETED)
+        return self._finished(st)
 
     # -- internals ---------------------------------------------------------------
 
@@ -242,7 +561,7 @@ class StepSimulator:
                               tile=inference.tile_index)
             return
 
-    def _metrics(self, busy_time: float, charge_time: float) -> InferenceMetrics:
+    def _metrics(self, st: _RunState) -> InferenceMetrics:
         acct = self.energy.accounting
         breakdown = self.inference.breakdown
         breakdown.cap_leakage = acct.leaked
@@ -250,6 +569,11 @@ class StepSimulator:
         # Steady-state repetition period: restore the energy bank to the
         # on-threshold before the next back-to-back inference starts.
         harvested_power = self.energy.harvester.power_at(self.energy.time)
+        faults = self.energy.faults
+        if faults is not None:
+            # Price the refill at the same derated harvest the
+            # controller saw, not the raw panel output.
+            harvested_power *= faults.harvest_factor(self.energy.time)
         refill = self.energy.capacitor.time_to_reach(
             self.energy.pmic.v_on,
             self.energy.pmic.charge_power(harvested_power),
@@ -259,8 +583,8 @@ class StepSimulator:
                           else harvested_power * refill)
         return InferenceMetrics(
             e2e_latency=self.energy.time,
-            busy_time=busy_time,
-            charge_time=charge_time,
+            busy_time=st.busy_time,
+            charge_time=st.charge_time,
             energy=breakdown,
             harvested_energy=acct.harvested + refill_harvest,
             power_cycles=acct.power_cycles,
@@ -268,20 +592,26 @@ class StepSimulator:
             sustained_period=sustained,
         )
 
-    def _finished(self, busy_time: float, charge_time: float) -> SimulationResult:
+    def _finished(self, st: _RunState) -> SimulationResult:
         return SimulationResult(
-            metrics=self._metrics(busy_time, charge_time),
+            metrics=self._metrics(st),
             trace=self.trace,
             energy=self.energy,
             inference=self.inference,
+            fast_cycles_skipped=st.cycles_skipped,
+            fast_segments=st.fast_segments,
         )
 
-    def _infeasible(self, reason: str, busy_time: float,
-                    charge_time: float) -> SimulationResult:
-        metrics = InferenceMetrics.infeasible(reason)
+    def _infeasible(self, reason: str, st: _RunState) -> SimulationResult:
+        # Partial-progress clocks are folded into the marker metrics so
+        # callers can see how far the design got before giving up.
+        metrics = InferenceMetrics.infeasible(
+            reason, busy_time=st.busy_time, charge_time=st.charge_time)
         return SimulationResult(
             metrics=metrics,
             trace=self.trace,
             energy=self.energy,
             inference=self.inference,
+            fast_cycles_skipped=st.cycles_skipped,
+            fast_segments=st.fast_segments,
         )

@@ -48,7 +48,8 @@ class ChrysalisEvaluator:
                  steps_per_tile: int = 16,
                  faults: Optional["FaultInjector"] = None,
                  max_steps: Optional[int] = None,
-                 time_budget_s: Optional[float] = None) -> None:
+                 time_budget_s: Optional[float] = None,
+                 fast_forward: bool = True) -> None:
         self.network = network
         self.environments = tuple(
             environments
@@ -63,6 +64,10 @@ class ChrysalisEvaluator:
         self.faults = faults
         self.max_steps = max_steps
         self.time_budget_s = time_budget_s
+        #: Enable the step simulator's cycle-skipping fast path (it
+        #: engages only on constant-harvest, fault-free runs anyway;
+        #: disable it to force exact stepping, e.g. for full traces).
+        self.fast_forward = fast_forward
 
     # -- single environment ------------------------------------------------------
 
@@ -76,7 +81,8 @@ class ChrysalisEvaluator:
 
     def simulate(self, design: AuTDesign, environment: LightEnvironment,
                  initial_voltage: Optional[float] = None,
-                 faults: Optional["FaultInjector"] = None) -> SimulationResult:
+                 faults: Optional["FaultInjector"] = None,
+                 fast_forward: Optional[bool] = None) -> SimulationResult:
         """Run the step-based simulator regardless of the default mode.
 
         ``initial_voltage`` defaults to the PMIC's on-threshold — the
@@ -87,6 +93,10 @@ class ChrysalisEvaluator:
         ``faults`` (defaulting to the evaluator-level injector, if any)
         injects the :mod:`repro.faults` processes; a fresh copy is taken
         per run so repeated simulations see identical fault sequences.
+
+        ``fast_forward`` (defaulting to the evaluator-level setting)
+        controls the cycle-skipping fast path; pass ``False`` when the
+        complete per-event trace matters more than wall-clock time.
         """
         model = self._analytical(design, environment)
         plan = model.plan()
@@ -104,10 +114,13 @@ class ChrysalisEvaluator:
         )
         inference = InferenceController(plan=plan,
                                         checkpoint=model.checkpoint)
+        if fast_forward is None:
+            fast_forward = self.fast_forward
         simulator = StepSimulator(energy, inference,
                                   steps_per_tile=self.steps_per_tile,
                                   max_steps=self.max_steps,
-                                  time_budget_s=self.time_budget_s)
+                                  time_budget_s=self.time_budget_s,
+                                  fast_forward=fast_forward)
         return simulator.run()
 
     # -- the paper's two-environment protocol -------------------------------------

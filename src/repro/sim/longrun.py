@@ -30,6 +30,22 @@ _SECONDS_PER_DAY = 24 * 3600.0
 
 
 @dataclass(frozen=True)
+class _FixedKEnvironment(LightEnvironment):
+    """A :class:`LightEnvironment` pinned to one representative ``k_eh``.
+
+    Hoisted to module level so each hourly evaluation reuses one class
+    instead of minting a fresh subclass (and its descriptor machinery)
+    per call.
+    """
+
+    fixed_k_eh: float = 0.0
+
+    @property
+    def k_eh(self) -> float:  # type: ignore[override]
+        return self.fixed_k_eh
+
+
+@dataclass(frozen=True)
 class DayResult:
     """One simulated day of operation."""
 
@@ -59,12 +75,19 @@ def simulate_day(design: AuTDesign, network: Network,
                  environment: LightEnvironment,
                  checkpoint: Optional[CheckpointModel] = None,
                  start_hour: float = 0.0,
-                 max_inferences: int = 2_000_000) -> DayResult:
+                 max_inferences: int = 2_000_000,
+                 use_step: bool = False) -> DayResult:
     """Count completed inferences over one day of the diurnal profile.
 
     The environment's hour-by-hour ``k_eh_at`` drives a sequence of
     sustained-period evaluations; hours with no harvest (night) pass
     without progress unless the current period already spans them.
+
+    ``use_step=True`` prices each hour with the step simulator instead
+    of the closed forms — cross-validation of the analytical day at
+    step fidelity.  The step engine's cycle-skipping fast path (the
+    hourly harvest is constant) keeps this affordable: one bounded
+    simulation per distinct daylight hour.
     """
     per_hour: Dict[int, int] = {}
     completions: List[float] = []
@@ -81,9 +104,16 @@ def simulate_day(design: AuTDesign, network: Network,
                 period_by_hour[hour] = math.inf
             else:
                 frozen = _environment_with_k(environment, k_eh)
-                model = AnalyticalModel(design, network, frozen,
-                                        checkpoint=checkpoint)
-                metrics = model.evaluate()
+                if use_step:
+                    from repro.sim.evaluator import ChrysalisEvaluator
+                    evaluator = ChrysalisEvaluator(
+                        network, environments=(frozen,),
+                        checkpoint=checkpoint)
+                    metrics = evaluator.simulate(design, frozen).metrics
+                else:
+                    model = AnalyticalModel(design, network, frozen,
+                                            checkpoint=checkpoint)
+                    metrics = model.evaluate()
                 period_by_hour[hour] = (
                     metrics.sustained_period if metrics.feasible
                     else math.inf)
@@ -117,13 +147,7 @@ def _environment_with_k(environment: LightEnvironment,
                         k_eh: float) -> LightEnvironment:
     """A frozen environment whose representative ``k_eh`` equals the
     diurnal value at the hour under simulation."""
-
-    class _Frozen(LightEnvironment):
-        @property
-        def k_eh(self) -> float:  # type: ignore[override]
-            return k_eh
-
-    return _Frozen(
+    return _FixedKEnvironment(
         cloudiness=environment.cloudiness,
         panel_efficiency=environment.panel_efficiency,
         peak_elevation_deg=environment.peak_elevation_deg,
@@ -131,4 +155,5 @@ def _environment_with_k(environment: LightEnvironment,
         ambient_temp_c=environment.ambient_temp_c,
         temp_coefficient=environment.temp_coefficient,
         name=f"{environment.name}@fixed",
+        fixed_k_eh=k_eh,
     )

@@ -98,12 +98,20 @@ class InferenceMetrics:
         return 1.0 / period
 
     @classmethod
-    def infeasible(cls, reason: str) -> "InferenceMetrics":
-        """Marker result for designs that can never finish the workload."""
+    def infeasible(cls, reason: str,
+                   busy_time: float = float("inf"),
+                   charge_time: float = float("inf")) -> "InferenceMetrics":
+        """Marker result for designs that can never finish the workload.
+
+        The headline latency is pinned to ``inf`` so rankings and
+        feasibility filters behave; callers that observed partial
+        progress before giving up (the step simulator) may pass the
+        busy/charge clocks reached so far for diagnostics.
+        """
         return cls(
             e2e_latency=float("inf"),
-            busy_time=float("inf"),
-            charge_time=float("inf"),
+            busy_time=busy_time,
+            charge_time=charge_time,
             feasible=False,
             infeasible_reason=reason,
         )

@@ -1,0 +1,165 @@
+"""Tests for the step simulator's cycle-skipping fast path."""
+
+import pytest
+
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.errors import EvaluationTimeout
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.sim.trace import EventKind
+from repro.units import mF, uF
+from repro.workloads import zoo
+
+REL = 1e-9  # the engine's documented fast-path tolerance
+
+
+def make_setup(workload="har", n_tiles=128, cap=uF(10), panel=1.0):
+    network = zoo.workload_by_name(workload)
+    design = AuTDesign.with_default_mappings(
+        EnergyDesign(panel_area_cm2=panel, capacitance_f=cap),
+        InferenceDesign.msp430(), network, n_tiles=n_tiles)
+    return ChrysalisEvaluator(network), design
+
+
+def assert_equivalent(exact, fast):
+    em, fm = exact.metrics, fast.metrics
+    assert em.feasible == fm.feasible
+    for name in ("e2e_latency", "busy_time", "charge_time",
+                 "harvested_energy", "sustained_period"):
+        assert getattr(fm, name) == pytest.approx(getattr(em, name), rel=REL)
+    assert fm.total_energy == pytest.approx(em.total_energy, rel=REL)
+    assert fm.power_cycles == em.power_cycles
+    assert fm.exceptions == em.exceptions
+    assert fast.trace.counts() == exact.trace.counts()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workload,n_tiles,cap", [
+        ("har", 128, uF(10)),
+        ("kws", 144, uF(2.2)),
+        ("cifar10", 8, mF(1)),
+    ])
+    def test_fast_matches_exact_nominal(self, workload, n_tiles, cap):
+        evaluator, design = make_setup(workload, n_tiles, cap)
+        env = LightEnvironment.darker()
+        exact = evaluator.simulate(design, env, fast_forward=False)
+        fast = evaluator.simulate(design, env, fast_forward=True)
+        assert exact.metrics.feasible
+        assert exact.fast_cycles_skipped == 0
+        assert fast.fast_cycles_skipped > 0  # the fast path engaged
+        assert_equivalent(exact, fast)
+
+    def test_single_cycle_run_unaffected(self):
+        # A bright environment finishes in one energy cycle: nothing to
+        # skip, and the fast path must be a strict no-op.
+        evaluator, design = make_setup("har", n_tiles=4, cap=mF(2.2),
+                                       panel=8.0)
+        env = LightEnvironment.brighter()
+        exact = evaluator.simulate(design, env, fast_forward=False)
+        fast = evaluator.simulate(design, env, fast_forward=True)
+        assert fast.fast_cycles_skipped == 0
+        assert fast.metrics.e2e_latency == exact.metrics.e2e_latency
+        assert fast.trace.events == exact.trace.events
+
+    def test_infeasible_reported_identically(self):
+        # Too small a capacitor for one tile: Eq. 8 infeasible either way.
+        evaluator, design = make_setup("har", n_tiles=8, cap=uF(2.2))
+        env = LightEnvironment.darker()
+        exact = evaluator.simulate(design, env, fast_forward=False)
+        fast = evaluator.simulate(design, env, fast_forward=True)
+        assert not exact.metrics.feasible
+        assert not fast.metrics.feasible
+        assert fast.metrics.infeasible_reason == \
+            exact.metrics.infeasible_reason
+
+
+class TestGating:
+    def test_active_injector_disables_fast_path(self):
+        evaluator, design = make_setup()
+        env = LightEnvironment.darker()
+        injector = FaultInjector(FaultConfig.stress().with_seed(3))
+        nominal_fast = evaluator.simulate(design, env)
+        assert nominal_fast.fast_cycles_skipped > 0  # it would engage
+        faulted = evaluator.simulate(design, env, faults=injector)
+        assert faulted.fast_cycles_skipped == 0
+        assert faulted.fast_segments == 0
+
+    def test_faulted_runs_byte_identical_regardless_of_flag(self):
+        # With an active injector the flag must not matter at all: both
+        # calls take the exact path and every event matches bitwise.
+        evaluator, design = make_setup()
+        env = LightEnvironment.darker()
+        injector = FaultInjector(FaultConfig.stress().with_seed(7))
+        a = evaluator.simulate(design, env, faults=injector,
+                               fast_forward=True)
+        b = evaluator.simulate(design, env, faults=injector,
+                               fast_forward=False)
+        assert a.trace.events == b.trace.events
+        assert a.metrics.e2e_latency == b.metrics.e2e_latency
+        assert a.energy.accounting == b.energy.accounting
+
+    def test_inert_injector_keeps_fast_path(self):
+        # All-zero rates are numerically identical to no injector, so
+        # the fast path stays on (the faults suite pins that identity).
+        evaluator, design = make_setup()
+        env = LightEnvironment.darker()
+        inert = FaultInjector(FaultConfig())
+        assert not inert.enabled
+        result = evaluator.simulate(design, env, faults=inert)
+        assert result.fast_cycles_skipped > 0
+
+    def test_evaluator_level_flag(self):
+        network = zoo.workload_by_name("har")
+        design = AuTDesign.with_default_mappings(
+            EnergyDesign(panel_area_cm2=1.0, capacitance_f=uF(10)),
+            InferenceDesign.msp430(), network, n_tiles=128)
+        exact_eval = ChrysalisEvaluator(network, fast_forward=False)
+        assert exact_eval.simulate(
+            design, LightEnvironment.darker()).fast_cycles_skipped == 0
+
+
+class TestBudgets:
+    def test_max_steps_counts_skipped_cycles(self):
+        # The fast path books replayed cycles against the step budget,
+        # so a budget that the exact path exhausts must still raise.
+        network = zoo.workload_by_name("kws")
+        design = AuTDesign.with_default_mappings(
+            EnergyDesign(panel_area_cm2=1.0, capacitance_f=uF(2.2)),
+            InferenceDesign.msp430(), network, n_tiles=144)
+        env = LightEnvironment.darker()
+        full = ChrysalisEvaluator(network).simulate(design, env)
+        steps_needed = full.trace.count(EventKind.POWER_ON) * 10
+        budget = 200
+        for fast_forward in (False, True):
+            evaluator = ChrysalisEvaluator(network, max_steps=budget)
+            with pytest.raises(EvaluationTimeout):
+                evaluator.simulate(design, env, fast_forward=fast_forward)
+        assert steps_needed > budget  # the budget really was binding
+
+    def test_trace_stays_bounded_on_long_runs(self):
+        from repro.energy.controller import EnergyController
+        from repro.energy.harvester import SolarHarvester
+        from repro.sim.analytical import AnalyticalModel
+        from repro.sim.engine import StepSimulator
+        from repro.sim.intermittent import InferenceController
+
+        evaluator, design = make_setup("kws", 144, uF(2.2))
+        env = LightEnvironment.darker()
+        model = AnalyticalModel(design, evaluator.network, env)
+        energy = EnergyController(
+            harvester=SolarHarvester(design.energy.build_panel(), env),
+            capacitor=design.energy.build_capacitor(design.energy.pmic.v_on),
+            pmic=design.energy.pmic)
+        inference = InferenceController(plan=model.plan(),
+                                        checkpoint=model.checkpoint)
+        simulator = StepSimulator(energy, inference, fast_forward=False,
+                                  trace_capacity=64)
+        result = simulator.run()
+        # Retention is bounded while the counters cover the whole run.
+        assert len(result.trace.events) == 64
+        assert len(result.trace) > 1000
+        expected_tiles = sum(
+            mapping.effective_n_tiles(layer)
+            for mapping, layer in zip(design.mappings, evaluator.network))
+        assert result.trace.count(EventKind.TILE_COMPLETED) == expected_tiles

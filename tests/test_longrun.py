@@ -64,6 +64,19 @@ class TestDaySimulation:
         assert "inferences/day" in text
         assert "12:00" in text
 
+    def test_step_fidelity_matches_analytical_day(self, setup):
+        # use_step prices each daylight hour with the step simulator
+        # (riding its fast path); the day total must land close to the
+        # closed-form day, and the productive window must agree.
+        network, design = setup
+        env = LightEnvironment.brighter()
+        analytical = simulate_day(design, network, env)
+        stepped = simulate_day(design, network, env, use_step=True)
+        assert stepped.inferences > 0
+        assert stepped.inferences == pytest.approx(analytical.inferences,
+                                                   rel=0.05)
+        assert set(stepped.per_hour) == set(analytical.per_hour)
+
     def test_hopeless_environment_zero_inferences(self, setup):
         network, _ = setup
         starved = AuTDesign.with_default_mappings(

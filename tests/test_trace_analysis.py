@@ -19,7 +19,9 @@ def simulated_trace(panel=2.0, cap=mF(1), n_tiles=8,
         InferenceDesign.msp430(), network, n_tiles=n_tiles)
     evaluator = ChrysalisEvaluator(network)
     env = environment or LightEnvironment.darker()
-    return evaluator.simulate(design, env)
+    # Trace analysis walks the complete per-event stream, so force the
+    # exact step path: cycle skipping would bulk-account mid-run events.
+    return evaluator.simulate(design, env, fast_forward=False)
 
 
 class TestSyntheticTraces:
