@@ -1,0 +1,62 @@
+"""Campaign study: a durable two-scenario design-space fleet.
+
+A real deployment study is never one search: it is a *fleet* of them —
+every workload crossed with every deployment scenario — and it has to
+survive a laptop lid closing halfway through.  This example drives the
+spec in ``campaign_spec.json`` (HAR + KWS workloads x wearable +
+volcano-monitor scenarios = 4 runs) through the campaign subsystem:
+
+1. expands the spec into content-hashed run keys and executes the first
+   half, then *stops* — simulating an interruption;
+2. re-invokes the runner against the same store and watches it skip the
+   completed runs and finish only the remainder;
+3. rebuilds the per-scenario winners and the panel-vs-latency Pareto
+   front purely from the store — no search state needed.
+
+The same flow is available from the shell::
+
+    python -m repro campaign run examples/campaign_spec.json --store c.sqlite
+    python -m repro campaign status --store c.sqlite
+    python -m repro campaign report --store c.sqlite
+
+Run:  python examples/campaign_driver.py
+"""
+
+import pathlib
+import tempfile
+
+from repro import CampaignReport, CampaignRunner, CampaignSpec, ResultStore
+
+SPEC = pathlib.Path(__file__).with_name("campaign_spec.json")
+
+
+def main() -> None:
+    spec = CampaignSpec.from_path(SPEC)
+    keys = spec.expand()
+    print(f"campaign {spec.name!r}: {len(keys)} runs")
+    for key in keys:
+        print(f"  {key.run_hash}  {key.describe()}")
+    print()
+
+    store_path = pathlib.Path(tempfile.mkdtemp()) / "campaign.sqlite"
+    with ResultStore(store_path) as store:
+        # --- first invocation: stop after half the campaign -------------
+        print("pass 1 (interrupted after 2 runs):")
+        progress = CampaignRunner(spec, store, max_runs=2).run()
+        print(f"  {progress.completed} completed, "
+              f"{progress.remaining} still pending")
+
+        # --- second invocation: same store, resumes where it stopped ----
+        print("pass 2 (resumed):")
+        progress = CampaignRunner(spec, store).run()
+        print(f"  {progress.skipped} skipped (already done), "
+              f"{progress.completed} completed")
+        assert store.status_counts(spec.name)["done"] == len(keys)
+        print()
+
+        report = CampaignReport.from_store(store)
+        print(report.render_markdown())
+
+
+if __name__ == "__main__":
+    main()

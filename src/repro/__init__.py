@@ -22,11 +22,20 @@ Package map
 ``repro.explore``    design spaces, objectives, GA, bi-level explorer
 ``repro.faults``     seeded fault injection + resilience reporting
 ``repro.core``       the Table II usage-model API
+``repro.campaign``   durable, resumable multi-scenario DSE campaigns
 """
 
 from repro.core.chrysalis import Chrysalis
+from repro.campaign import (
+    CampaignReport,
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    RunKey,
+    run_campaign,
+)
 from repro.core.result import AuTSolution
-from repro.core.scenarios import SCENARIOS, Scenario
+from repro.core.scenarios import SCENARIOS, Scenario, scenario_by_name
 from repro.design import AuTDesign, EnergyDesign, InferenceDesign
 from repro.energy.environment import LightEnvironment
 from repro.explore.nsga2 import ParetoExplorer
@@ -42,7 +51,10 @@ from repro.faults import (
 from repro.serialize import (
     design_from_json,
     design_to_json,
+    solution_from_dict,
+    solution_from_json,
     solution_to_dict,
+    solution_to_json,
 )
 from repro.sim.evaluator import ChrysalisEvaluator, EvaluationMode
 from repro.sim.mix import WorkloadMix, early_exit_mix
@@ -53,6 +65,9 @@ __version__ = "1.0.0"
 __all__ = [
     "AuTDesign",
     "AuTSolution",
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignSpec",
     "Chrysalis",
     "ChrysalisEvaluator",
     "DesignSpace",
@@ -66,6 +81,8 @@ __all__ = [
     "ObjectiveKind",
     "ParetoExplorer",
     "ResilienceReport",
+    "ResultStore",
+    "RunKey",
     "SCENARIOS",
     "Scenario",
     "WorkloadMix",
@@ -74,8 +91,13 @@ __all__ = [
     "design_to_json",
     "early_exit_mix",
     "grid_sweep",
+    "run_campaign",
     "run_faults_sweep",
+    "scenario_by_name",
+    "solution_from_dict",
+    "solution_from_json",
     "solution_to_dict",
+    "solution_to_json",
     "sweep",
     "zoo",
 ]

@@ -1,0 +1,167 @@
+"""Cross-run aggregation: winners, Pareto fronts, campaign reports.
+
+Everything here is computed *purely from the SQLite store* — no spec,
+no re-execution — so a report is reproducible from the database file
+alone, long after the processes that filled it are gone.
+
+A *scenario* is the grouping cell of Tables IV/V: one
+``workload/setup/environment/objective`` combination.  Multiple seeds
+of the same scenario compete and the best score wins; the campaign-wide
+(panel area, latency) Pareto front comes from
+:func:`repro.explore.pareto.pareto_front` over every finished run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.campaign.store import STATUS_DONE, ResultStore, StoredRun
+from repro.errors import StoreError
+from repro.explore.pareto import ParetoPoint, pareto_front
+
+
+@dataclass(frozen=True)
+class ScenarioSummary:
+    """Aggregate of all seeds of one scenario cell."""
+
+    scenario: str
+    runs: int
+    done: int
+    failed: int
+    best: Optional[StoredRun]  # lowest-score finished run, if any
+
+    def as_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "scenario": self.scenario,
+            "runs": self.runs,
+            "done": self.done,
+            "failed": self.failed,
+        }
+        if self.best is not None:
+            data["winner"] = {
+                "run_hash": self.best.run_hash,
+                "seed": self.best.key.seed,
+                "score": self.best.score,
+                "panel_cm2": self.best.panel_cm2,
+                "latency_s": self.best.latency_s,
+            }
+        return data
+
+
+@dataclass
+class CampaignReport:
+    """Everything ``repro campaign report`` renders."""
+
+    campaign: str
+    counts: Dict[str, int]
+    scenarios: List[ScenarioSummary] = field(default_factory=list)
+    front: List[ParetoPoint] = field(default_factory=list)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_store(cls, store: ResultStore,
+                   campaign: Optional[str] = None) -> "CampaignReport":
+        """Build the report from stored rows only.
+
+        With ``campaign=None`` the store must hold exactly one campaign
+        (the common case); stores shared by several campaigns need the
+        name spelled out.
+        """
+        if campaign is None:
+            names = store.campaigns()
+            if len(names) != 1:
+                raise StoreError(
+                    f"store holds {len(names)} campaign(s) "
+                    f"({', '.join(names) or 'none'}); pass the campaign name"
+                )
+            campaign = names[0]
+        rows = store.runs(campaign=campaign)
+        if not rows:
+            raise StoreError(f"store has no runs for campaign {campaign!r}")
+        cells: Dict[str, List[StoredRun]] = {}
+        for row in rows:
+            cells.setdefault(row.scenario_label, []).append(row)
+        scenarios = []
+        for label in sorted(cells):
+            members = cells[label]
+            finished = [r for r in members
+                        if r.status == STATUS_DONE and r.score is not None]
+            best = min(finished, key=lambda r: r.score) if finished else None
+            scenarios.append(ScenarioSummary(
+                scenario=label,
+                runs=len(members),
+                done=sum(1 for r in members if r.status == STATUS_DONE),
+                failed=sum(1 for r in members if r.status == "failed"),
+                best=best,
+            ))
+        return cls(
+            campaign=campaign,
+            counts=store.status_counts(campaign),
+            scenarios=scenarios,
+            front=pareto_front(store.pareto_points(campaign)),
+        )
+
+    # -- renderings ----------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (``repro campaign report --json``)."""
+        return {
+            "campaign": self.campaign,
+            "counts": dict(self.counts),
+            "scenarios": [s.as_dict() for s in self.scenarios],
+            "pareto_front": [
+                {
+                    "panel_cm2": point.values[0],
+                    "latency_s": point.values[1],
+                    "run_hash": point.payload.run_hash,
+                    "scenario": point.payload.scenario_label,
+                }
+                for point in self.front
+            ],
+        }
+
+    def render_markdown(self) -> str:
+        done = self.counts.get(STATUS_DONE, 0)
+        lines = [
+            f"# Campaign report: {self.campaign}",
+            "",
+            f"{done}/{self.total} runs complete "
+            f"({self.counts.get('failed', 0)} failed, "
+            f"{self.counts.get('pending', 0) + self.counts.get('running', 0)}"
+            " pending)",
+            "",
+            "## Per-scenario winners",
+            "",
+            "| scenario | runs | best score | panel cm^2 | latency s |",
+            "|---|---|---|---|---|",
+        ]
+        for summary in self.scenarios:
+            if summary.best is None:
+                lines.append(f"| {summary.scenario} | {summary.runs} | "
+                             f"(no finished run) | - | - |")
+                continue
+            best = summary.best
+            lines.append(
+                f"| {summary.scenario} | {summary.runs} | {best.score:.4g} "
+                f"| {best.panel_cm2:.2f} | {best.latency_s:.4g} |")
+        lines += [
+            "",
+            "## Pareto front (panel area vs latency)",
+            "",
+        ]
+        if not self.front:
+            lines.append("(no feasible finished runs)")
+        else:
+            lines += ["| panel cm^2 | latency s | scenario |",
+                      "|---|---|---|"]
+            for point in self.front:
+                lines.append(f"| {point.values[0]:.2f} "
+                             f"| {point.values[1]:.4g} "
+                             f"| {point.payload.scenario_label} |")
+        return "\n".join(lines)

@@ -1,0 +1,251 @@
+"""Executes the pending runs of a campaign spec against a result store.
+
+The runner is the crash-safety half of the subsystem.  Its contract:
+
+* **resumable** — ``run()`` expands the spec, registers every run key
+  (idempotent), and executes only the runs that are not already
+  ``done``.  Rows left ``running`` by a crashed process are treated as
+  pending again, and ``failed`` rows are retried (their previous error
+  stays in the store's attempt counter).  Re-invoking a finished
+  campaign executes nothing.
+* **failure-absorbing** — one broken run must never kill the campaign:
+  any :class:`~repro.errors.ChrysalisError` a search raises (no
+  feasible design, bad workload interaction, ...) is recorded as a
+  failed row, together with the candidate-level
+  :class:`~repro.explore.failures.FailureLog` the search had absorbed
+  up to that point, and the campaign moves on.  Genuine programming
+  errors still propagate.
+* **budgeted** — the spec's ``candidate_time_budget_s`` rides into
+  every search's :class:`~repro.explore.bilevel.BilevelExplorer`, so a
+  pathological candidate inside any run times out into a penalty
+  instead of stalling the fleet.
+
+Within each run, evaluation parallelism reuses the existing
+generation-synchronous worker pool (:mod:`repro.explore.parallel`) via
+``GAConfig.workers`` — results are bit-identical to serial execution,
+which is why the worker count is not part of the run's content hash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.campaign.spec import CampaignSpec, RunKey
+from repro.campaign.store import (
+    STATUS_DONE,
+    ResultStore,
+    StoredRun,
+)
+from repro.core.chrysalis import Chrysalis
+from repro.core.result import AuTSolution
+from repro.errors import ChrysalisError
+from repro.explore.bilevel import SearchResult
+from repro.explore.ga import GAConfig
+from repro.serialize import solution_to_dict
+from repro.workloads import zoo
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What happened to one executed run of this invocation."""
+
+    key: RunKey
+    status: str  # "done" | "failed"
+    score: Optional[float] = None
+    error: Optional[str] = None
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class CampaignProgress:
+    """Summary of one ``CampaignRunner.run()`` invocation."""
+
+    campaign: str
+    total: int = 0
+    skipped: int = 0  # already done before this invocation
+    executed: List[RunOutcome] = field(default_factory=list)
+    remaining: int = 0  # still pending after this invocation (max_runs)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.executed if o.status == STATUS_DONE)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.executed if o.status != STATUS_DONE)
+
+    def render(self) -> str:
+        lines = [
+            f"campaign    : {self.campaign}",
+            f"runs        : {self.total} total, {self.skipped} already "
+            f"complete (skipped)",
+            f"this pass   : {self.completed} completed, {self.failed} "
+            f"failed, {self.remaining} still pending",
+        ]
+        for outcome in self.executed:
+            wall = f"{outcome.wall_seconds:.1f}s"
+            if outcome.status == STATUS_DONE:
+                lines.append(f"  [done]   {outcome.key.describe()} "
+                             f"score={outcome.score:.4g} ({wall})")
+            else:
+                lines.append(f"  [failed] {outcome.key.describe()} "
+                             f"{outcome.error} ({wall})")
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Drives a :class:`CampaignSpec` to completion against a store.
+
+    Parameters
+    ----------
+    spec:
+        The campaign grid to execute.
+    store:
+        Where results persist; reusing the same store is what makes the
+        campaign resumable.
+    workers:
+        Override of the spec's per-search worker-process count
+        (result-neutral, so it does not change run identities).
+    max_runs:
+        Execute at most this many runs this invocation, then return
+        (the remaining runs stay pending for the next invocation — also
+        how the CI smoke job emulates an interrupted campaign).
+    on_progress:
+        Optional callback invoked with each :class:`RunOutcome` as it
+        lands, for live CLI output.
+    """
+
+    def __init__(self, spec: CampaignSpec, store: ResultStore,
+                 workers: Optional[int] = None,
+                 max_runs: Optional[int] = None,
+                 on_progress: Optional[Callable[[RunOutcome], None]] = None,
+                 ) -> None:
+        self.spec = spec
+        self.store = store
+        self.workers = spec.workers if workers is None else workers
+        self.max_runs = max_runs
+        self.on_progress = on_progress
+
+    # -- planning ------------------------------------------------------------
+
+    def pending_runs(self) -> List[RunKey]:
+        """Spec runs not yet completed in the store, in grid order.
+
+        Includes never-registered and ``failed`` runs, plus ``running``
+        rows (a live row would belong to *this* runner; a stale one is
+        a crash leftover and must be re-run).
+        """
+        pending = []
+        for key in self.spec.expand():
+            row = self.store.get(key.run_hash)
+            if row is None or row.status != STATUS_DONE:
+                pending.append(key)
+        return pending
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> CampaignProgress:
+        keys = self.spec.expand()
+        created = self.store.register(self.spec.name, keys)
+        if created:
+            logger.info("campaign %s: registered %d new run(s)",
+                        self.spec.name, created)
+        pending = self.pending_runs()
+        progress = CampaignProgress(
+            campaign=self.spec.name,
+            total=len(keys),
+            skipped=len(keys) - len(pending),
+        )
+        batch = pending if self.max_runs is None else pending[:self.max_runs]
+        progress.remaining = len(pending) - len(batch)
+        for key in batch:
+            progress.executed.append(self._run_one(key))
+        return progress
+
+    def _run_one(self, key: RunKey) -> RunOutcome:
+        self.store.mark_running(key)
+        started = time.monotonic()
+        try:
+            solution, result = self._execute_run(key)
+        except ChrysalisError as error:
+            wall = time.monotonic() - started
+            logger.warning("campaign %s: run %s failed: %s",
+                           self.spec.name, key.describe(), error)
+            self.store.record_failure(
+                key, error=f"{type(error).__name__}: {error}",
+                wall_seconds=wall, campaign=self.spec.name)
+            outcome = RunOutcome(key=key, status="failed",
+                                 error=f"{type(error).__name__}: {error}",
+                                 wall_seconds=wall)
+        else:
+            wall = time.monotonic() - started
+            metrics = solution.average_metrics
+            latency = metrics.sustained_period or metrics.e2e_latency
+            self.store.record_success(
+                key,
+                score=solution.score,
+                panel_cm2=solution.solar_panel_cm2,
+                latency_s=latency,
+                solution=solution_to_dict(solution),
+                stats=(None if result is None
+                       else result.stats.as_dict()),
+                failures=(None if result is None else
+                          [dataclasses.asdict(record)
+                           for record in result.failures]),
+                wall_seconds=wall,
+                campaign=self.spec.name,
+            )
+            outcome = RunOutcome(key=key, status=STATUS_DONE,
+                                 score=solution.score, wall_seconds=wall)
+        if self.on_progress is not None:
+            self.on_progress(outcome)
+        return outcome
+
+    def _execute_run(self, key: RunKey
+                     ) -> Tuple[AuTSolution, Optional[SearchResult]]:
+        """One full CHRYSALIS search for one run key.
+
+        Separated out so tests (and alternative executors) can stub the
+        expensive part while keeping the store/resume protocol intact.
+        """
+        network = zoo.workload_by_name(key.workload)
+        tool = Chrysalis(
+            network,
+            setup=key.setup,
+            objective=key.to_objective(),
+            environments=key.resolve_environments(),
+            ga_config=GAConfig(population_size=key.population,
+                               generations=key.generations,
+                               seed=key.seed,
+                               workers=self.workers),
+            candidate_time_budget_s=key.candidate_time_budget_s,
+        )
+        solution = tool.generate()
+        return solution, tool.last_result
+
+
+def run_campaign(spec: CampaignSpec, store_path,
+                 workers: Optional[int] = None,
+                 max_runs: Optional[int] = None,
+                 on_progress: Optional[Callable[[RunOutcome], None]] = None,
+                 ) -> CampaignProgress:
+    """Convenience wrapper: open the store, run, close."""
+    with ResultStore(store_path) as store:
+        runner = CampaignRunner(spec, store, workers=workers,
+                                max_runs=max_runs, on_progress=on_progress)
+        return runner.run()
+
+
+__all__ = [
+    "CampaignProgress",
+    "CampaignRunner",
+    "RunOutcome",
+    "StoredRun",
+    "run_campaign",
+]

@@ -1,0 +1,395 @@
+"""Declarative campaign specifications and deterministic run keys.
+
+The paper's headline tables are *fleets* of CHRYSALIS searches — every
+cell of Tables IV/V is one (workload x environment x objective x
+design-space) combination — so reproducing them needs a first-class
+description of the whole grid, not a shell loop.  A
+:class:`CampaignSpec` declares that grid once (and loads from JSON);
+:meth:`CampaignSpec.expand` turns it into a deterministic list of
+:class:`RunKey` cells, each with a content hash that names the run
+forever.  The hash is what makes campaigns durable: the result store
+keys rows by it, so re-expanding the same spec finds the same rows and
+a re-invoked campaign resumes instead of re-running.
+
+Hashes cover exactly the inputs that can change a search's *result*
+(workload, setup, environments, objective, GA budget, seed, candidate
+time budget).  Execution details that are guaranteed result-neutral —
+worker-process count, store path — stay out, so the same run computed
+serially or in parallel lands on the same row.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.scenarios import scenario_by_name
+from repro.energy.environment import LightEnvironment
+from repro.errors import ConfigurationError
+from repro.explore.objectives import Objective, ObjectiveKind
+
+_SPEC_SCHEMA_VERSION = 1
+
+#: Prefix marking an environment label that names a SWaP scenario preset
+#: (the scenario supplies both the environments and the objective).
+SCENARIO_PREFIX = "scenario:"
+
+#: Named environment sets a run can qualify in.  ``paper`` is the
+#: brighter/darker pair every search in the paper averages over.
+_ENVIRONMENT_SETS = {
+    "paper": LightEnvironment.paper_environments,
+    "brighter": lambda: (LightEnvironment.brighter(),),
+    "darker": lambda: (LightEnvironment.darker(),),
+    "indoor": lambda: (LightEnvironment.indoor(),),
+}
+
+_SETUPS = ("existing", "future")
+
+
+def expand_grid(axes: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Deterministic cartesian product of named axes.
+
+    The library's single grid-expansion code path: campaign specs and
+    the structured sweep helpers (:mod:`repro.explore.sweeps`) both
+    expand through it.  Cells come out in row-major order (last axis
+    fastest), each as a ``{axis: value}`` dict.
+    """
+    cells: List[Dict[str, Any]] = [{}]
+    for name, values in axes.items():
+        values = list(values)
+        if not values:
+            raise ConfigurationError(f"grid axis {name!r} has no values")
+        cells = [dict(cell, **{name: value})
+                 for cell in cells for value in values]
+    return cells
+
+
+def resolve_environments(label: str) -> Tuple[LightEnvironment, ...]:
+    """The concrete environments an environment label qualifies in."""
+    if label.startswith(SCENARIO_PREFIX):
+        return scenario_by_name(label[len(SCENARIO_PREFIX):]).environments
+    try:
+        return tuple(_ENVIRONMENT_SETS[label]())
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown environment {label!r}; expected one of "
+            f"{sorted(_ENVIRONMENT_SETS)} or '{SCENARIO_PREFIX}<name>'"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# objectives
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """A serializable description of one of the paper's objectives."""
+
+    kind: str  # "lat" | "sp" | "lat*sp"
+    sp_cap_cm2: Optional[float] = None
+    lat_cap_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        kinds = tuple(k.value for k in ObjectiveKind)
+        if self.kind not in kinds:
+            raise ConfigurationError(
+                f"unknown objective kind {self.kind!r}; expected one of {kinds}"
+            )
+        if self.kind == "lat" and self.sp_cap_cm2 is None:
+            raise ConfigurationError("objective 'lat' needs sp_cap_cm2")
+        if self.kind == "sp" and self.lat_cap_s is None:
+            raise ConfigurationError("objective 'sp' needs lat_cap_s")
+
+    @classmethod
+    def from_objective(cls, objective: Objective) -> "ObjectiveSpec":
+        return cls(kind=objective.kind.value,
+                   sp_cap_cm2=objective.sp_constraint_cm2,
+                   lat_cap_s=objective.latency_constraint_s)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ObjectiveSpec":
+        try:
+            kind = data["kind"]
+        except KeyError:
+            raise ConfigurationError(
+                "objective entry is missing 'kind'") from None
+        sp_cap = data.get("sp_cap_cm2")
+        lat_cap = data.get("lat_cap_s")
+        return cls(kind=str(kind),
+                   sp_cap_cm2=None if sp_cap is None else float(sp_cap),
+                   lat_cap_s=None if lat_cap is None else float(lat_cap))
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind}
+        if self.sp_cap_cm2 is not None:
+            data["sp_cap_cm2"] = self.sp_cap_cm2
+        if self.lat_cap_s is not None:
+            data["lat_cap_s"] = self.lat_cap_s
+        return data
+
+    def to_objective(self) -> Objective:
+        if self.kind == "lat":
+            return Objective.lat(self.sp_cap_cm2)
+        if self.kind == "sp":
+            return Objective.sp(self.lat_cap_s)
+        return Objective.lat_sp()
+
+    def label(self) -> str:
+        """Compact rendering for tables (``lat(sp<=4)``, ``lat*sp``)."""
+        if self.kind == "lat":
+            return f"lat(sp<={self.sp_cap_cm2:g})"
+        if self.kind == "sp":
+            return f"sp(lat<={self.lat_cap_s:g})"
+        return self.kind
+
+
+# ---------------------------------------------------------------------------
+# run keys
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """One fully-determined search of a campaign grid.
+
+    A run key is pure content: every field either changes the search
+    result or names what is being searched.  :attr:`run_hash` is the
+    SHA-256 of the canonical JSON form and is the run's identity in the
+    result store across processes, machines, and re-invocations.
+    """
+
+    workload: str
+    setup: str
+    environment: str  # environment-set label or "scenario:<name>"
+    objective: ObjectiveSpec
+    seed: int = 0
+    population: int = 12
+    generations: int = 8
+    candidate_time_budget_s: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "setup": self.setup,
+            "environment": self.environment,
+            "objective": self.objective.to_dict(),
+            "seed": self.seed,
+            "population": self.population,
+            "generations": self.generations,
+            "candidate_time_budget_s": self.candidate_time_budget_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunKey":
+        try:
+            return cls(
+                workload=str(data["workload"]),
+                setup=str(data["setup"]),
+                environment=str(data["environment"]),
+                objective=ObjectiveSpec.from_dict(data["objective"]),
+                seed=int(data["seed"]),
+                population=int(data["population"]),
+                generations=int(data["generations"]),
+                candidate_time_budget_s=data.get("candidate_time_budget_s"),
+            )
+        except KeyError as missing:
+            raise ConfigurationError(
+                f"run-key record is missing field {missing}") from None
+
+    @property
+    def run_hash(self) -> str:
+        """Deterministic 16-hex-digit content hash of this run."""
+        canonical = json.dumps(self.as_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def scenario_label(self) -> str:
+        """The grouping cell for per-scenario reports (seed excluded)."""
+        return (f"{self.workload}/{self.setup}/{self.environment}/"
+                f"{self.objective.label()}")
+
+    def describe(self) -> str:
+        return f"{self.scenario_label} seed={self.seed} [{self.run_hash}]"
+
+    def to_objective(self) -> Objective:
+        return self.objective.to_objective()
+
+    def resolve_environments(self) -> Tuple[LightEnvironment, ...]:
+        return resolve_environments(self.environment)
+
+
+# ---------------------------------------------------------------------------
+# campaign specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative grid of CHRYSALIS runs.
+
+    The grid is ``workloads x setups x conditions x seeds`` where a
+    *condition* is either an explicit (environment, objective) pair from
+    the cartesian product of :attr:`environments` and :attr:`objectives`,
+    or a named SWaP scenario preset (which supplies both).
+    """
+
+    name: str
+    workloads: Tuple[str, ...]
+    objectives: Tuple[ObjectiveSpec, ...] = ()
+    scenarios: Tuple[str, ...] = ()
+    setups: Tuple[str, ...] = ("existing",)
+    environments: Tuple[str, ...] = ("paper",)
+    seeds: Tuple[int, ...] = (0,)
+    population: int = 12
+    generations: int = 8
+    workers: int = 1
+    candidate_time_budget_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        from repro.workloads import zoo
+
+        if not self.name:
+            raise ConfigurationError("campaign needs a non-empty name")
+        if not self.workloads:
+            raise ConfigurationError("campaign needs at least one workload")
+        if not self.objectives and not self.scenarios:
+            raise ConfigurationError(
+                "campaign needs at least one objective or scenario")
+        if not self.seeds:
+            raise ConfigurationError("campaign needs at least one seed")
+        if self.population < 2:
+            raise ConfigurationError("population must be at least 2")
+        if self.generations < 1:
+            raise ConfigurationError("generations must be at least 1")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+        for setup in self.setups:
+            if setup not in _SETUPS:
+                raise ConfigurationError(
+                    f"unknown setup {setup!r}; expected one of {_SETUPS}")
+        for workload in self.workloads:
+            zoo.workload_by_name(workload)  # raises with the full list
+        for scenario in self.scenarios:
+            scenario_by_name(scenario)
+        for environment in self.environments:
+            resolve_environments(environment)
+
+    # -- expansion -----------------------------------------------------------
+
+    def conditions(self) -> List[Tuple[str, ObjectiveSpec]]:
+        """All (environment label, objective) cells of this campaign."""
+        conditions: List[Tuple[str, ObjectiveSpec]] = []
+        if self.objectives:
+            for cell in expand_grid({"environment": self.environments,
+                                     "objective": self.objectives}):
+                conditions.append((cell["environment"], cell["objective"]))
+        for scenario in self.scenarios:
+            preset = scenario_by_name(scenario)
+            conditions.append((SCENARIO_PREFIX + scenario,
+                               ObjectiveSpec.from_objective(preset.objective())))
+        return conditions
+
+    def expand(self) -> List[RunKey]:
+        """The deterministic, duplicate-free run list of this campaign."""
+        keys: List[RunKey] = []
+        seen: set = set()
+        for cell in expand_grid({"workload": self.workloads,
+                                 "setup": self.setups,
+                                 "condition": self.conditions(),
+                                 "seed": self.seeds}):
+            environment, objective = cell["condition"]
+            key = RunKey(
+                workload=cell["workload"],
+                setup=cell["setup"],
+                environment=environment,
+                objective=objective,
+                seed=cell["seed"],
+                population=self.population,
+                generations=self.generations,
+                candidate_time_budget_s=self.candidate_time_budget_s,
+            )
+            if key.run_hash not in seen:
+                seen.add(key.run_hash)
+                keys.append(key)
+        return keys
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "schema_version": _SPEC_SCHEMA_VERSION,
+            "name": self.name,
+            "workloads": list(self.workloads),
+            "setups": list(self.setups),
+            "environments": list(self.environments),
+            "objectives": [o.to_dict() for o in self.objectives],
+            "scenarios": list(self.scenarios),
+            "seeds": list(self.seeds),
+            "ga": {"population": self.population,
+                   "generations": self.generations,
+                   "workers": self.workers},
+        }
+        if self.candidate_time_budget_s is not None:
+            data["candidate_time_budget_s"] = self.candidate_time_budget_s
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        version = data.get("schema_version", _SPEC_SCHEMA_VERSION)
+        if version != _SPEC_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported campaign-spec schema version {version!r} "
+                f"(expected {_SPEC_SCHEMA_VERSION})"
+            )
+        try:
+            name = data["name"]
+            workloads = data["workloads"]
+        except KeyError as missing:
+            raise ConfigurationError(
+                f"campaign spec is missing field {missing}") from None
+        ga = data.get("ga", {})
+        budget = data.get("candidate_time_budget_s")
+        return cls(
+            name=str(name),
+            workloads=tuple(str(w) for w in workloads),
+            objectives=tuple(ObjectiveSpec.from_dict(o)
+                             for o in data.get("objectives", ())),
+            scenarios=tuple(str(s) for s in data.get("scenarios", ())),
+            setups=tuple(str(s) for s in data.get("setups", ("existing",))),
+            environments=tuple(str(e)
+                               for e in data.get("environments", ("paper",))),
+            seeds=tuple(int(s) for s in data.get("seeds", (0,))),
+            population=int(ga.get("population", 12)),
+            generations=int(ga.get("generations", 8)),
+            workers=int(ga.get("workers", 1)),
+            candidate_time_budget_s=None if budget is None else float(budget),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"invalid campaign-spec JSON: {error}") from None
+        if not isinstance(data, dict):
+            raise ConfigurationError("campaign-spec JSON must be an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_path(cls, path) -> "CampaignSpec":
+        path = pathlib.Path(path)
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read campaign spec {path}: {error}") from None
+        return cls.from_json(text)

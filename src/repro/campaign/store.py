@@ -1,0 +1,350 @@
+"""SQLite-backed durable result store for DSE campaigns.
+
+A campaign's value is its accumulated results, so they must survive the
+process (and the machine): :class:`ResultStore` persists one row per
+:class:`~repro.campaign.spec.RunKey`, keyed by the key's content hash,
+into a single SQLite file in WAL mode.  Each finished row carries the
+winning solution (via :mod:`repro.serialize`), the scalar score, the
+(panel, latency) Pareto coordinates, the search's throughput stats and
+absorbed-failure log, and wall-clock — enough for
+:mod:`repro.campaign.report` to rebuild winners and Pareto fronts from
+the store alone, with no spec and no re-execution.
+
+The store is schema-versioned and fails loudly: a corrupt file or a
+schema from a different release raises
+:class:`~repro.errors.StoreError` (a :class:`ChrysalisError`) instead
+of silently mixing incompatible rows.  All writes are idempotent
+upserts, which is what makes campaign re-invocation safe.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.campaign.spec import RunKey
+from repro.errors import StoreError
+from repro.explore.pareto import ParetoPoint, pareto_front
+
+_SCHEMA_VERSION = 1
+
+#: Run lifecycle states.  ``running`` rows belong to a live runner — or
+#: to one that crashed mid-run, which is why resume treats them as
+#: pending again.
+STATUS_PENDING = "pending"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+_STATUSES = (STATUS_PENDING, STATUS_RUNNING, STATUS_DONE, STATUS_FAILED)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaign_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_hash      TEXT PRIMARY KEY,
+    campaign      TEXT NOT NULL,
+    workload      TEXT NOT NULL,
+    setup         TEXT NOT NULL,
+    environment   TEXT NOT NULL,
+    objective     TEXT NOT NULL,
+    seed          INTEGER NOT NULL,
+    spec_json     TEXT NOT NULL,
+    status        TEXT NOT NULL DEFAULT 'pending',
+    score         REAL,
+    panel_cm2     REAL,
+    latency_s     REAL,
+    solution_json TEXT,
+    stats_json    TEXT,
+    failures_json TEXT,
+    error         TEXT,
+    wall_seconds  REAL,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    updated_at    REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_campaign ON runs (campaign, status);
+"""
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One persisted run row, JSON blobs already decoded."""
+
+    run_hash: str
+    campaign: str
+    key: RunKey
+    status: str
+    score: Optional[float] = None
+    panel_cm2: Optional[float] = None
+    latency_s: Optional[float] = None
+    solution: Optional[Dict[str, Any]] = None
+    stats: Optional[Dict[str, Any]] = None
+    failures: Optional[List[Dict[str, Any]]] = None
+    error: Optional[str] = None
+    wall_seconds: Optional[float] = None
+    attempts: int = 0
+    updated_at: float = 0.0
+
+    @property
+    def scenario_label(self) -> str:
+        return self.key.scenario_label
+
+    def load_solution(self):
+        """The stored winning solution as an ``AuTSolution`` (or None)."""
+        from repro.serialize import solution_from_dict
+
+        if self.solution is None:
+            return None
+        return solution_from_dict(self.solution)
+
+
+def _loads(text: Optional[str]):
+    return None if text is None else json.loads(text)
+
+
+class ResultStore:
+    """One campaign database.  Safe to reopen; writes are upserts."""
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            parent = pathlib.Path(self.path).parent
+            if not parent.exists():
+                raise StoreError(
+                    f"store directory {parent} does not exist")
+        try:
+            self._conn = sqlite3.connect(self.path, timeout=30.0)
+            self._conn.row_factory = sqlite3.Row
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._init_schema()
+        except sqlite3.Error as error:
+            raise StoreError(
+                f"cannot open campaign store {self.path!r}: {error}"
+            ) from None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _init_schema(self) -> None:
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+            row = self._conn.execute(
+                "SELECT value FROM campaign_meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO campaign_meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(_SCHEMA_VERSION)))
+            elif int(row["value"]) != _SCHEMA_VERSION:
+                raise StoreError(
+                    f"campaign store {self.path!r} has schema version "
+                    f"{row['value']} (this release reads {_SCHEMA_VERSION})"
+                )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        try:
+            with self._conn:
+                return self._conn.execute(sql, params)
+        except sqlite3.Error as error:
+            raise StoreError(
+                f"campaign store {self.path!r} failed: {error}") from None
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, campaign: str, keys: Iterable[RunKey]) -> int:
+        """Ensure a pending row exists for every key; returns #created.
+
+        Idempotent: keys whose rows already exist (any status) are left
+        untouched, which is exactly the resume semantics — a completed
+        run stays completed no matter how often the spec is re-expanded.
+        """
+        created = 0
+        now = time.time()
+        try:
+            with self._conn:
+                for key in keys:
+                    cursor = self._conn.execute(
+                        "INSERT OR IGNORE INTO runs (run_hash, campaign, "
+                        "workload, setup, environment, objective, seed, "
+                        "spec_json, status, updated_at) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        (key.run_hash, campaign, key.workload, key.setup,
+                         key.environment, key.objective.label(), key.seed,
+                         json.dumps(key.as_dict(), sort_keys=True),
+                         STATUS_PENDING, now))
+                    created += cursor.rowcount
+        except sqlite3.Error as error:
+            raise StoreError(
+                f"campaign store {self.path!r} failed: {error}") from None
+        return created
+
+    # -- state transitions ---------------------------------------------------
+
+    def mark_running(self, key: RunKey) -> None:
+        self._execute(
+            "UPDATE runs SET status=?, attempts=attempts+1, updated_at=? "
+            "WHERE run_hash=?",
+            (STATUS_RUNNING, time.time(), key.run_hash))
+
+    def record_success(self, key: RunKey, *, score: float,
+                       panel_cm2: float, latency_s: float,
+                       solution: Dict[str, Any],
+                       stats: Optional[Dict[str, Any]] = None,
+                       failures: Optional[List[Dict[str, Any]]] = None,
+                       wall_seconds: float = 0.0,
+                       campaign: str = "") -> None:
+        """Upsert a finished run (idempotent; works without register)."""
+        self._upsert(key, campaign=campaign, status=STATUS_DONE,
+                     score=score, panel_cm2=panel_cm2, latency_s=latency_s,
+                     solution_json=json.dumps(solution),
+                     stats_json=None if stats is None else json.dumps(stats),
+                     failures_json=(None if failures is None
+                                    else json.dumps(failures)),
+                     error=None, wall_seconds=wall_seconds)
+
+    def record_failure(self, key: RunKey, error: str,
+                       failures: Optional[List[Dict[str, Any]]] = None,
+                       wall_seconds: float = 0.0,
+                       campaign: str = "") -> None:
+        """Upsert a failed run; the campaign continues past it."""
+        self._upsert(key, campaign=campaign, status=STATUS_FAILED,
+                     score=None, panel_cm2=None, latency_s=None,
+                     solution_json=None, stats_json=None,
+                     failures_json=(None if failures is None
+                                    else json.dumps(failures)),
+                     error=str(error), wall_seconds=wall_seconds)
+
+    def _upsert(self, key: RunKey, *, campaign: str, status: str,
+                score, panel_cm2, latency_s, solution_json, stats_json,
+                failures_json, error, wall_seconds) -> None:
+        self._execute(
+            "INSERT INTO runs (run_hash, campaign, workload, setup, "
+            "environment, objective, seed, spec_json, status, score, "
+            "panel_cm2, latency_s, solution_json, stats_json, "
+            "failures_json, error, wall_seconds, attempts, updated_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 1, ?) "
+            "ON CONFLICT(run_hash) DO UPDATE SET "
+            "status=excluded.status, score=excluded.score, "
+            "panel_cm2=excluded.panel_cm2, latency_s=excluded.latency_s, "
+            "solution_json=excluded.solution_json, "
+            "stats_json=excluded.stats_json, "
+            "failures_json=excluded.failures_json, error=excluded.error, "
+            "wall_seconds=excluded.wall_seconds, "
+            "updated_at=excluded.updated_at",
+            (key.run_hash, campaign, key.workload, key.setup,
+             key.environment, key.objective.label(), key.seed,
+             json.dumps(key.as_dict(), sort_keys=True), status, score,
+             panel_cm2, latency_s, solution_json, stats_json, failures_json,
+             error, wall_seconds, time.time()))
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, run_hash: str) -> Optional[StoredRun]:
+        row = self._execute(
+            "SELECT * FROM runs WHERE run_hash=?", (run_hash,)).fetchone()
+        return None if row is None else self._to_stored(row)
+
+    def runs(self, campaign: Optional[str] = None,
+             status: Optional[str] = None) -> List[StoredRun]:
+        """Rows filtered by campaign and/or status, in stable key order."""
+        if status is not None and status not in _STATUSES:
+            raise StoreError(
+                f"unknown status {status!r}; expected one of {_STATUSES}")
+        sql = "SELECT * FROM runs"
+        clauses, params = [], []
+        if campaign is not None:
+            clauses.append("campaign=?")
+            params.append(campaign)
+        if status is not None:
+            clauses.append("status=?")
+            params.append(status)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY workload, setup, environment, objective, seed"
+        return [self._to_stored(row)
+                for row in self._execute(sql, params).fetchall()]
+
+    def campaigns(self) -> List[str]:
+        rows = self._execute(
+            "SELECT DISTINCT campaign FROM runs ORDER BY campaign"
+        ).fetchall()
+        return [row["campaign"] for row in rows]
+
+    def status_counts(self, campaign: Optional[str] = None) -> Dict[str, int]:
+        """``{status: count}`` with every lifecycle state present."""
+        sql = "SELECT status, COUNT(*) AS n FROM runs"
+        params: List[str] = []
+        if campaign is not None:
+            sql += " WHERE campaign=?"
+            params.append(campaign)
+        sql += " GROUP BY status"
+        counts = {status: 0 for status in _STATUSES}
+        for row in self._execute(sql, params).fetchall():
+            counts[row["status"]] = row["n"]
+        return counts
+
+    # -- Pareto slices -------------------------------------------------------
+
+    def pareto_points(self, campaign: Optional[str] = None,
+                      workload: Optional[str] = None) -> List[ParetoPoint]:
+        """(panel cm^2, latency s) points of every finished run.
+
+        Payloads are the :class:`StoredRun` rows, so front points lead
+        straight back to their stored solutions.
+        """
+        points = []
+        for run in self.runs(campaign=campaign, status=STATUS_DONE):
+            if workload is not None and run.key.workload != workload:
+                continue
+            if run.panel_cm2 is None or run.latency_s is None:
+                continue
+            points.append(ParetoPoint(values=(run.panel_cm2, run.latency_s),
+                                      payload=run))
+        return points
+
+    def pareto_slice(self, campaign: Optional[str] = None,
+                     workload: Optional[str] = None) -> List[ParetoPoint]:
+        """The non-dominated front of :meth:`pareto_points`."""
+        return pareto_front(self.pareto_points(campaign=campaign,
+                                               workload=workload))
+
+    # -- row decoding --------------------------------------------------------
+
+    def _to_stored(self, row: sqlite3.Row) -> StoredRun:
+        try:
+            key = RunKey.from_dict(json.loads(row["spec_json"]))
+        except (json.JSONDecodeError, TypeError) as error:
+            raise StoreError(
+                f"run {row['run_hash']} has an unreadable spec: {error}"
+            ) from None
+        return StoredRun(
+            run_hash=row["run_hash"],
+            campaign=row["campaign"],
+            key=key,
+            status=row["status"],
+            score=row["score"],
+            panel_cm2=row["panel_cm2"],
+            latency_s=row["latency_s"],
+            solution=_loads(row["solution_json"]),
+            stats=_loads(row["stats_json"]),
+            failures=_loads(row["failures_json"]),
+            error=row["error"],
+            wall_seconds=row["wall_seconds"],
+            attempts=row["attempts"],
+            updated_at=row["updated_at"],
+        )

@@ -15,6 +15,11 @@ Commands
 ``faults-sweep``
     Stress an explicit design across fault-injection intensities and
     print the survival-under-faults table.
+``campaign run|status|report``
+    Durable multi-scenario campaigns: execute a JSON campaign spec
+    against a SQLite result store (resumable — re-invoking skips
+    completed runs), show completion counts, and rebuild the winners /
+    Pareto-front report purely from the store.
 """
 
 from __future__ import annotations
@@ -25,6 +30,13 @@ import pathlib
 import sys
 from typing import List, Optional
 
+from repro.campaign import (
+    CampaignReport,
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+)
+from repro.campaign.store import STATUS_DONE, STATUS_FAILED
 from repro.core.chrysalis import Chrysalis
 from repro.core.describer import describe_design
 from repro.design import AuTDesign, EnergyDesign, InferenceDesign
@@ -38,7 +50,7 @@ from repro.hardware.accelerators import AcceleratorFamily
 from repro.serialize import (
     design_from_json,
     design_to_json,
-    solution_to_dict,
+    solution_to_json,
 )
 from repro.sim.evaluator import ChrysalisEvaluator
 from repro.sim.report import render_faults_sweep
@@ -105,6 +117,14 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def write_solution_json(solution, path) -> pathlib.Path:
+    """Persist a solution as JSON — the one write path ``search --json``
+    and ``campaign run`` share (both go through ``repro.serialize``)."""
+    path = pathlib.Path(path)
+    path.write_text(solution_to_json(solution))
+    return path
+
+
 def cmd_search(args: argparse.Namespace) -> int:
     network = zoo.workload_by_name(args.workload)
     tool = Chrysalis(
@@ -122,8 +142,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         print("-- search throughput " + "-" * 24)
         print(tool.last_result.stats.render())
     if args.output:
-        path = pathlib.Path(args.output)
-        path.write_text(json.dumps(solution_to_dict(solution), indent=2))
+        path = write_solution_json(solution, args.output)
         print(f"\nsolution written to {path}")
     if args.design_output:
         path = pathlib.Path(args.design_output)
@@ -165,6 +184,67 @@ def cmd_simulate(args: argparse.Namespace) -> int:
               f"(use --exact for a full per-step trace)")
     print()
     print(result.trace.render(limit=args.trace))
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _campaign_run,
+        "status": _campaign_status,
+        "report": _campaign_report,
+    }
+    return handlers[args.campaign_command](args)
+
+
+def _campaign_run(args: argparse.Namespace) -> int:
+    spec = CampaignSpec.from_path(args.spec)
+    with ResultStore(args.store) as store:
+        runner = CampaignRunner(
+            spec, store,
+            workers=args.workers,
+            max_runs=args.max_runs,
+            on_progress=lambda outcome: print(
+                f"  [{outcome.status}] {outcome.key.describe()} "
+                f"({outcome.wall_seconds:.1f}s)"),
+        )
+        print(f"campaign {spec.name}: {len(spec.expand())} run(s), "
+              f"store {args.store}")
+        progress = runner.run()
+    print()
+    print(progress.render())
+    return 0 if progress.failed == 0 else 1
+
+
+def _campaign_status(args: argparse.Namespace) -> int:
+    with ResultStore(args.store) as store:
+        campaigns = ([args.campaign] if args.campaign
+                     else store.campaigns())
+        if not campaigns:
+            print("store holds no campaigns")
+            return 1
+        incomplete = 0
+        for name in campaigns:
+            counts = store.status_counts(name)
+            total = sum(counts.values())
+            done = counts[STATUS_DONE]
+            print(f"{name}: {done}/{total} complete "
+                  f"({counts[STATUS_FAILED]} failed, "
+                  f"{counts['pending'] + counts['running']} pending)")
+            if args.runs:
+                for run in store.runs(campaign=name):
+                    print(f"  [{run.status:<7}] {run.key.describe()}")
+            incomplete += total - done
+    return 0 if incomplete == 0 else 1
+
+
+def _campaign_report(args: argparse.Namespace) -> int:
+    with ResultStore(args.store) as store:
+        report = CampaignReport.from_store(store, campaign=args.campaign)
+    print(report.render_markdown())
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.write_text(json.dumps(report.as_dict(), indent=2))
+        print(f"\nreport written to {path}")
     return 0
 
 
@@ -215,8 +295,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--workers", type=int, default=1,
                         help="worker processes for genome evaluation "
                              "(1 = serial; N > 1 gives identical results)")
-    search.add_argument("--output", default=None,
-                        help="write the full solution as JSON")
+    search.add_argument("--json", "--output", dest="output", default=None,
+                        metavar="PATH",
+                        help="write the full solution as JSON "
+                             "(reloadable via repro.serialize)")
     search.add_argument("--design-output", default=None,
                         help="write just the design (loadable via "
                              "--design) as JSON")
@@ -254,6 +336,38 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable the cycle-skipping fast path "
                                "(exact per-step simulation, full trace)")
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="durable, resumable multi-scenario DSE campaigns")
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    crun = csub.add_parser(
+        "run", help="execute the pending runs of a campaign spec")
+    crun.add_argument("spec", help="campaign spec JSON (see docs/CAMPAIGNS.md)")
+    crun.add_argument("--store", default="campaign.sqlite",
+                      help="SQLite result store; reuse it to resume")
+    crun.add_argument("--workers", type=int, default=None,
+                      help="override the spec's per-search worker count")
+    crun.add_argument("--max-runs", type=int, default=None,
+                      help="stop after this many runs (resume later)")
+
+    cstatus = csub.add_parser(
+        "status", help="completion counts of the stored campaigns")
+    cstatus.add_argument("--store", default="campaign.sqlite")
+    cstatus.add_argument("--campaign", default=None,
+                         help="restrict to one campaign name")
+    cstatus.add_argument("--runs", action="store_true",
+                         help="also list every run with its status")
+
+    creport = csub.add_parser(
+        "report",
+        help="winners + Pareto front, rebuilt purely from the store")
+    creport.add_argument("--store", default="campaign.sqlite")
+    creport.add_argument("--campaign", default=None,
+                         help="campaign name (needed only for shared stores)")
+    creport.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the report as JSON")
+
     faults = sub.add_parser(
         "faults-sweep",
         help="stress a design across fault-injection intensities")
@@ -284,6 +398,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "search": cmd_search,
         "describe": cmd_describe,
         "simulate": cmd_simulate,
+        "campaign": cmd_campaign,
         "faults-sweep": cmd_faults_sweep,
     }
     try:

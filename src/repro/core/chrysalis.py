@@ -56,6 +56,11 @@ class Chrysalis:
         brighter/darker pair (or the scenario's, when given).
     ga_config:
         Search budget knobs for the HW-level genetic algorithm.
+    candidate_time_budget_s:
+        Optional wall-clock budget per candidate evaluation; an
+        over-budget candidate is absorbed as an ``EvaluationTimeout``
+        penalty instead of stalling the search (campaign runs set this
+        from their spec).
     """
 
     def __init__(self, network: Network,
@@ -65,7 +70,8 @@ class Chrysalis:
                  scenario: Optional[Scenario] = None,
                  environments: Optional[Sequence[LightEnvironment]] = None,
                  ga_config: Optional[GAConfig] = None,
-                 checkpoint: Optional[CheckpointModel] = None) -> None:
+                 checkpoint: Optional[CheckpointModel] = None,
+                 candidate_time_budget_s: Optional[float] = None) -> None:
         self.network = network
         if space is not None:
             self.space = space
@@ -88,6 +94,7 @@ class Chrysalis:
         self.scenario = scenario
         self.ga_config = ga_config
         self.checkpoint = checkpoint
+        self.candidate_time_budget_s = candidate_time_budget_s
         self.last_result: Optional[SearchResult] = None
 
     def generate(self) -> AuTSolution:
@@ -99,6 +106,7 @@ class Chrysalis:
             environments=self.environments,
             ga_config=self.ga_config,
             checkpoint=self.checkpoint,
+            candidate_time_budget_s=self.candidate_time_budget_s,
         )
         result = explorer.run()
         self.last_result = result

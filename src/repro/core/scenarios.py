@@ -61,6 +61,20 @@ def _both() -> Tuple[LightEnvironment, LightEnvironment]:
     return LightEnvironment.paper_environments()
 
 
+def scenario_by_name(name: str) -> Scenario:
+    """Look up a preset scenario by name.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names,
+    listing what is available (mirrors ``zoo.workload_by_name``).
+    """
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+
+
 #: Ready-made scenarios for the paper's motivating domains.
 SCENARIOS: Dict[str, Scenario] = {
     "wearable": Scenario(

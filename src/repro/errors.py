@@ -52,3 +52,8 @@ class FaultInjectionError(ChrysalisError):
 class SearchError(ChrysalisError):
     """The explorer could not produce a feasible solution (empty design
     space, every candidate infeasible, budget exhausted with no result)."""
+
+
+class StoreError(ChrysalisError):
+    """A campaign result store is unusable (corrupt SQLite file, schema
+    version from a different library release, filesystem failure)."""

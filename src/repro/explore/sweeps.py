@@ -5,6 +5,11 @@ the other and reading off the energy breakdown.  :func:`sweep` does
 exactly that for any knob the design space knows, re-optimising the
 SW-level mapping at every point (as the paper does), and returns rows
 ready for tabulation or plotting.
+
+Grid construction goes through the library's single expansion code
+path, :func:`repro.campaign.spec.expand_grid` — the same product that
+turns a :class:`~repro.campaign.spec.CampaignSpec` into run keys — so
+sweeps and campaigns cannot drift apart on cell ordering.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.campaign.spec import expand_grid
 from repro.design import AuTDesign, EnergyDesign, InferenceDesign
 from repro.energy.environment import LightEnvironment
 from repro.errors import DesignSpaceError
@@ -93,7 +99,8 @@ def sweep(network: Network, knob: str, values: Sequence[float],
     optimizer = MappingOptimizer(network, environments=environments,
                                  checkpoint=checkpoint)
     points: List[SweepPoint] = []
-    for value in values:
+    for cell in expand_grid({knob: values}):
+        value = cell[knob]
         energy, inference = _apply(knob, value, base_energy, base_inference)
         mappings = optimizer.optimize(energy, inference)
         if mappings is None:
@@ -129,10 +136,16 @@ def grid_sweep(network: Network, knob_a: str, values_a: Sequence[float],
 
     Returns ``{value_a: SweepResult over knob_b}``.
     """
+    if knob_a == knob_b:
+        raise DesignSpaceError(
+            f"grid_sweep needs two distinct knobs, got {knob_a!r} twice")
+    columns: Dict[float, List[float]] = {}
+    for cell in expand_grid({knob_a: values_a, knob_b: values_b}):
+        columns.setdefault(cell[knob_a], []).append(cell[knob_b])
     results: Dict[float, SweepResult] = {}
-    for value_a in values_a:
+    for value_a, column in columns.items():
         energy, inference = _apply(knob_a, value_a, base_energy,
                                    base_inference)
-        results[value_a] = sweep(network, knob_b, values_b, energy,
+        results[value_a] = sweep(network, knob_b, column, energy,
                                  inference, environments=environments)
     return results

@@ -22,6 +22,7 @@ from repro.design import AuTDesign, EnergyDesign, InferenceDesign
 from repro.energy.pmic import PowerManagementIC
 from repro.errors import ConfigurationError
 from repro.hardware.accelerators import AcceleratorFamily
+from repro.sim.metrics import EnergyBreakdown, InferenceMetrics
 
 _SCHEMA_VERSION = 1
 
@@ -141,14 +142,79 @@ def design_from_json(text: str) -> AuTDesign:
 
 
 # ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+def breakdown_to_dict(breakdown: EnergyBreakdown) -> Dict[str, float]:
+    return {
+        "compute": breakdown.compute,
+        "vm": breakdown.vm,
+        "nvm": breakdown.nvm,
+        "static": breakdown.static,
+        "checkpoint": breakdown.checkpoint,
+        "cap_leakage": breakdown.cap_leakage,
+        "conversion": breakdown.conversion,
+    }
+
+
+def breakdown_from_dict(data: Dict[str, Any]) -> EnergyBreakdown:
+    try:
+        return EnergyBreakdown(**{field: float(data[field])
+                                  for field in breakdown_to_dict(
+                                      EnergyBreakdown())})
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"energy-breakdown record is missing field {missing}") from None
+
+
+def metrics_to_dict(metrics: InferenceMetrics) -> Dict[str, Any]:
+    """Full, invertible form of one :class:`InferenceMetrics`."""
+    return {
+        "e2e_latency": metrics.e2e_latency,
+        "busy_time": metrics.busy_time,
+        "charge_time": metrics.charge_time,
+        "energy": breakdown_to_dict(metrics.energy),
+        "harvested_energy": metrics.harvested_energy,
+        "power_cycles": metrics.power_cycles,
+        "exceptions": metrics.exceptions,
+        "feasible": metrics.feasible,
+        "infeasible_reason": metrics.infeasible_reason,
+        "sustained_period": metrics.sustained_period,
+    }
+
+
+def metrics_from_dict(data: Dict[str, Any]) -> InferenceMetrics:
+    try:
+        return InferenceMetrics(
+            e2e_latency=float(data["e2e_latency"]),
+            busy_time=float(data["busy_time"]),
+            charge_time=float(data["charge_time"]),
+            energy=breakdown_from_dict(data["energy"]),
+            harvested_energy=float(data["harvested_energy"]),
+            power_cycles=int(data["power_cycles"]),
+            exceptions=int(data["exceptions"]),
+            feasible=bool(data["feasible"]),
+            infeasible_reason=str(data["infeasible_reason"]),
+            sustained_period=float(data["sustained_period"]),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"metrics record is missing field {missing}") from None
+
+
+# ---------------------------------------------------------------------------
 # solutions
 # ---------------------------------------------------------------------------
 
 
 def solution_to_dict(solution) -> Dict[str, Any]:
-    """Serialise an :class:`~repro.core.result.AuTSolution` (metrics are
-    included for the record but not round-tripped — re-evaluate the
-    design to regenerate them)."""
+    """Serialise an :class:`~repro.core.result.AuTSolution`.
+
+    The ``metrics`` block is the historical human-oriented summary; the
+    ``average_metrics`` / ``metrics_by_env`` blocks are the full,
+    invertible forms that :func:`solution_from_dict` round-trips.
+    """
     metrics = solution.average_metrics
     return {
         "schema_version": _SCHEMA_VERSION,
@@ -156,11 +222,17 @@ def solution_to_dict(solution) -> Dict[str, Any]:
         "objective": solution.objective_label,
         "score": solution.score,
         "evaluations": solution.evaluations,
+        "absorbed_failures": solution.absorbed_failures,
         "metrics": {
             "e2e_latency_s": metrics.e2e_latency,
             "sustained_period_s": metrics.sustained_period,
             "total_energy_j": metrics.total_energy,
             "system_efficiency": metrics.system_efficiency,
+        },
+        "average_metrics": metrics_to_dict(metrics),
+        "metrics_by_env": {
+            name: metrics_to_dict(env_metrics)
+            for name, env_metrics in solution.metrics_by_env.items()
         },
         "layer_plan": [
             {
@@ -173,3 +245,69 @@ def solution_to_dict(solution) -> Dict[str, Any]:
             for row in solution.layer_plan
         ],
     }
+
+
+def solution_from_dict(data: Dict[str, Any]):
+    """Reconstruct an :class:`~repro.core.result.AuTSolution`.
+
+    The inverse of :func:`solution_to_dict` (which long predates it —
+    this closes a standing API asymmetry): the design is rebuilt through
+    its validating constructors and the full metrics blocks are
+    restored, so a campaign store can hand back exactly the solution the
+    search produced.  An attached resilience report is *not* serialized;
+    re-attach one with ``with_resilience`` after a fault-injected rerun.
+    """
+    from repro.core.result import AuTSolution, LayerPlanRow
+
+    version = data.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported solution schema version {version!r} "
+            f"(expected {_SCHEMA_VERSION})"
+        )
+    if "average_metrics" not in data:
+        raise ConfigurationError(
+            "solution record has no 'average_metrics' block (written by a "
+            "pre-campaign release?); re-evaluate the embedded design instead"
+        )
+    try:
+        plan = [
+            LayerPlanRow(
+                layer=str(row["layer"]),
+                dataflow=str(row["dataflow"]),
+                n_tiles=int(row["n_tiles"]),
+                tile_dim=str(row["tile_dim"]),
+                spatial_dim=str(row["spatial_dim"]),
+            )
+            for row in data["layer_plan"]
+        ]
+        return AuTSolution(
+            design=design_from_dict(data["design"]),
+            average_metrics=metrics_from_dict(data["average_metrics"]),
+            metrics_by_env={
+                name: metrics_from_dict(env_metrics)
+                for name, env_metrics in data["metrics_by_env"].items()
+            },
+            layer_plan=plan,
+            objective_label=str(data["objective"]),
+            score=float(data["score"]),
+            evaluations=int(data["evaluations"]),
+            absorbed_failures=int(data.get("absorbed_failures", 0)),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"solution record is missing field {missing}") from None
+
+
+def solution_to_json(solution, indent: int = 2) -> str:
+    return json.dumps(solution_to_dict(solution), indent=indent)
+
+
+def solution_from_json(text: str):
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"invalid solution JSON: {error}") from None
+    if not isinstance(data, dict):
+        raise ConfigurationError("solution JSON must be an object")
+    return solution_from_dict(data)

@@ -1,0 +1,174 @@
+"""Tests for the resumable campaign runner.
+
+A stub runner reuses one real (tiny) CHRYSALIS search result for every
+run, so these tests exercise the full store/resume protocol — register,
+mark running, record, skip — without paying for a GA search per run.
+"""
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, ObjectiveSpec
+from repro.campaign.store import STATUS_DONE, STATUS_FAILED, ResultStore
+from repro.core.chrysalis import Chrysalis
+from repro.errors import SearchError
+from repro.explore.ga import GAConfig
+from repro.explore.objectives import Objective
+from repro.workloads import zoo
+
+
+@pytest.fixture(scope="module")
+def solved():
+    """One real solution+stats pair, shared by every stubbed run."""
+    tool = Chrysalis(zoo.har_cnn(), setup="existing",
+                     objective=Objective.lat_sp(),
+                     ga_config=GAConfig(population_size=4, generations=2,
+                                        seed=0))
+    solution = tool.generate()
+    return solution, tool.last_result
+
+
+class StubRunner(CampaignRunner):
+    """Counts executions and optionally fails chosen runs."""
+
+    def __init__(self, *args, solved, fail_hashes=(), **kwargs):
+        super().__init__(*args, **kwargs)
+        self.solved = solved
+        self.fail_hashes = set(fail_hashes)
+        self.executed_keys = []
+
+    def _execute_run(self, key):
+        self.executed_keys.append(key)
+        if key.run_hash in self.fail_hashes:
+            raise SearchError("stubbed: no feasible design")
+        return self.solved
+
+
+def make_spec(seeds=(0, 1, 2, 3)):
+    return CampaignSpec(name="camp", workloads=("har",),
+                        objectives=(ObjectiveSpec(kind="lat*sp"),),
+                        environments=("indoor",), seeds=seeds,
+                        population=4, generations=2)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(tmp_path / "camp.sqlite") as s:
+        yield s
+
+
+class TestRun:
+    def test_full_campaign_completes(self, store, solved):
+        runner = StubRunner(make_spec(), store, solved=solved)
+        progress = runner.run()
+        assert (progress.total, progress.skipped) == (4, 0)
+        assert (progress.completed, progress.failed) == (4, 0)
+        assert progress.remaining == 0
+        assert len(runner.executed_keys) == 4
+        assert store.status_counts("camp")[STATUS_DONE] == 4
+
+    def test_stored_solution_round_trips(self, store, solved):
+        solution, _ = solved
+        spec = make_spec(seeds=(0,))
+        StubRunner(spec, store, solved=solved).run()
+        run = store.runs(status=STATUS_DONE)[0]
+        assert run.load_solution() == solution
+        assert run.score == solution.score
+        assert run.stats is not None and run.stats["hw_evaluations"] >= 1
+
+    def test_progress_callback_sees_every_outcome(self, store, solved):
+        seen = []
+        StubRunner(make_spec(), store, solved=solved,
+                   on_progress=seen.append).run()
+        assert len(seen) == 4
+        assert all(o.status == STATUS_DONE for o in seen)
+
+
+class TestResume:
+    def test_interrupt_then_resume_skips_completed(self, store, solved):
+        spec = make_spec()
+        first = StubRunner(spec, store, solved=solved, max_runs=2)
+        progress = first.run()
+        assert (progress.completed, progress.remaining) == (2, 2)
+        assert store.status_counts("camp")[STATUS_DONE] == 2
+
+        # A fresh runner against the same store (as after a crash or a
+        # new process) must execute ONLY the two leftover runs.
+        second = StubRunner(spec, store, solved=solved)
+        progress = second.run()
+        assert progress.skipped == 2
+        assert progress.completed == 2
+        done_first = {k.run_hash for k in first.executed_keys}
+        done_second = {k.run_hash for k in second.executed_keys}
+        assert done_first.isdisjoint(done_second)
+        assert store.status_counts("camp")[STATUS_DONE] == 4
+
+        # A finished campaign re-runs nothing at all.
+        third = StubRunner(spec, store, solved=solved)
+        progress = third.run()
+        assert progress.skipped == 4
+        assert third.executed_keys == []
+
+    def test_stale_running_rows_are_rerun(self, store, solved):
+        spec = make_spec(seeds=(0, 1))
+        keys = spec.expand()
+        store.register("camp", keys)
+        store.mark_running(keys[0])  # crash leftover
+        runner = StubRunner(spec, store, solved=solved)
+        assert [k.run_hash for k in runner.pending_runs()] == \
+            [k.run_hash for k in keys]
+        runner.run()
+        assert store.status_counts("camp")[STATUS_DONE] == 2
+
+    def test_failed_runs_are_retried(self, store, solved):
+        spec = make_spec(seeds=(0, 1))
+        doomed = spec.expand()[0].run_hash
+        StubRunner(spec, store, solved=solved,
+                   fail_hashes={doomed}).run()
+        assert store.status_counts("camp")[STATUS_FAILED] == 1
+
+        StubRunner(spec, store, solved=solved).run()
+        assert store.status_counts("camp")[STATUS_DONE] == 2
+        assert store.get(doomed).attempts == 2
+
+
+class TestFailures:
+    def test_failed_run_recorded_and_campaign_completes(self, store, solved):
+        spec = make_spec()
+        doomed = spec.expand()[1].run_hash
+        runner = StubRunner(spec, store, solved=solved,
+                            fail_hashes={doomed})
+        progress = runner.run()
+        # The broken run did not kill the campaign...
+        assert (progress.completed, progress.failed) == (3, 1)
+        assert len(runner.executed_keys) == 4
+        # ...and its error is on record.
+        row = store.get(doomed)
+        assert row.status == STATUS_FAILED
+        assert row.error == "SearchError: stubbed: no feasible design"
+
+    def test_programming_errors_propagate(self, store, solved):
+        class BrokenRunner(StubRunner):
+            def _execute_run(self, key):
+                raise TypeError("a genuine bug")
+
+        with pytest.raises(TypeError):
+            BrokenRunner(make_spec(seeds=(0,)), store, solved=solved).run()
+
+
+class TestDeterminism:
+    def test_run_keys_hash_identically_across_expansions(self):
+        spec = make_spec()
+        assert [k.run_hash for k in spec.expand()] == \
+            [k.run_hash for k in make_spec().expand()]
+
+    def test_real_search_is_reproducible(self, tmp_path, solved):
+        # The same key executed twice (fresh stores) lands the same
+        # score — the property that makes content-hashed resume sound.
+        spec = make_spec(seeds=(0,))
+        scores = []
+        for name in ("a", "b"):
+            with ResultStore(tmp_path / f"{name}.sqlite") as store:
+                CampaignRunner(spec, store).run()
+                scores.append(store.runs(status=STATUS_DONE)[0].score)
+        assert scores[0] == scores[1]

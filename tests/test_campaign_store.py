@@ -1,0 +1,202 @@
+"""Tests for the SQLite campaign result store."""
+
+import sqlite3
+
+import pytest
+
+from repro.campaign.spec import ObjectiveSpec, RunKey
+from repro.campaign.store import (
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_PENDING,
+    STATUS_RUNNING,
+    ResultStore,
+)
+from repro.errors import ChrysalisError, StoreError
+
+
+def make_key(workload="har", seed=0, **overrides):
+    base = dict(workload=workload, setup="existing", environment="paper",
+                objective=ObjectiveSpec(kind="lat*sp"), seed=seed,
+                population=4, generations=2)
+    base.update(overrides)
+    return RunKey(**base)
+
+
+SOLUTION = {"schema_version": 1, "fake": True}
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(tmp_path / "camp.sqlite") as s:
+        yield s
+
+
+class TestSchema:
+    def test_init_creates_file_and_reopens(self, tmp_path):
+        path = tmp_path / "camp.sqlite"
+        ResultStore(path).close()
+        assert path.exists()
+        with ResultStore(path) as store:  # reopen: schema already there
+            assert store.status_counts() == {
+                STATUS_PENDING: 0, STATUS_RUNNING: 0,
+                STATUS_DONE: 0, STATUS_FAILED: 0}
+
+    def test_wal_mode(self, store):
+        row = store._conn.execute("PRAGMA journal_mode").fetchone()
+        assert row[0] == "wal"
+
+    def test_schema_version_mismatch(self, tmp_path):
+        path = tmp_path / "camp.sqlite"
+        ResultStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE campaign_meta SET value='99' "
+                     "WHERE key='schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError, match="schema version"):
+            ResultStore(path)
+
+    def test_corrupt_file_raises_chrysalis_error(self, tmp_path):
+        path = tmp_path / "camp.sqlite"
+        path.write_bytes(b"this is definitely not a sqlite database\x00\xff")
+        with pytest.raises(StoreError, match="cannot open"):
+            ResultStore(path)
+        # and StoreError stays catchable through the library base class
+        with pytest.raises(ChrysalisError):
+            ResultStore(path)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(StoreError, match="does not exist"):
+            ResultStore(tmp_path / "no" / "such" / "dir" / "c.sqlite")
+
+
+class TestRegister:
+    def test_register_creates_pending_rows(self, store):
+        keys = [make_key(seed=s) for s in (0, 1, 2)]
+        assert store.register("camp", keys) == 3
+        assert store.status_counts("camp")[STATUS_PENDING] == 3
+
+    def test_register_is_idempotent(self, store):
+        keys = [make_key(seed=s) for s in (0, 1)]
+        store.register("camp", keys)
+        assert store.register("camp", keys) == 0
+
+    def test_register_never_demotes_a_done_row(self, store):
+        key = make_key()
+        store.register("camp", [key])
+        store.record_success(key, score=1.0, panel_cm2=4.0, latency_s=1.0,
+                             solution=SOLUTION, campaign="camp")
+        store.register("camp", [key])
+        assert store.get(key.run_hash).status == STATUS_DONE
+
+
+class TestRecords:
+    def test_success_round_trips_payloads(self, store):
+        key = make_key()
+        store.register("camp", [key])
+        store.mark_running(key)
+        store.record_success(
+            key, score=2.5, panel_cm2=6.0, latency_s=2.5,
+            solution=SOLUTION, stats={"hw_evaluations": 8},
+            failures=[{"family": "MappingError"}],
+            wall_seconds=1.25, campaign="camp")
+        run = store.get(key.run_hash)
+        assert run.status == STATUS_DONE
+        assert run.score == 2.5
+        assert run.solution == SOLUTION
+        assert run.stats == {"hw_evaluations": 8}
+        assert run.failures == [{"family": "MappingError"}]
+        assert run.wall_seconds == 1.25
+        assert run.attempts == 1
+        assert run.key == key
+
+    def test_success_upsert_is_idempotent(self, store):
+        key = make_key()
+        for _ in range(2):
+            store.record_success(key, score=1.0, panel_cm2=4.0,
+                                 latency_s=1.0, solution=SOLUTION,
+                                 campaign="camp")
+        assert store.status_counts("camp")[STATUS_DONE] == 1
+
+    def test_success_without_register_inserts(self, store):
+        key = make_key()
+        store.record_success(key, score=1.0, panel_cm2=4.0, latency_s=1.0,
+                             solution=SOLUTION, campaign="camp")
+        assert store.get(key.run_hash).status == STATUS_DONE
+
+    def test_failure_recorded_with_error(self, store):
+        key = make_key()
+        store.register("camp", [key])
+        store.record_failure(key, error="SearchError: no feasible design",
+                             wall_seconds=0.5, campaign="camp")
+        run = store.get(key.run_hash)
+        assert run.status == STATUS_FAILED
+        assert "no feasible design" in run.error
+        assert run.solution is None
+
+    def test_mark_running_counts_attempts(self, store):
+        key = make_key()
+        store.register("camp", [key])
+        store.mark_running(key)
+        store.mark_running(key)
+        run = store.get(key.run_hash)
+        assert run.status == STATUS_RUNNING
+        assert run.attempts == 2
+
+
+class TestQueries:
+    def _fill(self, store):
+        done = make_key(seed=0)
+        failed = make_key(seed=1)
+        pending = make_key(seed=2)
+        store.register("camp", [done, failed, pending])
+        store.record_success(done, score=1.0, panel_cm2=2.0, latency_s=1.0,
+                             solution=SOLUTION, campaign="camp")
+        store.record_failure(failed, error="boom", campaign="camp")
+        return done, failed, pending
+
+    def test_runs_filter_by_status(self, store):
+        done, failed, pending = self._fill(store)
+        assert [r.run_hash for r in store.runs(status=STATUS_DONE)] == \
+            [done.run_hash]
+        assert [r.run_hash for r in store.runs(status=STATUS_FAILED)] == \
+            [failed.run_hash]
+        assert len(store.runs(campaign="camp")) == 3
+        assert store.runs(campaign="other") == []
+
+    def test_unknown_status_rejected(self, store):
+        with pytest.raises(StoreError, match="status"):
+            store.runs(status="exploded")
+
+    def test_status_counts(self, store):
+        self._fill(store)
+        assert store.status_counts("camp") == {
+            STATUS_PENDING: 1, STATUS_RUNNING: 0,
+            STATUS_DONE: 1, STATUS_FAILED: 1}
+
+    def test_campaigns_listing(self, store):
+        self._fill(store)
+        store.register("other", [make_key(workload="kws")])
+        assert store.campaigns() == ["camp", "other"]
+
+
+class TestParetoSlices:
+    def test_slice_is_non_dominated_subset(self, store):
+        points = {0: (2.0, 5.0),   # front
+                  1: (4.0, 1.0),   # front
+                  2: (4.0, 6.0)}   # dominated by seed 0
+        for seed, (panel, latency) in points.items():
+            key = make_key(seed=seed)
+            store.record_success(key, score=latency, panel_cm2=panel,
+                                 latency_s=latency, solution=SOLUTION,
+                                 campaign="camp")
+        assert len(store.pareto_points("camp")) == 3
+        front = store.pareto_slice("camp")
+        assert [p.values for p in front] == [(2.0, 5.0), (4.0, 1.0)]
+        # Payloads lead back to the stored rows.
+        assert front[0].payload.solution == SOLUTION
+
+    def test_failed_runs_contribute_nothing(self, store):
+        store.record_failure(make_key(), error="boom", campaign="camp")
+        assert store.pareto_points("camp") == []

@@ -3,6 +3,8 @@
 import json
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro import Chrysalis, Objective, zoo
 from repro.design import AuTDesign, EnergyDesign, InferenceDesign
@@ -13,15 +15,23 @@ from repro.errors import ConfigurationError
 from repro.explore.ga import GAConfig
 from repro.hardware.accelerators import AcceleratorFamily
 from repro.serialize import (
+    breakdown_from_dict,
+    breakdown_to_dict,
     design_from_dict,
     design_from_json,
     design_to_dict,
     design_to_json,
     mapping_from_dict,
     mapping_to_dict,
+    metrics_from_dict,
+    metrics_to_dict,
+    solution_from_dict,
+    solution_from_json,
     solution_to_dict,
+    solution_to_json,
 )
 from repro.sim.evaluator import ChrysalisEvaluator
+from repro.sim.metrics import EnergyBreakdown, InferenceMetrics
 from repro.units import uF
 from repro.workloads.layers import DIM_NAMES
 
@@ -107,13 +117,17 @@ class TestValidationOnLoad:
             design_from_json("[1, 2, 3]")
 
 
+@pytest.fixture(scope="module")
+def solution():
+    tool = Chrysalis(zoo.har_cnn(), setup="existing",
+                     objective=Objective.lat_sp(),
+                     ga_config=GAConfig(population_size=6,
+                                        generations=3, seed=0))
+    return tool.generate()
+
+
 class TestSolutionExport:
-    def test_solution_to_dict(self):
-        tool = Chrysalis(zoo.har_cnn(), setup="existing",
-                         objective=Objective.lat_sp(),
-                         ga_config=GAConfig(population_size=6,
-                                            generations=3, seed=0))
-        solution = tool.generate()
+    def test_solution_to_dict(self, solution):
         data = solution_to_dict(solution)
         assert json.dumps(data)  # JSON-compatible throughout
         assert data["score"] == solution.score
@@ -121,3 +135,67 @@ class TestSolutionExport:
         # The embedded design reloads into the same architecture.
         clone = design_from_dict(data["design"])
         assert clone == solution.design
+
+
+class TestSolutionRoundTrip:
+    def test_dict_round_trip_is_exact(self, solution):
+        assert solution_from_dict(solution_to_dict(solution)) == solution
+
+    def test_json_round_trip_is_exact(self, solution):
+        assert solution_from_json(solution_to_json(solution)) == solution
+
+    def test_wrong_schema_version(self, solution):
+        data = solution_to_dict(solution)
+        data["schema_version"] = 99
+        with pytest.raises(ConfigurationError, match="schema"):
+            solution_from_dict(data)
+
+    def test_pre_campaign_record_rejected_helpfully(self, solution):
+        data = solution_to_dict(solution)
+        del data["average_metrics"]
+        with pytest.raises(ConfigurationError, match="pre-campaign"):
+            solution_from_dict(data)
+
+    def test_missing_field_rejected(self, solution):
+        data = solution_to_dict(solution)
+        del data["average_metrics"]["power_cycles"]
+        with pytest.raises(ConfigurationError, match="missing"):
+            solution_from_dict(data)
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ConfigurationError, match="JSON"):
+            solution_from_json("{not json")
+
+
+# Hypothesis strategies for the metrics round-trip property tests.
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+
+breakdowns = st.builds(
+    EnergyBreakdown, compute=finite, vm=finite, nvm=finite, static=finite,
+    checkpoint=finite, cap_leakage=finite, conversion=finite)
+
+metrics_objects = st.builds(
+    InferenceMetrics,
+    e2e_latency=finite, busy_time=finite, charge_time=finite,
+    energy=breakdowns, harvested_energy=finite,
+    power_cycles=st.integers(min_value=0, max_value=10**6),
+    exceptions=st.integers(min_value=0, max_value=10**6),
+    feasible=st.booleans(),
+    infeasible_reason=st.text(max_size=40),
+    sustained_period=finite)
+
+
+class TestMetricsRoundTripProperties:
+    @given(breakdowns)
+    def test_breakdown_round_trips_through_json(self, breakdown):
+        data = json.loads(json.dumps(breakdown_to_dict(breakdown)))
+        assert breakdown_from_dict(data) == breakdown
+
+    @given(metrics_objects)
+    def test_metrics_round_trip_through_json(self, metrics):
+        data = json.loads(json.dumps(metrics_to_dict(metrics)))
+        clone = metrics_from_dict(data)
+        assert clone == metrics
+        # Derived quantities survive unchanged too.
+        assert clone.total_energy == metrics.total_energy
