@@ -25,7 +25,8 @@ Run:  python examples/campaign_driver.py
 import pathlib
 import tempfile
 
-from repro import CampaignReport, CampaignRunner, CampaignSpec, ResultStore
+from repro import CampaignSpec, ResultStore
+from repro.campaign import CampaignReport, CampaignRunner
 
 SPEC = pathlib.Path(__file__).with_name("campaign_spec.json")
 

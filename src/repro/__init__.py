@@ -5,12 +5,20 @@ Design for Truly Autonomous Things" (ISCA 2024).
 
 Quickstart::
 
-    from repro import Chrysalis, Objective, zoo
+    from repro import Chrysalis, Objective, evaluate, zoo
 
     tool = Chrysalis(zoo.har_cnn(), setup="existing",
                      objective=Objective.lat_sp())
     solution = tool.generate()
     print(solution.report())
+
+    report = evaluate(solution.design, "har")     # re-price any design
+    print(report.metrics.e2e_latency)
+
+The blessed surface is ``__all__`` below (~20 names; see docs/API.md).
+Everything previously re-exported here still imports — via lazy
+deprecation shims that warn once per name and point at the module the
+symbol now lives in.
 
 Package map
 -----------
@@ -23,81 +31,102 @@ Package map
 ``repro.faults``     seeded fault injection + resilience reporting
 ``repro.core``       the Table II usage-model API
 ``repro.campaign``   durable, resumable multi-scenario DSE campaigns
+``repro.obs``        metrics registry, run-scoped spans, profiling
+``repro.api``        the single-entry :func:`evaluate` facade
 """
 
+import importlib
+import warnings
+
+from repro import obs
+from repro.api import FIDELITIES, EvaluationReport, evaluate
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
 from repro.core.chrysalis import Chrysalis
-from repro.campaign import (
-    CampaignReport,
-    CampaignRunner,
-    CampaignSpec,
-    ResultStore,
-    RunKey,
-    run_campaign,
-)
 from repro.core.result import AuTSolution
 from repro.core.scenarios import SCENARIOS, Scenario, scenario_by_name
 from repro.design import AuTDesign, EnergyDesign, InferenceDesign
 from repro.energy.environment import LightEnvironment
-from repro.explore.nsga2 import ParetoExplorer
 from repro.explore.objectives import Objective, ObjectiveKind
 from repro.explore.space import DesignSpace
-from repro.explore.sweeps import grid_sweep, sweep
-from repro.faults import (
-    FaultConfig,
-    FaultInjector,
-    ResilienceReport,
-    run_faults_sweep,
-)
-from repro.serialize import (
-    design_from_json,
-    design_to_json,
-    solution_from_dict,
-    solution_from_json,
-    solution_to_dict,
-    solution_to_json,
-)
-from repro.sim.evaluator import ChrysalisEvaluator, EvaluationMode
-from repro.sim.mix import WorkloadMix, early_exit_mix
+from repro.faults import FaultConfig, run_faults_sweep
+from repro.sim.evaluator import ChrysalisEvaluator
 from repro.workloads import zoo
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: The blessed public surface (tests/test_public_api.py snapshots it).
 __all__ = [
     "AuTDesign",
     "AuTSolution",
-    "CampaignReport",
-    "CampaignRunner",
     "CampaignSpec",
     "Chrysalis",
     "ChrysalisEvaluator",
     "DesignSpace",
     "EnergyDesign",
-    "EvaluationMode",
+    "EvaluationReport",
+    "FIDELITIES",
     "FaultConfig",
-    "FaultInjector",
     "InferenceDesign",
     "LightEnvironment",
     "Objective",
     "ObjectiveKind",
-    "ParetoExplorer",
-    "ResilienceReport",
     "ResultStore",
-    "RunKey",
     "SCENARIOS",
     "Scenario",
-    "WorkloadMix",
     "__version__",
-    "design_from_json",
-    "design_to_json",
-    "early_exit_mix",
-    "grid_sweep",
+    "evaluate",
+    "obs",
     "run_campaign",
     "run_faults_sweep",
     "scenario_by_name",
-    "solution_from_dict",
-    "solution_from_json",
-    "solution_to_dict",
-    "solution_to_json",
-    "sweep",
     "zoo",
 ]
+
+# -- deprecation shims (PEP 562) ----------------------------------------------
+#
+# Names demoted from the top level in the API curation.  Each still
+# resolves — lazily — but emits one DeprecationWarning per process
+# naming its canonical home.
+
+_DEPRECATED = {
+    "CampaignReport": ("repro.campaign", "CampaignReport"),
+    "CampaignRunner": ("repro.campaign", "CampaignRunner"),
+    "RunKey": ("repro.campaign", "RunKey"),
+    "EvaluationMode": ("repro.sim.evaluator", "EvaluationMode"),
+    "FaultInjector": ("repro.faults", "FaultInjector"),
+    "ResilienceReport": ("repro.faults", "ResilienceReport"),
+    "ParetoExplorer": ("repro.explore.nsga2", "ParetoExplorer"),
+    "WorkloadMix": ("repro.sim.mix", "WorkloadMix"),
+    "early_exit_mix": ("repro.sim.mix", "early_exit_mix"),
+    "grid_sweep": ("repro.explore.sweeps", "grid_sweep"),
+    "sweep": ("repro.explore.sweeps", "sweep"),
+    "design_from_json": ("repro.serialize", "design_from_json"),
+    "design_to_json": ("repro.serialize", "design_to_json"),
+    "solution_from_dict": ("repro.serialize", "solution_from_dict"),
+    "solution_from_json": ("repro.serialize", "solution_from_json"),
+    "solution_to_dict": ("repro.serialize", "solution_to_dict"),
+    "solution_to_json": ("repro.serialize", "solution_to_json"),
+}
+
+_warned = set()
+
+
+def __getattr__(name):
+    try:
+        module_name, attribute = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    if name not in _warned:
+        _warned.add(name)
+        warnings.warn(
+            f"repro.{name} is deprecated; import it from "
+            f"{module_name} instead",
+            DeprecationWarning, stacklevel=2)
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache: warn and resolve only once
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_DEPRECATED))

@@ -1,0 +1,212 @@
+"""The single-entry evaluation API.
+
+Historically, pricing one design meant choosing between three entry
+points with three calling conventions: :class:`AnalyticalModel`
+(one environment, closed form), :class:`StepSimulator` (hand-built
+controllers), and :class:`ChrysalisEvaluator` (network-level, but mode
+flags and per-call overrides grew organically).  :func:`evaluate` is the
+one front door::
+
+    from repro import evaluate
+
+    report = evaluate(design, "har_cnn", fidelity="step")
+    print(report.metrics.e2e_latency)
+
+It resolves workloads by name, scenarios into environment sets, runs
+either fidelity through the exact same code paths the old entry points
+used (results are bit-identical to calling them directly), and returns
+an :class:`EvaluationReport` carrying the averaged metrics, the
+per-environment breakdown, the raw simulation results (step fidelity),
+and — when requested with ``obs=True`` — a self-contained observability
+snapshot of the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Union
+
+from repro.core.scenarios import Scenario, scenario_by_name
+from repro.design import AuTDesign
+from repro.energy.environment import LightEnvironment
+from repro.errors import ConfigurationError
+from repro.hardware.checkpoint import CheckpointModel
+from repro.obs import state as obs_state
+from repro.sim.engine import SimulationResult
+from repro.sim.evaluator import ChrysalisEvaluator, _average_metrics
+from repro.sim.metrics import InferenceMetrics
+from repro.workloads import zoo
+from repro.workloads.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.faults.injector import FaultInjector
+
+#: The two evaluation fidelities: the step-based simulator (faithful;
+#: default) and the closed-form analytical model (fast; what the search
+#: inner loop uses).
+FIDELITIES = ("step", "analytical")
+
+
+@dataclass
+class EvaluationReport:
+    """Everything one :func:`evaluate` call produced."""
+
+    #: The evaluated design (exactly the object passed in).
+    design: AuTDesign
+    #: Resolved workload name.
+    workload: str
+    #: ``"step"`` or ``"analytical"``.
+    fidelity: str
+    #: Metrics averaged over the environments (the paper's protocol:
+    #: any infeasible environment makes the whole report infeasible,
+    #: and these metrics are then that environment's marker metrics).
+    metrics: InferenceMetrics
+    #: Per-environment metrics, in evaluation order.  On an infeasible
+    #: design this holds the environments evaluated up to and including
+    #: the infeasible one.
+    by_environment: Dict[str, InferenceMetrics] = field(default_factory=dict)
+    #: Step fidelity only: the full per-environment simulation results
+    #: (trace, controllers, fast-path counters); ``None`` otherwise.
+    simulations: Optional[Dict[str, SimulationResult]] = None
+    #: Observability snapshot of this evaluation (``obs=True`` or an
+    #: enclosing enabled scope); ``None`` otherwise.
+    obs: Optional[Dict[str, Any]] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.metrics.feasible
+
+
+def _resolve_workload(workload: Union[str, Network]) -> Network:
+    if isinstance(workload, str):
+        return zoo.workload_by_name(workload)
+    return workload
+
+
+def _resolve_environments(
+    scenario: Optional[Union[str, Scenario]],
+    environments: Optional[Sequence[LightEnvironment]],
+) -> tuple:
+    if environments is not None:
+        if scenario is not None:
+            raise ConfigurationError(
+                "pass either scenario or environments, not both")
+        return tuple(environments)
+    if scenario is not None:
+        if isinstance(scenario, str):
+            scenario = scenario_by_name(scenario)
+        return tuple(scenario.environments)
+    return tuple(LightEnvironment.paper_environments())
+
+
+def evaluate(design: AuTDesign,
+             workload: Union[str, Network],
+             scenario: Optional[Union[str, Scenario]] = None,
+             *,
+             fidelity: str = "step",
+             environments: Optional[Sequence[LightEnvironment]] = None,
+             fast_forward: bool = True,
+             faults: Optional["FaultInjector"] = None,
+             obs: bool = False,
+             checkpoint: Optional[CheckpointModel] = None,
+             steps_per_tile: int = 16,
+             max_steps: Optional[int] = None,
+             time_budget_s: Optional[float] = None) -> EvaluationReport:
+    """Price one design on one workload — the unified entry point.
+
+    Parameters
+    ----------
+    design:
+        The :class:`AuTDesign` to evaluate.
+    workload:
+        A :class:`~repro.workloads.network.Network` or a zoo name
+        (``"har_cnn"``, ``"kws_dscnn"``, ...).
+    scenario:
+        Optional SWaP :class:`~repro.core.scenarios.Scenario` (or its
+        name); supplies the lighting environments.  Mutually exclusive
+        with ``environments``; with neither, the paper's
+        brighter/darker pair is used.
+    fidelity:
+        ``"step"`` (default) runs the step-based intermittent simulator;
+        ``"analytical"`` the closed-form Eqs. 1-9 model.  Results are
+        bit-identical to the underlying engines called directly.
+    fast_forward:
+        Step fidelity: enable the cycle-skipping fast path (pass
+        ``False`` for a complete per-step event trace).
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector`; a fresh
+        copy is taken per simulated environment, so repeated calls see
+        identical fault sequences.  Step fidelity only.
+    obs:
+        ``True`` records the evaluation into an isolated observability
+        scope and attaches its snapshot as ``report.obs`` (enabling
+        observability for the duration of the call if it was off).
+    checkpoint, steps_per_tile, max_steps, time_budget_s:
+        Forwarded to the underlying evaluator unchanged.
+    """
+    if fidelity not in FIDELITIES:
+        raise ConfigurationError(
+            f"fidelity must be one of {FIDELITIES}, got {fidelity!r}")
+    network = _resolve_workload(workload)
+    envs = _resolve_environments(scenario, environments)
+    evaluator = ChrysalisEvaluator(
+        network, envs,
+        checkpoint=checkpoint,
+        steps_per_tile=steps_per_tile,
+        faults=faults,
+        max_steps=max_steps,
+        time_budget_s=time_budget_s,
+        fast_forward=fast_forward,
+    )
+
+    def _run() -> EvaluationReport:
+        by_env: Dict[str, InferenceMetrics] = {}
+        simulations: Optional[Dict[str, SimulationResult]] = (
+            {} if fidelity == "step" else None)
+        average: Optional[InferenceMetrics] = None
+        for environment in envs:
+            if fidelity == "step":
+                result = evaluator.simulate(design, environment)
+                simulations[environment.name] = result
+                metrics = result.metrics
+            else:
+                metrics = evaluator.evaluate(design, environment)
+            by_env[environment.name] = metrics
+            if not metrics.feasible:
+                # The paper's protocol: one failing environment fails
+                # the design, and its marker metrics are the verdict.
+                average = metrics
+                break
+        if average is None:
+            average = _average_metrics(list(by_env.values()))
+        return EvaluationReport(
+            design=design,
+            workload=network.name,
+            fidelity=fidelity,
+            metrics=average,
+            by_environment=by_env,
+            simulations=simulations,
+        )
+
+    enabled_here = False
+    if obs and not obs_state.OBS.enabled:
+        obs_state.enable(profile=True)
+        enabled_here = True
+    try:
+        if obs_state.OBS.enabled:
+            with obs_state.run_scope("api.evaluate", workload=network.name,
+                                     fidelity=fidelity) as scope:
+                report = _run()
+            report.obs = scope.snapshot()
+        else:
+            report = _run()
+    finally:
+        if enabled_here:
+            # Leave no trace: the caller never turned observability on,
+            # so drop the residue the scope merged into the globals.
+            obs_state.disable()
+            obs_state.reset()
+    return report
+
+
+__all__ = ["FIDELITIES", "EvaluationReport", "evaluate"]

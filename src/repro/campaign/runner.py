@@ -45,6 +45,7 @@ from repro.core.result import AuTSolution
 from repro.errors import ChrysalisError
 from repro.explore.bilevel import SearchResult
 from repro.explore.ga import GAConfig
+from repro.obs.state import OBS, run_scope
 from repro.serialize import solution_to_dict
 from repro.workloads import zoo
 
@@ -171,17 +172,29 @@ class CampaignRunner:
     def _run_one(self, key: RunKey) -> RunOutcome:
         self.store.mark_running(key)
         started = time.monotonic()
-        try:
-            solution, result = self._execute_run(key)
-        except ChrysalisError as error:
+        # Each run records into its own observability scope (a no-op
+        # when observability is off): the scope's snapshot is the per-run
+        # blob the store persists, while the enclosing campaign scope
+        # keeps aggregating everything on scope exit.
+        with run_scope("campaign.run", run=key.run_hash[:12],
+                       workload=key.workload) as scope:
+            try:
+                solution, result = self._execute_run(key)
+            except ChrysalisError as error:
+                solution = None
+                failure = error
+            else:
+                failure = None
+        obs_blob = scope.snapshot() if OBS.enabled else None
+        if failure is not None:
             wall = time.monotonic() - started
             logger.warning("campaign %s: run %s failed: %s",
-                           self.spec.name, key.describe(), error)
+                           self.spec.name, key.describe(), failure)
             self.store.record_failure(
-                key, error=f"{type(error).__name__}: {error}",
-                wall_seconds=wall, campaign=self.spec.name)
+                key, error=f"{type(failure).__name__}: {failure}",
+                wall_seconds=wall, campaign=self.spec.name, obs=obs_blob)
             outcome = RunOutcome(key=key, status="failed",
-                                 error=f"{type(error).__name__}: {error}",
+                                 error=f"{type(failure).__name__}: {failure}",
                                  wall_seconds=wall)
         else:
             wall = time.monotonic() - started
@@ -200,6 +213,7 @@ class CampaignRunner:
                            for record in result.failures]),
                 wall_seconds=wall,
                 campaign=self.spec.name,
+                obs=obs_blob,
             )
             outcome = RunOutcome(key=key, status=STATUS_DONE,
                                  score=solution.score, wall_seconds=wall)

@@ -30,7 +30,7 @@ from repro.campaign.spec import RunKey
 from repro.errors import StoreError
 from repro.explore.pareto import ParetoPoint, pareto_front
 
-_SCHEMA_VERSION = 1
+_SCHEMA_VERSION = 2
 
 #: Run lifecycle states.  ``running`` rows belong to a live runner — or
 #: to one that crashed mid-run, which is why resume treats them as
@@ -66,7 +66,8 @@ CREATE TABLE IF NOT EXISTS runs (
     error         TEXT,
     wall_seconds  REAL,
     attempts      INTEGER NOT NULL DEFAULT 0,
-    updated_at    REAL NOT NULL
+    updated_at    REAL NOT NULL,
+    obs_json      TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_runs_campaign ON runs (campaign, status);
 """
@@ -90,6 +91,9 @@ class StoredRun:
     wall_seconds: Optional[float] = None
     attempts: int = 0
     updated_at: float = 0.0
+    #: Per-run observability snapshot (``repro.obs`` format), present
+    #: when the run executed with observability on.
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def scenario_label(self) -> str:
@@ -141,6 +145,15 @@ class ResultStore:
                 self._conn.execute(
                     "INSERT INTO campaign_meta (key, value) VALUES (?, ?)",
                     ("schema_version", str(_SCHEMA_VERSION)))
+            elif int(row["value"]) == 1:
+                # v1 -> v2: the per-run observability blob.  Purely
+                # additive, so old stores migrate in place; the table in
+                # ``_SCHEMA`` already includes the column for new files.
+                self._conn.execute(
+                    "ALTER TABLE runs ADD COLUMN obs_json TEXT")
+                self._conn.execute(
+                    "UPDATE campaign_meta SET value=? "
+                    "WHERE key='schema_version'", (str(_SCHEMA_VERSION),))
             elif int(row["value"]) != _SCHEMA_VERSION:
                 raise StoreError(
                     f"campaign store {self.path!r} has schema version "
@@ -207,7 +220,8 @@ class ResultStore:
                        stats: Optional[Dict[str, Any]] = None,
                        failures: Optional[List[Dict[str, Any]]] = None,
                        wall_seconds: float = 0.0,
-                       campaign: str = "") -> None:
+                       campaign: str = "",
+                       obs: Optional[Dict[str, Any]] = None) -> None:
         """Upsert a finished run (idempotent; works without register)."""
         self._upsert(key, campaign=campaign, status=STATUS_DONE,
                      score=score, panel_cm2=panel_cm2, latency_s=latency_s,
@@ -215,29 +229,34 @@ class ResultStore:
                      stats_json=None if stats is None else json.dumps(stats),
                      failures_json=(None if failures is None
                                     else json.dumps(failures)),
-                     error=None, wall_seconds=wall_seconds)
+                     error=None, wall_seconds=wall_seconds,
+                     obs_json=None if obs is None else json.dumps(obs))
 
     def record_failure(self, key: RunKey, error: str,
                        failures: Optional[List[Dict[str, Any]]] = None,
                        wall_seconds: float = 0.0,
-                       campaign: str = "") -> None:
+                       campaign: str = "",
+                       obs: Optional[Dict[str, Any]] = None) -> None:
         """Upsert a failed run; the campaign continues past it."""
         self._upsert(key, campaign=campaign, status=STATUS_FAILED,
                      score=None, panel_cm2=None, latency_s=None,
                      solution_json=None, stats_json=None,
                      failures_json=(None if failures is None
                                     else json.dumps(failures)),
-                     error=str(error), wall_seconds=wall_seconds)
+                     error=str(error), wall_seconds=wall_seconds,
+                     obs_json=None if obs is None else json.dumps(obs))
 
     def _upsert(self, key: RunKey, *, campaign: str, status: str,
                 score, panel_cm2, latency_s, solution_json, stats_json,
-                failures_json, error, wall_seconds) -> None:
+                failures_json, error, wall_seconds, obs_json=None) -> None:
         self._execute(
             "INSERT INTO runs (run_hash, campaign, workload, setup, "
             "environment, objective, seed, spec_json, status, score, "
             "panel_cm2, latency_s, solution_json, stats_json, "
-            "failures_json, error, wall_seconds, attempts, updated_at) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 1, ?) "
+            "failures_json, error, wall_seconds, attempts, updated_at, "
+            "obs_json) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 1, "
+            "?, ?) "
             "ON CONFLICT(run_hash) DO UPDATE SET "
             "status=excluded.status, score=excluded.score, "
             "panel_cm2=excluded.panel_cm2, latency_s=excluded.latency_s, "
@@ -245,12 +264,12 @@ class ResultStore:
             "stats_json=excluded.stats_json, "
             "failures_json=excluded.failures_json, error=excluded.error, "
             "wall_seconds=excluded.wall_seconds, "
-            "updated_at=excluded.updated_at",
+            "updated_at=excluded.updated_at, obs_json=excluded.obs_json",
             (key.run_hash, campaign, key.workload, key.setup,
              key.environment, key.objective.label(), key.seed,
              json.dumps(key.as_dict(), sort_keys=True), status, score,
              panel_cm2, latency_s, solution_json, stats_json, failures_json,
-             error, wall_seconds, time.time()))
+             error, wall_seconds, time.time(), obs_json))
 
     # -- queries -------------------------------------------------------------
 
@@ -347,4 +366,5 @@ class ResultStore:
             wall_seconds=row["wall_seconds"],
             attempts=row["attempts"],
             updated_at=row["updated_at"],
+            obs=_loads(row["obs_json"]),
         )

@@ -20,6 +20,14 @@ Commands
     against a SQLite result store (resumable — re-invoking skips
     completed runs), show completion counts, and rebuild the winners /
     Pareto-front report purely from the store.
+``obs report``
+    Render an observability snapshot — either a ``--obs-output`` JSON
+    file or the per-run blobs persisted in a campaign store.
+
+``search``, ``simulate``, and ``campaign run`` all accept ``--obs``
+(record spans/metrics/profiling and print the report afterwards) and
+``--obs-output PATH`` (also write the raw snapshot as JSON, the input
+format of ``obs report``).
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ import argparse
 import json
 import pathlib
 import sys
+import warnings
 from typing import List, Optional
 
 from repro.campaign import (
@@ -36,6 +45,7 @@ from repro.campaign import (
     CampaignSpec,
     ResultStore,
 )
+from repro.api import evaluate as api_evaluate
 from repro.campaign.store import STATUS_DONE, STATUS_FAILED
 from repro.core.chrysalis import Chrysalis
 from repro.core.describer import describe_design
@@ -47,12 +57,18 @@ from repro.explore.mapper_search import MappingOptimizer
 from repro.explore.objectives import Objective
 from repro.faults import FaultConfig, run_faults_sweep
 from repro.hardware.accelerators import AcceleratorFamily
+from repro.obs import (
+    merge_snapshots,
+    render_report,
+    to_csv,
+    to_json,
+)
+from repro.obs import state as obs_state
 from repro.serialize import (
     design_from_json,
     design_to_json,
     solution_to_json,
 )
-from repro.sim.evaluator import ChrysalisEvaluator
 from repro.sim.report import render_faults_sweep
 from repro.workloads import zoo
 
@@ -62,6 +78,63 @@ _ENVIRONMENTS = {
     "darker": LightEnvironment.darker,
     "indoor": LightEnvironment.indoor,
 }
+
+
+class _DeprecatedAlias(argparse.Action):
+    """``store`` that warns (once per alias) on deprecated spellings."""
+
+    def __init__(self, *args, deprecated_aliases=(), preferred=None,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        self._deprecated = frozenset(deprecated_aliases)
+        self._preferred = preferred
+
+    _announced = set()  # (prog, option) pairs already printed to stderr
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        if option_string in self._deprecated:
+            message = (f"{option_string} is deprecated; "
+                       f"use {self._preferred}")
+            # The warning is for programmatic callers (tests, scripts
+            # driving main()); the default filters hide it on a normal
+            # CLI invocation, so also say it once on stderr.
+            warnings.warn(message, DeprecationWarning, stacklevel=2)
+            key = (parser.prog, option_string)
+            if key not in self._announced:
+                self._announced.add(key)
+                print(f"warning: {message}", file=sys.stderr)
+        setattr(namespace, self.dest, values)
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--obs", action="store_true",
+                   help="record spans/metrics/profiling and print the "
+                        "observability report afterwards")
+    p.add_argument("--obs-output", default=None, metavar="PATH",
+                   help="also write the raw observability snapshot as "
+                        "JSON (implies --obs; input of 'obs report')")
+
+
+def _obs_begin(args: argparse.Namespace) -> bool:
+    wanted = bool(getattr(args, "obs", False)
+                  or getattr(args, "obs_output", None))
+    if wanted:
+        obs_state.enable(profile=True)
+    return wanted
+
+
+def _obs_finish(args: argparse.Namespace,
+                snapshot: Optional[dict] = None) -> None:
+    if snapshot is None:
+        snapshot = obs_state.snapshot()
+    obs_state.disable()
+    print()
+    print("-- observability " + "-" * 28)
+    print(render_report(snapshot))
+    if getattr(args, "obs_output", None):
+        path = pathlib.Path(args.obs_output)
+        path.write_text(to_json(snapshot))
+        print(f"\nobservability snapshot written to {path}")
 
 
 def _build_objective(args: argparse.Namespace) -> Objective:
@@ -127,6 +200,7 @@ def write_solution_json(solution, path) -> pathlib.Path:
 
 def cmd_search(args: argparse.Namespace) -> int:
     network = zoo.workload_by_name(args.workload)
+    obs_on = _obs_begin(args)
     tool = Chrysalis(
         network,
         setup=args.setup,
@@ -148,6 +222,8 @@ def cmd_search(args: argparse.Namespace) -> int:
         path = pathlib.Path(args.design_output)
         path.write_text(design_to_json(solution.design))
         print(f"design written to {path}")
+    if obs_on:
+        _obs_finish(args)
     return 0
 
 
@@ -162,13 +238,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     network = zoo.workload_by_name(args.workload)
     design = _explicit_design(args, network)
     environment = _ENVIRONMENTS[args.environment]()
-    evaluator = ChrysalisEvaluator(network)
-    result = evaluator.simulate(design, environment,
-                                fast_forward=not args.exact)
-    metrics = result.metrics
+    obs_on = _obs_begin(args)
+    # The unified front door (results are bit-identical to driving
+    # ChrysalisEvaluator.simulate directly).
+    report = api_evaluate(design, network, environments=(environment,),
+                          fidelity="step", fast_forward=not args.exact)
+    metrics = report.metrics
     if not metrics.feasible:
         print(f"infeasible: {metrics.infeasible_reason}")
+        if obs_on:
+            _obs_finish(args, report.obs)
         return 1
+    result = report.simulations[environment.name]
     print(f"e2e latency      : {metrics.e2e_latency:.4f} s "
           f"(busy {metrics.busy_time:.4f} s, "
           f"charge {metrics.charge_time:.4f} s)")
@@ -184,6 +265,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
               f"(use --exact for a full per-step trace)")
     print()
     print(result.trace.render(limit=args.trace))
+    if obs_on:
+        _obs_finish(args, report.obs)
     return 0
 
 
@@ -198,6 +281,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 def _campaign_run(args: argparse.Namespace) -> int:
     spec = CampaignSpec.from_path(args.spec)
+    obs_on = _obs_begin(args)
     with ResultStore(args.store) as store:
         runner = CampaignRunner(
             spec, store,
@@ -212,6 +296,8 @@ def _campaign_run(args: argparse.Namespace) -> int:
         progress = runner.run()
     print()
     print(progress.render())
+    if obs_on:
+        _obs_finish(args)
     return 0 if progress.failed == 0 else 1
 
 
@@ -245,6 +331,40 @@ def _campaign_report(args: argparse.Namespace) -> int:
         path = pathlib.Path(args.json)
         path.write_text(json.dumps(report.as_dict(), indent=2))
         print(f"\nreport written to {path}")
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    handlers = {"report": _obs_report}
+    return handlers[args.obs_command](args)
+
+
+def _obs_report(args: argparse.Namespace) -> int:
+    if (args.snapshot is None) == (args.campaign is None):
+        raise ChrysalisError(
+            "pass a snapshot JSON file or --campaign STORE (exactly one)")
+    if args.snapshot is not None:
+        snapshot = json.loads(pathlib.Path(args.snapshot).read_text())
+    else:
+        # Reconstruct purely from the store's per-run blobs — no live
+        # process state involved.
+        with ResultStore(args.campaign) as store:
+            rows = [run for run in store.runs() if run.obs is not None]
+        if args.run:
+            rows = [run for run in rows
+                    if run.key.run_hash.startswith(args.run)]
+        if not rows:
+            print("store holds no observability blobs "
+                  "(run the campaign with --obs)")
+            return 1
+        print(f"reconstructed from {len(rows)} stored run blob(s)")
+        print()
+        snapshot = merge_snapshots(run.obs for run in rows)
+    print(render_report(snapshot, top=args.top))
+    if args.csv:
+        path = pathlib.Path(args.csv)
+        path.write_text(to_csv(snapshot))
+        print(f"\ncsv written to {path}")
     return 0
 
 
@@ -295,13 +415,16 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--workers", type=int, default=1,
                         help="worker processes for genome evaluation "
                              "(1 = serial; N > 1 gives identical results)")
-    search.add_argument("--json", "--output", dest="output", default=None,
-                        metavar="PATH",
+    search.add_argument("--output", "--json", dest="output", default=None,
+                        metavar="PATH", action=_DeprecatedAlias,
+                        deprecated_aliases={"--json"}, preferred="--output",
                         help="write the full solution as JSON "
-                             "(reloadable via repro.serialize)")
+                             "(reloadable via repro.serialize); "
+                             "--json is a deprecated alias")
     search.add_argument("--design-output", default=None,
                         help="write just the design (loadable via "
                              "--design) as JSON")
+    _add_obs_args(search)
 
     def add_design_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("workload")
@@ -335,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--exact", action="store_true",
                           help="disable the cycle-skipping fast path "
                                "(exact per-step simulation, full trace)")
+    _add_obs_args(simulate)
 
     campaign = sub.add_parser(
         "campaign",
@@ -350,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the spec's per-search worker count")
     crun.add_argument("--max-runs", type=int, default=None,
                       help="stop after this many runs (resume later)")
+    _add_obs_args(crun)
 
     cstatus = csub.add_parser(
         "status", help="completion counts of the stored campaigns")
@@ -367,6 +492,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="campaign name (needed only for shared stores)")
     creport.add_argument("--json", default=None, metavar="PATH",
                          help="also write the report as JSON")
+
+    obs = sub.add_parser(
+        "obs", help="observability reports (see docs/OBSERVABILITY.md)")
+    osub = obs.add_subparsers(dest="obs_command", required=True)
+    oreport = osub.add_parser(
+        "report",
+        help="render a snapshot file or a campaign store's obs blobs")
+    oreport.add_argument("snapshot", nargs="?", default=None,
+                         help="snapshot JSON written by --obs-output")
+    oreport.add_argument("--campaign", default=None, metavar="STORE",
+                         help="reconstruct from this campaign store's "
+                              "per-run blobs instead")
+    oreport.add_argument("--run", default=None, metavar="HASH",
+                         help="restrict --campaign mode to one run "
+                              "(hash prefix)")
+    oreport.add_argument("--top", type=int, default=10,
+                         help="hottest phases to list")
+    oreport.add_argument("--csv", default=None, metavar="PATH",
+                         help="also write the aggregated CSV")
 
     faults = sub.add_parser(
         "faults-sweep",
@@ -399,6 +543,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "describe": cmd_describe,
         "simulate": cmd_simulate,
         "campaign": cmd_campaign,
+        "obs": cmd_obs,
         "faults-sweep": cmd_faults_sweep,
     }
     try:

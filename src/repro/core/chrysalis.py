@@ -113,6 +113,23 @@ class Chrysalis:
         return AuTSolution.from_search(result, self.network,
                                        objective_label=self.objective.value_label())
 
+    def evaluate(self, design, *, fidelity: str = "step", **options):
+        """Price one explicit design under this tool's configuration.
+
+        A thin pass-through to :func:`repro.api.evaluate` that fills in
+        the tool's workload, environments (scenario-derived when one was
+        given), and checkpoint model, so a design pulled out of
+        :meth:`generate` or :meth:`pareto` can be re-priced — at either
+        fidelity — without re-stating the setup.  Keyword ``options``
+        forward unchanged (``fast_forward``, ``faults``, ``obs``, ...).
+        """
+        from repro.api import evaluate as _evaluate
+
+        if self.environments is not None:
+            options.setdefault("environments", self.environments)
+        options.setdefault("checkpoint", self.checkpoint)
+        return _evaluate(design, self.network, fidelity=fidelity, **options)
+
     def pareto(self):
         """The (panel area, sustained latency) Pareto front of the space.
 

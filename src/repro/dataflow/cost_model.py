@@ -26,6 +26,7 @@ simulator cross-checks.
 from __future__ import annotations
 
 import math
+import time as _time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -35,6 +36,7 @@ from repro.dataflow.tiling import halo_extent
 from repro.errors import ConfigurationError, MappingError
 from repro.hardware.accelerators import AcceleratorConfig
 from repro.hardware.checkpoint import CheckpointModel
+from repro.obs.state import OBS
 from repro.workloads.layers import Layer, LayerKind
 
 #: Fraction of each PE cache reserved for the resident operand; the rest
@@ -237,6 +239,8 @@ class DataflowCostModel:
         deterministic, so two raw mappings that clamp to the same
         effective mapping simply occupy two entries with equal values.
         """
+        if OBS.profile:
+            return self._layer_cost_profiled(layer, mapping)
         cache = _LAYER_COST_CACHE
         if not cache.enabled:
             return self._layer_cost_uncached(layer, mapping.clamped(layer))
@@ -249,6 +253,39 @@ class DataflowCostModel:
         cost = self._layer_cost_uncached(layer, mapping.clamped(layer))
         self._cache_map[key] = cost
         cache.note_insert()
+        return cost
+
+    def _layer_cost_profiled(self, layer: Layer,
+                             mapping: LayerMapping) -> LayerCost:
+        """The profiling twin of :meth:`layer_cost`.
+
+        Same logic, plus a latency histogram per outcome — cache hit,
+        cache miss, or cache-disabled — so the report can show the
+        hit/miss latency split.  Kept out of the default path: the hit
+        path is microseconds and two ``perf_counter`` calls would be a
+        measurable tax.
+        """
+        registry = OBS.registry
+        cache = _LAYER_COST_CACHE
+        start = _time.perf_counter()
+        if not cache.enabled:
+            cost = self._layer_cost_uncached(layer, mapping.clamped(layer))
+            registry.histogram("cost.layer_cost.uncached_seconds").observe(
+                _time.perf_counter() - start)
+            return cost
+        key = (layer, mapping)
+        cost = self._cache_map.get(key)
+        if cost is not None:
+            cache.hits += 1
+            registry.histogram("cost.layer_cost.hit_seconds").observe(
+                _time.perf_counter() - start)
+            return cost
+        cache.misses += 1
+        cost = self._layer_cost_uncached(layer, mapping.clamped(layer))
+        self._cache_map[key] = cost
+        cache.note_insert()
+        registry.histogram("cost.layer_cost.miss_seconds").observe(
+            _time.perf_counter() - start)
         return cost
 
     def _layer_cost_uncached(self, layer: Layer,

@@ -27,6 +27,7 @@ from repro.energy.capacitor import Capacitor
 from repro.energy.harvester import Harvester
 from repro.energy.pmic import PowerManagementIC
 from repro.errors import ConfigurationError
+from repro.obs.state import OBS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.faults.injector import FaultInjector
@@ -115,6 +116,8 @@ class EnergyController:
                 f"load_power must be non-negative, got {load_power}"
             )
         capacitor, pmic, faults = self.capacitor, self.pmic, self.faults
+        if OBS.enabled:
+            OBS.registry.counter("energy.controller.steps").inc()
         while True:
             harvested_power = self.harvester.power_at(self.time)
             if faults is not None:
@@ -143,6 +146,9 @@ class EnergyController:
                     self.state = PowerState.OFF
                     dt -= t_off
                     load_power = 0.0
+                    if OBS.enabled:
+                        OBS.registry.counter(
+                            "energy.controller.off_splits").inc()
                     continue
 
             self._advance(dt, harvested_power, charge_power, drain_power,
@@ -202,6 +208,8 @@ class EnergyController:
         """
         if self.rail_on():
             return 0.0
+        if OBS.enabled:
+            OBS.registry.counter("energy.controller.charge_fastforwards").inc()
         if self.faults is not None and self.faults.perturbs_charging:
             return self._fast_forward_windowed(max_wait)
         harvested_power = self.harvester.power_at(self.time)
@@ -228,7 +236,10 @@ class EnergyController:
         state behind — callers treat ``inf`` as terminal anyway.
         """
         faults, waited = self.faults, 0.0
+        obs_on = OBS.enabled
         for _ in range(self.MAX_CHARGE_WINDOWS):
+            if obs_on:
+                OBS.registry.counter("energy.controller.charge_windows").inc()
             if waited >= max_wait:
                 return math.inf
             self.capacitor.k_cap = faults.k_cap_at(self.time,

@@ -41,6 +41,7 @@ from repro.explore.pareto import ParetoPoint
 from repro.explore.space import DesignSpace, Genome
 from repro.explore.stats import GenomeOutcome, SearchStats
 from repro.hardware.checkpoint import CheckpointModel
+from repro.obs.state import merge_snapshot, span
 from repro.sim.evaluator import ChrysalisEvaluator
 from repro.sim.metrics import InferenceMetrics
 from repro.workloads.network import Network
@@ -154,6 +155,10 @@ class BilevelExplorer:
         cache warming) is returned as data for :meth:`apply_outcome` to
         replay in deterministic order.
         """
+        with span("search.genome"):
+            return self._compute_outcome(genome)
+
+    def _compute_outcome(self, genome: Genome) -> GenomeOutcome:
         started = time.monotonic()
         layer_hits0, layer_misses0 = layer_cost_cache_stats()
         mapper_hits0, mapper_misses0 = self._mapper_hits, self._mapper_misses
@@ -208,6 +213,10 @@ class BilevelExplorer:
 
     def apply_outcome(self, genome: Genome, outcome: GenomeOutcome) -> float:
         """Fold one evaluation's side effects back into the search."""
+        if outcome.obs is not None:
+            # Merge-on-return: graft the worker's spans under the
+            # currently-open span (ga.generation) and add its metrics.
+            merge_snapshot(outcome.obs)
         self.stats.hw_evaluations += 1
         self.stats.eval_seconds += outcome.eval_seconds
         self.stats.mapper_hits += outcome.mapper_hits
@@ -296,6 +305,11 @@ class BilevelExplorer:
         self.stats = SearchStats(workers=self.ga_config.workers)
 
     def run(self) -> SearchResult:
+        with span("search.run", network=self.network.name,
+                  objective=self.objective.kind.value):
+            return self._run_search()
+
+    def _run_search(self) -> SearchResult:
         self._reset_run_state()
         run_started = time.monotonic()
         batch_evaluator = None
@@ -349,11 +363,12 @@ class BilevelExplorer:
             self.network.name, self.objective.kind.value, best_score,
             algorithm.history.evaluations, design.describe(),
         )
-        metrics_by_env = {
-            env.name: self.evaluator.evaluate(design, env)
-            for env in self.environments
-        }
-        average = self.evaluator.evaluate_average(design)
+        with span("search.final_pricing"):
+            metrics_by_env = {
+                env.name: self.evaluator.evaluate(design, env)
+                for env in self.environments
+            }
+            average = self.evaluator.evaluate_average(design)
         self.stats.search_seconds = time.monotonic() - run_started
         return SearchResult(
             design=design,

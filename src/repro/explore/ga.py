@@ -22,6 +22,7 @@ from typing import Callable, List, Optional, Protocol, Tuple
 from repro.errors import ChrysalisError, ConfigurationError, SearchError
 from repro.explore.failures import FailureLog, describe_genome
 from repro.explore.space import DesignSpace, Genome
+from repro.obs.state import span
 
 Fitness = Callable[[Genome], float]
 
@@ -135,16 +136,22 @@ class GeneticAlgorithm:
         Raises :class:`SearchError` if every evaluated genome scored
         infinity (nothing in the space is feasible).
         """
+        with span("ga.run"):
+            return self._run()
+
+    def _run(self) -> Tuple[Genome, float]:
         cfg = self.config
         initial = [dict(seed) for seed in self.seeds[:cfg.population_size]]
         while len(initial) < cfg.population_size:
             initial.append(self.space.sample(self.rng))
-        population = self._evaluate_batch(initial)
+        with span("ga.generation", gen=0):
+            population = self._evaluate_batch(initial)
         best = min(population, key=lambda e: e.fitness)
         self._record(population)
 
-        for _ in range(cfg.generations - 1):
-            population = self._next_generation(population)
+        for gen in range(1, cfg.generations):
+            with span("ga.generation", gen=gen):
+                population = self._next_generation(population)
             generation_best = min(population, key=lambda e: e.fitness)
             if generation_best.fitness < best.fitness:
                 best = generation_best

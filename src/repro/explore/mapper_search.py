@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import logging
 import math
+import time as _time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.dataflow.directives import DataflowStyle
@@ -33,6 +34,7 @@ from repro.design import AuTDesign, EnergyDesign, InferenceDesign
 from repro.energy.environment import LightEnvironment
 from repro.errors import MappingError
 from repro.hardware.checkpoint import CheckpointModel
+from repro.obs.state import OBS, span
 from repro.sim.analytical import AnalyticalModel
 from repro.workloads.layers import Layer
 from repro.workloads.network import Network
@@ -62,6 +64,21 @@ class MappingOptimizer:
                  inference: InferenceDesign
                  ) -> Optional[Tuple[LayerMapping, ...]]:
         """Best mapping per layer, or ``None`` if any layer is unmappable."""
+        if not OBS.enabled:
+            return self._optimize(energy, inference)
+        start = _time.perf_counter() if OBS.profile else 0.0
+        with span("mapper.optimize"):
+            mappings = self._optimize(energy, inference)
+        if OBS.profile:
+            OBS.registry.histogram("mapper.optimize_seconds").observe(
+                _time.perf_counter() - start)
+        if mappings is None:
+            OBS.registry.counter("mapper.unmappable").inc()
+        return mappings
+
+    def _optimize(self, energy: EnergyDesign,
+                  inference: InferenceDesign
+                  ) -> Optional[Tuple[LayerMapping, ...]]:
         models = self._models(energy, inference)
         mappings: List[LayerMapping] = []
         for layer in self.network:

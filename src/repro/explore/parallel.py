@@ -42,6 +42,7 @@ from repro.explore.objectives import Objective
 from repro.explore.space import DesignSpace, Genome
 from repro.explore.stats import GenomeOutcome
 from repro.hardware.checkpoint import CheckpointModel
+from repro.obs import state as obs_state
 from repro.workloads.network import Network
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -60,6 +61,10 @@ class WorkerSpec:
     environments: Tuple[LightEnvironment, ...]
     checkpoint: Optional[CheckpointModel]
     candidate_time_budget_s: Optional[float]
+    #: Mirror of the parent's observability switches at pool creation,
+    #: so workers record (and ship back) the same telemetry.
+    obs_enabled: bool = False
+    obs_profile: bool = False
 
     @classmethod
     def from_explorer(cls, explorer: "BilevelExplorer") -> "WorkerSpec":
@@ -70,6 +75,8 @@ class WorkerSpec:
             environments=tuple(explorer.environments),
             checkpoint=explorer.checkpoint,
             candidate_time_budget_s=explorer.candidate_time_budget_s,
+            obs_enabled=obs_state.OBS.enabled,
+            obs_profile=obs_state.OBS.profile,
         )
 
     def build(self) -> "BilevelExplorer":
@@ -92,11 +99,22 @@ _WORKER: Optional["BilevelExplorer"] = None
 def _init_worker(spec: WorkerSpec) -> None:
     global _WORKER
     _WORKER = spec.build()
+    if spec.obs_enabled:
+        obs_state.enable(profile=spec.obs_profile)
 
 
 def _compute_outcome(genome: Genome) -> GenomeOutcome:
     assert _WORKER is not None, "worker pool was not initialized"
-    return _WORKER.compute_outcome(genome)
+    if not obs_state.OBS.enabled:
+        return _WORKER.compute_outcome(genome)
+    # Merge-on-return: record this task into a fresh scope, ship the
+    # snapshot with the result, and drop the worker-local copy (the
+    # parent process owns aggregation).
+    with obs_state.run_scope() as scope:
+        outcome = _WORKER.compute_outcome(genome)
+    outcome.obs = scope.snapshot()
+    obs_state.reset()
+    return outcome
 
 
 class ParallelGenomeEvaluator:

@@ -19,7 +19,7 @@ bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.design import AuTDesign
 from repro.explore.failures import FailureRecord
@@ -127,3 +127,8 @@ class GenomeOutcome:
     layer_cost_hits: int = 0
     layer_cost_misses: int = 0
     design_cache_hits: int = 0
+    #: Observability snapshot of the evaluation when it ran in a worker
+    #: process with observability on (``None`` otherwise, so the common
+    #: disabled path adds no pickle weight).  The parent merges it via
+    #: :func:`repro.obs.state.merge_snapshot`.
+    obs: Optional[Dict[str, Any]] = None

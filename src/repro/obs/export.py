@@ -1,0 +1,219 @@
+"""Exporters for observability snapshots: JSON, CSV, and the report.
+
+A *snapshot* is the dict :func:`repro.obs.state.snapshot` (or
+:meth:`RunScope.snapshot`) returns — self-contained and JSON-ready, the
+same blob the campaign store persists per run.  This module turns
+snapshots into:
+
+* **JSON** (:func:`to_json`) — lossless round-trip format;
+* **CSV** (:func:`to_csv`) — flat ``section,name,field,value`` rows for
+  spreadsheets (span rows are aggregated per tree path);
+* **report** (:func:`render_report`) — the human view ``repro obs
+  report`` prints: the span tree aggregated by name at each level, the
+  top-N hottest phases by self-time, and the metrics tables.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.spans import SpanNode
+
+
+# -- JSON ---------------------------------------------------------------------
+
+
+def to_json(snapshot: Dict[str, Any], indent: int = 2) -> str:
+    return json.dumps(snapshot, indent=indent, sort_keys=True) + "\n"
+
+
+def merge_snapshots(snapshots) -> Dict[str, Any]:
+    """Fold many snapshots into one (e.g. a campaign store's run blobs).
+
+    Metrics aggregate with the registry's merge semantics; every
+    snapshot's span roots become roots of the combined forest.  The
+    result is a regular snapshot, so every exporter accepts it.
+    """
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.spans import SpanRecorder
+    from repro.obs.state import SNAPSHOT_VERSION
+
+    registry = MetricsRegistry()
+    recorder = SpanRecorder()
+    profile = False
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        profile = profile or bool(snapshot.get("profile"))
+        registry.merge(snapshot.get("metrics"))
+        recorder.merge(snapshot.get("spans"))
+    return {
+        "version": SNAPSHOT_VERSION,
+        "profile": profile,
+        "metrics": registry.as_dict(),
+        "spans": recorder.as_dict(),
+    }
+
+
+# -- span aggregation ---------------------------------------------------------
+
+
+class PhaseAggregate:
+    """All spans sharing one name-path, merged."""
+
+    __slots__ = ("name", "path", "count", "total", "self_time", "errors",
+                 "children")
+
+    def __init__(self, name: str, path: str) -> None:
+        self.name = name
+        self.path = path
+        self.count = 0
+        self.total = 0.0
+        self.self_time = 0.0
+        self.errors = 0
+        self.children: Dict[str, "PhaseAggregate"] = {}
+
+    def add(self, node: SpanNode) -> None:
+        self.count += 1
+        self.total += node.duration
+        self.self_time += node.self_time()
+        if node.error is not None:
+            self.errors += 1
+        for child in node.children:
+            aggregate = self.children.get(child.name)
+            if aggregate is None:
+                aggregate = self.children[child.name] = PhaseAggregate(
+                    child.name, f"{self.path}/{child.name}")
+            aggregate.add(child)
+
+    def walk(self):
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+
+def aggregate_spans(snapshot: Dict[str, Any]) -> List[PhaseAggregate]:
+    """The snapshot's span forest, aggregated by name at every level."""
+    roots: Dict[str, PhaseAggregate] = {}
+    for data in snapshot.get("spans", {}).get("roots", ()):
+        node = SpanNode.from_dict(data)
+        aggregate = roots.get(node.name)
+        if aggregate is None:
+            aggregate = roots[node.name] = PhaseAggregate(node.name, node.name)
+        aggregate.add(node)
+    return list(roots.values())
+
+
+def hottest_phases(snapshot: Dict[str, Any],
+                   top: int = 10) -> List[PhaseAggregate]:
+    """Top-``top`` aggregated phases by self-time, hottest first.
+
+    Self-times partition each root span's duration exactly (modulo
+    clock granularity), so summing the full list reproduces the
+    measured wall-clock of the roots.
+    """
+    phases = [aggregate
+              for root in aggregate_spans(snapshot)
+              for aggregate in root.walk()]
+    phases.sort(key=lambda phase: phase.self_time, reverse=True)
+    return phases[:top] if top else phases
+
+
+# -- CSV ----------------------------------------------------------------------
+
+
+def to_csv(snapshot: Dict[str, Any]) -> str:
+    """Flat ``section,name,field,value`` rows (spans pre-aggregated)."""
+    out = io.StringIO()
+    out.write("section,name,field,value\n")
+
+    def row(section: str, name: str, field: str, value: Any) -> None:
+        out.write(f"{section},{name},{field},{value}\n")
+
+    metrics = snapshot.get("metrics", {})
+    for name, value in metrics.get("counters", {}).items():
+        row("counter", name, "value", value)
+    for name, value in metrics.get("gauges", {}).items():
+        row("gauge", name, "value", value)
+    for name, data in metrics.get("histograms", {}).items():
+        for field in ("count", "sum", "min", "max"):
+            row("histogram", name, field, data.get(field))
+    for root in aggregate_spans(snapshot):
+        for phase in root.walk():
+            row("span", phase.path, "count", phase.count)
+            row("span", phase.path, "total_seconds", f"{phase.total:.6f}")
+            row("span", phase.path, "self_seconds", f"{phase.self_time:.6f}")
+            if phase.errors:
+                row("span", phase.path, "errors", phase.errors)
+    return out.getvalue()
+
+
+# -- the report ---------------------------------------------------------------
+
+
+def _render_phase(phase: PhaseAggregate, lines: List[str],
+                  depth: int) -> None:
+    label = "  " * depth + phase.name
+    errors = f"  [{phase.errors} error(s)]" if phase.errors else ""
+    lines.append(f"  {label:<44} x{phase.count:<6} "
+                 f"{phase.total:9.3f}s  (self {phase.self_time:.3f}s)"
+                 f"{errors}")
+    for child in sorted(phase.children.values(),
+                        key=lambda c: c.total, reverse=True):
+        _render_phase(child, lines, depth + 1)
+
+
+def render_report(snapshot: Optional[Dict[str, Any]], top: int = 10) -> str:
+    """The ``repro obs report`` body for one snapshot."""
+    if not snapshot:
+        return "no observability data (was the run executed with --obs?)"
+    spans = snapshot.get("spans", {})
+    roots = aggregate_spans(snapshot)
+    wall = sum(root.total for root in roots)
+    lines = [
+        f"spans       : {spans.get('count', 0)} recorded, "
+        f"{spans.get('dropped', 0)} dropped, "
+        f"{len(roots)} root phase(s), {wall:.3f}s total",
+    ]
+    if roots:
+        lines.append("")
+        lines.append("span tree (aggregated by phase):")
+        for root in sorted(roots, key=lambda r: r.total, reverse=True):
+            _render_phase(root, lines, 0)
+        lines.append("")
+        lines.append(f"hottest phases (top {top} by self-time):")
+        covered = 0.0
+        for phase in hottest_phases(snapshot, top=top):
+            share = phase.self_time / wall if wall > 0 else 0.0
+            covered += phase.self_time
+            lines.append(f"  {phase.path:<52} {phase.self_time:9.3f}s "
+                         f"{share:6.1%}")
+        share = covered / wall if wall > 0 else 0.0
+        lines.append(f"  {'(coverage of measured wall-clock)':<52} "
+                     f"{covered:9.3f}s {share:6.1%}")
+
+    metrics = snapshot.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in counters.items():
+            rendered = (f"{value:.6f}".rstrip("0").rstrip(".")
+                        if isinstance(value, float) else str(value))
+            lines.append(f"  {name:<52} {rendered}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("histograms:")
+        lines.append(f"  {'name':<44} {'count':>8} {'mean':>12} "
+                     f"{'min':>12} {'max':>12}")
+        for name, data in histograms.items():
+            count = data.get("count", 0)
+            mean = (data.get("sum", 0.0) / count) if count else 0.0
+            lines.append(
+                f"  {name:<44} {count:>8} {mean:>12.3e} "
+                f"{data.get('min') or 0.0:>12.3e} "
+                f"{data.get('max') or 0.0:>12.3e}")
+    return "\n".join(lines)

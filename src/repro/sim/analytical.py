@@ -25,6 +25,7 @@ from repro.dataflow.mapping import LayerMapping
 from repro.design import AuTDesign
 from repro.energy.environment import LightEnvironment
 from repro.hardware.checkpoint import CheckpointModel
+from repro.obs.state import OBS, span
 from repro.sim.metrics import EnergyBreakdown, InferenceMetrics
 from repro.workloads.layers import Layer
 from repro.workloads.network import Network
@@ -84,10 +85,11 @@ class AnalyticalModel:
 
     def plan(self) -> List[LayerCost]:
         """Per-layer costs for the design's mappings, in network order."""
-        return [
-            self.layer_cost(layer, mapping)
-            for layer, mapping in zip(self.network, self.design.mappings)
-        ]
+        with span("cost.plan"):
+            return [
+                self.layer_cost(layer, mapping)
+                for layer, mapping in zip(self.network, self.design.mappings)
+            ]
 
     def tile_feasible(self, cost: LayerCost) -> bool:
         """Eq. 8: one tile must fit one energy cycle (incl. its harvest)."""
@@ -149,6 +151,12 @@ class AnalyticalModel:
 
     def evaluate(self) -> InferenceMetrics:
         """Price the design end-to-end; marks infeasible designs."""
+        if not OBS.enabled:
+            return self._evaluate()
+        with span("analytical.evaluate"):
+            return self._evaluate()
+
+    def _evaluate(self) -> InferenceMetrics:
         if self.net_charge_power <= 0.0:
             return InferenceMetrics.infeasible(
                 "leakage and PMIC losses consume the entire harvest"

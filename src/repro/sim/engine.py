@@ -45,6 +45,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.energy.controller import EnergyController
 from repro.errors import EvaluationTimeout, SimulationError
+from repro.obs.state import OBS, span
 from repro.sim.intermittent import InferenceController
 from repro.sim.metrics import InferenceMetrics
 from repro.sim.trace import EventKind, Trace
@@ -76,6 +77,25 @@ class _RunState:
     last_fail_retained: float = -1.0
     cycles_skipped: int = 0
     fast_segments: int = 0
+
+
+class _PhaseProfile:
+    """Per-phase wall-clock accumulators of one profiled run.
+
+    Only allocated when observability runs with profiling on; the
+    default path never touches this class.  ``checkpoint_s`` includes
+    the controller steps the checkpoint commit issues internally, so
+    the two phases overlap by design (each answers its own question:
+    "how long do controller steps take" vs "what does checkpointing
+    cost end to end").
+    """
+
+    __slots__ = ("controller_step_s", "charge_ff_s", "checkpoint_s")
+
+    def __init__(self) -> None:
+        self.controller_step_s = 0.0
+        self.charge_ff_s = 0.0
+        self.checkpoint_s = 0.0
 
 
 #: Relative tolerance used when matching the float deltas of two
@@ -405,8 +425,34 @@ class StepSimulator:
         if they had been stepped, so budget semantics do not depend on
         whether the fast path engaged.
         """
-        energy, inference, trace = self.energy, self.inference, self.trace
+        if not OBS.enabled:
+            return self._run(None)
+        prof = _PhaseProfile() if OBS.profile else None
+        with span("sim.run"):
+            return self._run(prof)
+
+    def _run(self, prof: Optional[_PhaseProfile]) -> SimulationResult:
         st = _RunState()
+        try:
+            return self._run_loop(st, prof)
+        finally:
+            if OBS.enabled:
+                registry = OBS.registry
+                registry.counter("sim.runs").inc()
+                registry.counter("sim.steps").inc(st.steps)
+                registry.counter("sim.fast_cycles_skipped").inc(
+                    st.cycles_skipped)
+                if prof is not None:
+                    registry.counter("sim.controller_step_seconds").inc(
+                        prof.controller_step_s)
+                    registry.counter("sim.charge_fastforward_seconds").inc(
+                        prof.charge_ff_s)
+                    registry.counter("sim.checkpoint_seconds").inc(
+                        prof.checkpoint_s)
+
+    def _run_loop(self, st: _RunState,
+                  prof: Optional[_PhaseProfile]) -> SimulationResult:
+        energy, inference, trace = self.energy, self.inference, self.trace
         deadline = (None if self.time_budget_s is None
                     else _time.monotonic() + self.time_budget_s)
         observer = (_CycleObserver(self, st) if self._fast_path_allowed()
@@ -430,7 +476,12 @@ class StepSimulator:
                     f"{self.time_budget_s:.3g} s"
                 )
             if not energy.rail_on():
-                wait = energy.fast_forward_to_on(self.max_charge_wait)
+                if prof is None:
+                    wait = energy.fast_forward_to_on(self.max_charge_wait)
+                else:
+                    t0 = _time.perf_counter()
+                    wait = energy.fast_forward_to_on(self.max_charge_wait)
+                    prof.charge_ff_s += _time.perf_counter() - t0
                 if math.isinf(wait):
                     return self._infeasible(
                         "harvester cannot charge the capacitor to U_on "
@@ -456,7 +507,12 @@ class StepSimulator:
             # crossing, so its delivered-energy delta is the true rail
             # output even when the cycle dies mid-step.
             delivered_before = energy.accounting.delivered
-            energy.step(dt, power)
+            if prof is None:
+                energy.step(dt, power)
+            else:
+                t0 = _time.perf_counter()
+                energy.step(dt, power)
+                prof.controller_step_s += _time.perf_counter() - t0
             st.busy_time += dt
             delivered = energy.accounting.delivered - delivered_before
             completed = inference.deliver(delivered) if delivered > 0 else []
@@ -466,7 +522,12 @@ class StepSimulator:
                 st.last_fail_retained = -1.0
                 trace.record(energy.time, EventKind.TILE_COMPLETED,
                              layer=layer_name, tile=tile_idx)
-                self._charge_boundary_checkpoint()
+                if prof is None:
+                    self._charge_boundary_checkpoint()
+                else:
+                    t0 = _time.perf_counter()
+                    self._charge_boundary_checkpoint()
+                    prof.checkpoint_s += _time.perf_counter() - t0
 
             if not energy.rail_on() and not inference.finished:
                 # Mid-tile power failure.
@@ -603,6 +664,8 @@ class StepSimulator:
         )
 
     def _infeasible(self, reason: str, st: _RunState) -> SimulationResult:
+        if OBS.enabled:
+            OBS.registry.counter("sim.infeasible").inc()
         # Partial-progress clocks are folded into the marker metrics so
         # callers can see how far the design got before giving up.
         metrics = InferenceMetrics.infeasible(

@@ -21,6 +21,7 @@ from repro.energy.environment import LightEnvironment
 from repro.energy.harvester import SolarHarvester
 from repro.errors import ConfigurationError
 from repro.hardware.checkpoint import CheckpointModel
+from repro.obs.state import span
 from repro.sim.analytical import AnalyticalModel
 from repro.sim.engine import SimulationResult, StepSimulator
 from repro.sim.intermittent import InferenceController
@@ -131,13 +132,14 @@ class ChrysalisEvaluator:
         Any infeasible environment makes the whole design infeasible —
         the paper requires the system "to run in both environments".
         """
-        results = []
-        for environment in self.environments:
-            metrics = self.evaluate(design, environment)
-            if not metrics.feasible:
-                return metrics
-            results.append(metrics)
-        return _average_metrics(results)
+        with span("eval.average", mode=self.mode.value):
+            results = []
+            for environment in self.environments:
+                metrics = self.evaluate(design, environment)
+                if not metrics.feasible:
+                    return metrics
+                results.append(metrics)
+            return _average_metrics(results)
 
     # -- internals ------------------------------------------------------------------
 

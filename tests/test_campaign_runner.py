@@ -172,3 +172,39 @@ class TestDeterminism:
                 CampaignRunner(spec, store).run()
                 scores.append(store.runs(status=STATUS_DONE)[0].score)
         assert scores[0] == scores[1]
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def obs_off(self):
+        from repro.obs import state as obs_state
+        obs_state.disable()
+        obs_state.reset()
+        yield
+        obs_state.disable()
+        obs_state.reset()
+
+    def test_runs_persist_obs_blobs_when_enabled(self, store, solved):
+        from repro.obs import state as obs_state
+        obs_state.enable()
+        StubRunner(make_spec(seeds=(0, 1)), store, solved=solved).run()
+        rows = store.runs(status=STATUS_DONE)
+        assert len(rows) == 2
+        for row in rows:
+            roots = row.obs["spans"]["roots"]
+            assert [r["name"] for r in roots] == ["campaign.run"]
+            assert roots[0]["tags"]["run"] == row.key.run_hash[:12]
+
+    def test_failed_runs_carry_blobs_too(self, store, solved):
+        from repro.obs import state as obs_state
+        obs_state.enable()
+        spec = make_spec(seeds=(0,))
+        doomed = spec.expand()[0].run_hash
+        StubRunner(spec, store, solved=solved, fail_hashes=(doomed,)).run()
+        row = store.get(doomed)
+        assert row.status == STATUS_FAILED
+        assert row.obs["spans"]["roots"][0]["name"] == "campaign.run"
+
+    def test_disabled_runs_store_no_blob(self, store, solved):
+        StubRunner(make_spec(seeds=(0,)), store, solved=solved).run()
+        assert store.runs(status=STATUS_DONE)[0].obs is None

@@ -200,3 +200,49 @@ class TestParetoSlices:
     def test_failed_runs_contribute_nothing(self, store):
         store.record_failure(make_key(), error="boom", campaign="camp")
         assert store.pareto_points("camp") == []
+
+
+class TestObsBlobs:
+    def test_success_blob_round_trips(self, store):
+        blob = {"version": 1, "profile": True,
+                "metrics": {"counters": {"sim.steps": 42.0}},
+                "spans": {"count": 1, "dropped": 0,
+                          "roots": [{"name": "campaign.run",
+                                     "duration": 0.5}]}}
+        store.record_success(make_key(), score=1.0, panel_cm2=4.0,
+                             latency_s=1.0, solution=SOLUTION,
+                             campaign="camp", obs=blob)
+        row = store.runs()[0]
+        assert row.obs == blob
+
+    def test_failure_blob_round_trips(self, store):
+        blob = {"version": 1, "metrics": {}, "spans": {"roots": []}}
+        store.record_failure(make_key(), error="boom", campaign="camp",
+                             obs=blob)
+        assert store.runs()[0].obs == blob
+
+    def test_blob_defaults_to_none(self, store):
+        store.record_success(make_key(), score=1.0, panel_cm2=4.0,
+                             latency_s=1.0, solution=SOLUTION,
+                             campaign="camp")
+        assert store.runs()[0].obs is None
+
+    def test_v1_store_migrates_in_place(self, tmp_path):
+        # Rebuild a pre-obs (v1) store: no obs_json column, version 1.
+        path = tmp_path / "old.sqlite"
+        ResultStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("ALTER TABLE runs DROP COLUMN obs_json")
+        conn.execute("UPDATE campaign_meta SET value='1' "
+                     "WHERE key='schema_version'")
+        conn.commit()
+        conn.close()
+        with ResultStore(path) as store:  # reopening migrates
+            row = store._conn.execute(
+                "SELECT value FROM campaign_meta "
+                "WHERE key='schema_version'").fetchone()
+            assert row[0] == "2"
+            store.record_success(make_key(), score=1.0, panel_cm2=4.0,
+                                 latency_s=1.0, solution=SOLUTION,
+                                 campaign="camp", obs={"version": 1})
+            assert store.runs()[0].obs == {"version": 1}

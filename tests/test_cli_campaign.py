@@ -97,3 +97,58 @@ class TestSearchJson:
         solution = solution_from_json(path.read_text())
         assert solution.design.mappings  # fully rehydrated
         assert solution.average_metrics.feasible
+
+
+class TestObsCli:
+    @pytest.fixture(autouse=True)
+    def obs_off(self):
+        from repro.obs import state as obs_state
+        obs_state.disable()
+        obs_state.reset()
+        yield
+        obs_state.disable()
+        obs_state.reset()
+
+    def test_campaign_obs_roundtrip_through_store(self, spec_path, tmp_path,
+                                                  capsys):
+        store = tmp_path / "camp.sqlite"
+        assert main(["campaign", "run", str(spec_path),
+                     "--store", str(store), "--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "-- observability" in out
+        assert "campaign.run" in out and "search.run" in out
+
+        # The report reconstructs purely from the store's per-run blobs.
+        assert main(["obs", "report", "--campaign", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "reconstructed from 2 stored run blob(s)" in out
+        assert "campaign.run                                 x2" in out
+        assert "ga.run" in out and "search.genome" in out
+
+    def test_obs_report_without_blobs_fails(self, spec_path, tmp_path,
+                                            capsys):
+        store = tmp_path / "camp.sqlite"
+        assert main(["campaign", "run", str(spec_path),
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", "--campaign", str(store)]) == 1
+        assert "no observability blobs" in capsys.readouterr().out
+
+    def test_simulate_obs_snapshot_feeds_obs_report(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        csv = tmp_path / "snap.csv"
+        assert main(["simulate", "har", "--panel", "6", "--cap", "330",
+                     "--obs-output", str(snap)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(snap),
+                     "--csv", str(csv)]) == 0
+        out = capsys.readouterr().out
+        assert "sim.run" in out
+        assert "energy.controller.steps" in out
+        assert csv.read_text().startswith("section,name,field,value")
+        payload = json.loads(snap.read_text())
+        assert payload["spans"]["roots"][0]["name"] == "api.evaluate"
+
+    def test_obs_report_rejects_ambiguous_inputs(self, capsys):
+        assert main(["obs", "report"]) == 2
+        assert "exactly one" in capsys.readouterr().err

@@ -1,0 +1,329 @@
+"""Tests for the unified observability layer (repro.obs).
+
+Covers the three pillars — the bounded-memory metrics registry, the
+run-scoped span trees with worker merge-on-return, and the exporters —
+plus the contract the instrumentation hangs on: the disabled path is a
+no-op that allocates nothing on the hot loops.
+"""
+
+import json
+import math
+import tracemalloc
+
+import pytest
+
+from repro.energy.capacitor import Capacitor
+from repro.energy.controller import EnergyController
+from repro.energy.environment import LightEnvironment
+from repro.energy.harvester import SolarHarvester
+from repro.energy.pmic import PowerManagementIC
+from repro.energy.solar_panel import SolarPanel
+from repro.errors import ConfigurationError
+from repro.obs import (
+    NOOP_SPAN,
+    Histogram,
+    MetricsRegistry,
+    SpanRecorder,
+    aggregate_spans,
+    hottest_phases,
+    merge_snapshots,
+    render_report,
+    to_csv,
+    to_json,
+    validate_metric_name,
+)
+from repro.obs import state as obs_state
+from repro.sim.evaluator import ChrysalisEvaluator
+from repro.units import uF
+
+
+@pytest.fixture(autouse=True)
+def obs_off():
+    """Every test starts — and leaves the process — disabled and empty."""
+    obs_state.disable()
+    obs_state.reset()
+    yield
+    obs_state.disable()
+    obs_state.reset()
+
+
+# -- metrics registry ---------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_accumulates_and_interns(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("sim.steps")
+        counter.inc()
+        counter.inc(2.5)
+        assert registry.counter("sim.steps") is counter
+        assert counter.value == 3.5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("cache.size").set(10)
+        registry.gauge("cache.size").set(3)
+        assert registry.gauge("cache.size").value == 3
+
+    def test_histogram_exact_aggregates(self):
+        histogram = Histogram("x")
+        for value in (0.5, 2.0, 1024.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(1026.5)
+        assert histogram.min == 0.5
+        assert histogram.max == 1024.0
+        assert histogram.mean == pytest.approx(1026.5 / 3)
+        assert sum(histogram.buckets.values()) == histogram.count
+
+    def test_histogram_memory_is_bounded(self):
+        histogram = Histogram("x")
+        for exponent in range(-200, 201):  # far beyond the clamp range
+            histogram.observe(2.0 ** exponent)
+        histogram.observe(0.0)
+        histogram.observe(-1.0)
+        limit = Histogram.MAX_BUCKET - Histogram.MIN_BUCKET + 3
+        assert len(histogram.buckets) <= limit
+        # Clamping never loses observations or exactness.
+        assert sum(histogram.buckets.values()) == histogram.count == 403
+        assert histogram.min == -1.0
+        assert histogram.max == 2.0 ** 200
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.gauge("g").set(7)
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(4.0)
+        a.merge(b.as_dict())
+        merged = a.as_dict()
+        assert merged["counters"]["c"] == 5
+        assert merged["gauges"]["g"] == 7
+        assert merged["histograms"]["h"]["count"] == 2
+        assert merged["histograms"]["h"]["max"] == 4.0
+
+    def test_empty_histogram_serializes_without_infinities(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        data = registry.as_dict()["histograms"]["h"]
+        assert data["min"] is None and data["max"] is None
+        json.dumps(data)  # must be JSON-clean
+
+    def test_name_validation(self):
+        assert validate_metric_name("sim.controller_step_seconds")
+        for bad in ("", "Sim.steps", "sim..steps", "sim steps"):
+            with pytest.raises(ConfigurationError):
+                validate_metric_name(bad)
+
+
+# -- spans --------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_disabled_span_is_the_shared_noop(self):
+        assert obs_state.span("anything") is NOOP_SPAN
+        with obs_state.span("anything", tag=1):
+            pass
+        assert obs_state.OBS.recorder.count == 0
+
+    def test_nesting_builds_a_tree(self):
+        obs_state.enable()
+        with obs_state.span("outer"):
+            with obs_state.span("inner", gen=3):
+                pass
+            with obs_state.span("inner"):
+                pass
+        recorder = obs_state.OBS.recorder
+        assert len(recorder.roots) == 1
+        root = recorder.roots[0]
+        assert root.name == "outer"
+        assert [child.name for child in root.children] == ["inner", "inner"]
+        assert root.children[0].tags == {"gen": 3}
+        assert root.duration >= sum(c.duration for c in root.children) >= 0
+
+    def test_exception_tags_the_span_and_propagates(self):
+        obs_state.enable()
+        with pytest.raises(ValueError):
+            with obs_state.span("boom"):
+                raise ValueError("no")
+        assert obs_state.OBS.recorder.roots[0].error == "ValueError"
+
+    def test_cap_counts_instead_of_allocating(self):
+        recorder = SpanRecorder(max_spans=2)
+        for _ in range(5):
+            recorder.finish(recorder.start("s"))
+        assert recorder.count == 5
+        assert recorder.dropped == 3
+        assert len(recorder.roots) == 2
+
+    def test_merge_grafts_under_open_span(self):
+        worker = SpanRecorder()
+        worker.finish(worker.start("child"))
+        parent = SpanRecorder()
+        node = parent.start("parent")
+        parent.merge(worker.as_dict())
+        parent.finish(node)
+        assert [c.name for c in parent.roots[0].children] == ["child"]
+        assert parent.count == 2
+
+
+# -- run scoping --------------------------------------------------------------
+
+
+class TestRunScope:
+    def test_isolates_then_merges_up(self):
+        obs_state.enable()
+        obs_state.OBS.registry.counter("outer.c").inc()
+        with obs_state.span("outer"):
+            with obs_state.run_scope("run", run="r1") as scope:
+                obs_state.OBS.registry.counter("inner.c").inc(2)
+                # Inside the scope the parent's data is not visible.
+                assert obs_state.OBS.registry.as_dict()["counters"] == {
+                    "inner.c": 2.0}
+        blob = scope.snapshot()
+        assert blob["metrics"]["counters"] == {"inner.c": 2.0}
+        assert blob["spans"]["roots"][0]["name"] == "run"
+        assert blob["spans"]["roots"][0]["tags"] == {"run": "r1"}
+        # ... and on exit everything merged back into the parent scope.
+        merged = obs_state.snapshot()
+        assert merged["metrics"]["counters"] == {"outer.c": 1.0,
+                                                 "inner.c": 2.0}
+        outer = obs_state.OBS.recorder.roots[0]
+        assert [c.name for c in outer.children] == ["run"]
+
+    def test_disabled_scope_is_a_noop(self):
+        with obs_state.run_scope("run") as scope:
+            pass
+        assert scope.data is None
+        assert not obs_state.is_enabled()
+
+    def test_merge_snapshot_roundtrip(self):
+        obs_state.enable()
+        with obs_state.run_scope("worker.task") as scope:
+            obs_state.OBS.registry.counter("w.c").inc()
+        payload = scope.snapshot()
+        obs_state.reset()
+        obs_state.merge_snapshot(payload)
+        snap = obs_state.snapshot()
+        assert snap["metrics"]["counters"]["w.c"] == 1.0
+        assert snap["spans"]["roots"][0]["name"] == "worker.task"
+
+
+# -- exporters ----------------------------------------------------------------
+
+
+def _sample_snapshot():
+    obs_state.enable()
+    with obs_state.span("root"):
+        with obs_state.span("leaf"):
+            pass
+        with obs_state.span("leaf"):
+            pass
+    obs_state.OBS.registry.counter("c.total").inc(4)
+    obs_state.OBS.registry.histogram("h.seconds").observe(0.25)
+    snap = obs_state.snapshot()
+    obs_state.disable()
+    obs_state.reset()
+    return snap
+
+
+class TestExport:
+    def test_aggregate_and_hottest_cover_wall_clock(self):
+        snap = _sample_snapshot()
+        roots = aggregate_spans(snap)
+        assert [r.name for r in roots] == ["root"]
+        assert roots[0].count == 1
+        assert roots[0].children["leaf"].count == 2
+        phases = hottest_phases(snap, top=0)
+        wall = sum(r.total for r in roots)
+        assert sum(p.self_time for p in phases) == pytest.approx(wall)
+
+    def test_csv_rows(self):
+        rows = to_csv(_sample_snapshot()).splitlines()
+        assert rows[0] == "section,name,field,value"
+        assert any(r.startswith("counter,c.total,value,4") for r in rows)
+        assert any(r.startswith("span,root/leaf,count,2") for r in rows)
+
+    def test_json_roundtrip(self):
+        snap = _sample_snapshot()
+        assert json.loads(to_json(snap)) == snap
+
+    def test_render_report(self):
+        text = render_report(_sample_snapshot())
+        assert "span tree" in text and "root" in text and "leaf" in text
+        assert "c.total" in text and "h.seconds" in text
+        assert "coverage of measured wall-clock" in text
+        assert render_report(None).startswith("no observability data")
+
+    def test_merge_snapshots(self):
+        one, two = _sample_snapshot(), _sample_snapshot()
+        merged = merge_snapshots([one, two, None])
+        assert merged["metrics"]["counters"]["c.total"] == 8.0
+        assert len(merged["spans"]["roots"]) == 2
+        assert merged["spans"]["count"] == 6
+
+
+# -- instrumentation ----------------------------------------------------------
+
+
+def _simulate(har_network, msp_design, brighter):
+    return ChrysalisEvaluator(har_network).simulate(msp_design, brighter)
+
+
+class TestInstrumentation:
+    def test_simulation_records_spans_and_counters(
+            self, har_network, msp_design, brighter):
+        obs_state.enable()
+        result = _simulate(har_network, msp_design, brighter)
+        snap = obs_state.snapshot()
+        counters = snap["metrics"]["counters"]
+        assert counters["sim.runs"] == 1
+        assert counters["sim.steps"] > 0
+        assert counters["energy.controller.steps"] >= counters["sim.steps"]
+        assert any(r["name"] == "sim.run" for r in snap["spans"]["roots"])
+        # Profiling hooks: phase seconds land as counters.
+        assert counters["sim.controller_step_seconds"] > 0
+        assert result.metrics.feasible
+
+    def test_disabled_run_records_nothing(
+            self, har_network, msp_design, brighter):
+        _simulate(har_network, msp_design, brighter)
+        assert len(obs_state.OBS.registry) == 0
+        assert obs_state.OBS.recorder.count == 0
+
+    def test_enabled_does_not_change_results(
+            self, har_network, msp_design, brighter):
+        baseline = _simulate(har_network, msp_design, brighter)
+        obs_state.enable()
+        observed = _simulate(har_network, msp_design, brighter)
+        assert observed.metrics == baseline.metrics
+
+    def test_disabled_controller_loop_allocates_nothing(self):
+        """The hot loop must not retain memory when observability is off."""
+        controller = EnergyController(
+            harvester=SolarHarvester(SolarPanel(area_cm2=8.0),
+                                     LightEnvironment.brighter()),
+            capacitor=Capacitor(capacitance=uF(470), rated_voltage=5.0,
+                                voltage=3.5),
+            pmic=PowerManagementIC(),
+        )
+
+        def hot_loop(n):
+            for _ in range(n):
+                controller.step(1e-4, 1e-3)
+
+        hot_loop(200)  # warm every lazy path first
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        hot_loop(2000)
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        retained = sum(stat.size_diff
+                       for stat in after.compare_to(before, "filename")
+                       if "controller.py" in (stat.traceback[0].filename
+                                              if stat.traceback else "")
+                       or "obs" in (stat.traceback[0].filename
+                                    if stat.traceback else ""))
+        assert retained < 1024, f"hot loop retained {retained} bytes"
+        assert not math.isinf(controller.time)

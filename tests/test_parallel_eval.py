@@ -160,3 +160,50 @@ class TestRunStateReset:
         assert second.stats.hw_evaluations == first.stats.hw_evaluations
         assert second.score == first.score
         assert second.design == first.design
+
+
+class TestObservabilityPropagation:
+    """Worker spans/metrics must merge on return, bit-identically."""
+
+    @pytest.fixture(autouse=True)
+    def obs_off(self):
+        from repro.obs import state as obs_state
+        obs_state.disable()
+        obs_state.reset()
+        yield
+        obs_state.disable()
+        obs_state.reset()
+
+    @staticmethod
+    def span_counts(snapshot):
+        from collections import Counter
+
+        counts = Counter()
+
+        def walk(node):
+            counts[node["name"]] += 1
+            for child in node.get("children", ()):
+                walk(child)
+
+        for root in snapshot["spans"]["roots"]:
+            walk(root)
+        return counts
+
+    def test_parallel_spans_match_serial(self):
+        from repro.obs import state as obs_state
+
+        obs_state.enable()
+        make_explorer(workers=1).run()
+        serial = obs_state.snapshot()
+        obs_state.reset()
+        clear_layer_cost_cache()
+        make_explorer(workers=2).run()
+        parallel = obs_state.snapshot()
+
+        # The search is bit-identical serial vs parallel, so the span
+        # forest (grafted back from the workers) must be too.
+        assert self.span_counts(serial) == self.span_counts(parallel)
+        assert serial["spans"]["dropped"] == parallel["spans"]["dropped"] == 0
+        s = serial["metrics"]["counters"]
+        p = parallel["metrics"]["counters"]
+        assert s.get("mapper.unmappable", 0) == p.get("mapper.unmappable", 0)
