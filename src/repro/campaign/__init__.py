@@ -9,12 +9,24 @@ such fleets end to end:
   run persists into (WAL mode, schema-versioned, idempotent upserts);
 * :mod:`~repro.campaign.runner` — the crash-safe, failure-absorbing
   :class:`CampaignRunner` (re-invocation skips completed runs);
+* :mod:`~repro.campaign.fleet` — lease-based multi-worker execution:
+  :class:`CampaignWorker` claim/heartbeat loops and the
+  :class:`FleetCoordinator` that spawns and babysits them (dead
+  workers' runs re-queue within one lease TTL);
 * :mod:`~repro.campaign.report` — :class:`CampaignReport` winners and
   Pareto fronts rebuilt purely from the store.
 
 See ``docs/CAMPAIGNS.md`` and ``python -m repro campaign --help``.
 """
 
+from repro.campaign.fleet import (
+    CampaignWorker,
+    FleetConfig,
+    FleetCoordinator,
+    FleetProgress,
+    WorkerSummary,
+    run_fleet,
+)
 from repro.campaign.report import CampaignReport, ScenarioSummary
 from repro.campaign.runner import (
     CampaignProgress,
@@ -29,19 +41,25 @@ from repro.campaign.spec import (
     expand_grid,
     resolve_environments,
 )
-from repro.campaign.store import ResultStore, StoredRun
+from repro.campaign.store import ResultStore, StoredRun, WorkerStatus
 
 __all__ = [
     "CampaignProgress",
     "CampaignReport",
     "CampaignRunner",
     "CampaignSpec",
+    "CampaignWorker",
+    "FleetConfig",
+    "FleetCoordinator",
+    "FleetProgress",
     "ObjectiveSpec",
     "ResultStore",
     "RunKey",
     "RunOutcome",
     "ScenarioSummary",
     "StoredRun",
+    "WorkerStatus",
+    "WorkerSummary",
     "expand_grid",
     "resolve_environments",
     "run_campaign",

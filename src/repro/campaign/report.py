@@ -16,7 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.campaign.store import STATUS_DONE, ResultStore, StoredRun
+from repro.campaign.store import (
+    STATUS_DONE,
+    STATUS_EXHAUSTED,
+    ResultStore,
+    StoredRun,
+)
 from repro.errors import StoreError
 from repro.explore.pareto import ParetoPoint, pareto_front
 
@@ -30,6 +35,8 @@ class ScenarioSummary:
     done: int
     failed: int
     best: Optional[StoredRun]  # lowest-score finished run, if any
+    #: Runs that burned through ``max_attempts`` and will never retry.
+    exhausted: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
@@ -37,6 +44,7 @@ class ScenarioSummary:
             "runs": self.runs,
             "done": self.done,
             "failed": self.failed,
+            "exhausted": self.exhausted,
         }
         if self.best is not None:
             data["winner"] = {
@@ -94,6 +102,8 @@ class CampaignReport:
                 runs=len(members),
                 done=sum(1 for r in members if r.status == STATUS_DONE),
                 failed=sum(1 for r in members if r.status == "failed"),
+                exhausted=sum(1 for r in members
+                              if r.status == STATUS_EXHAUSTED),
                 best=best,
             ))
         return cls(
@@ -133,6 +143,7 @@ class CampaignReport:
             "",
             f"{done}/{self.total} runs complete "
             f"({self.counts.get('failed', 0)} failed, "
+            f"{self.counts.get(STATUS_EXHAUSTED, 0)} exhausted, "
             f"{self.counts.get('pending', 0) + self.counts.get('running', 0)}"
             " pending)",
             "",

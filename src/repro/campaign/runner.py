@@ -4,9 +4,11 @@ The runner is the crash-safety half of the subsystem.  Its contract:
 
 * **resumable** — ``run()`` expands the spec, registers every run key
   (idempotent), and executes only the runs that are not already
-  ``done``.  Rows left ``running`` by a crashed process are treated as
-  pending again, and ``failed`` rows are retried (their previous error
-  stays in the store's attempt counter).  Re-invoking a finished
+  terminal (``done`` or ``exhausted``).  Rows left ``running`` by a
+  crashed process are treated as pending again, and ``failed`` rows
+  are retried until they burn through the spec's ``max_attempts``, at
+  which point they flip to ``exhausted`` and stay that way (surfaced
+  in ``campaign status`` / ``report``).  Re-invoking a finished
   campaign executes nothing.
 * **failure-absorbing** — one broken run must never kill the campaign:
   any :class:`~repro.errors.ChrysalisError` a search raises (no
@@ -24,6 +26,11 @@ Within each run, evaluation parallelism reuses the existing
 generation-synchronous worker pool (:mod:`repro.explore.parallel`) via
 ``GAConfig.workers`` — results are bit-identical to serial execution,
 which is why the worker count is not part of the run's content hash.
+
+Multi-process execution of *whole runs* lives one level up in
+:mod:`repro.campaign.fleet`, which shares :func:`execute_search` with
+this runner — the fleet's claim/heartbeat protocol changes who runs
+what, never what a run computes.
 """
 
 from __future__ import annotations
@@ -32,11 +39,12 @@ import dataclasses
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.campaign.spec import CampaignSpec, RunKey
 from repro.campaign.store import (
     STATUS_DONE,
+    STATUS_EXHAUSTED,
     ResultStore,
     StoredRun,
 )
@@ -52,12 +60,59 @@ from repro.workloads import zoo
 logger = logging.getLogger(__name__)
 
 
+def execute_search(key: RunKey, workers: int = 1,
+                   ) -> Tuple[AuTSolution, Optional[SearchResult]]:
+    """One full CHRYSALIS search for one run key.
+
+    The single execution path shared by the in-process
+    :class:`CampaignRunner` and the fleet's
+    :class:`~repro.campaign.fleet.CampaignWorker` — which is what makes
+    fleet results bit-identical to single-process results.
+    """
+    network = zoo.workload_by_name(key.workload)
+    tool = Chrysalis(
+        network,
+        setup=key.setup,
+        objective=key.to_objective(),
+        environments=key.resolve_environments(),
+        ga_config=GAConfig(population_size=key.population,
+                           generations=key.generations,
+                           seed=key.seed,
+                           workers=workers),
+        candidate_time_budget_s=key.candidate_time_budget_s,
+    )
+    solution = tool.generate()
+    return solution, tool.last_result
+
+
+def success_payload(solution: AuTSolution,
+                    result: Optional[SearchResult]) -> Dict[str, Any]:
+    """The ``record_success`` keyword payload for a finished search.
+
+    One construction path for every executor (single-process runner and
+    fleet workers), so the persisted ``solution_json`` bytes are
+    identical no matter who ran the search.
+    """
+    metrics = solution.average_metrics
+    latency = metrics.sustained_period or metrics.e2e_latency
+    return {
+        "score": solution.score,
+        "panel_cm2": solution.solar_panel_cm2,
+        "latency_s": latency,
+        "solution": solution_to_dict(solution),
+        "stats": None if result is None else result.stats.as_dict(),
+        "failures": (None if result is None else
+                     [dataclasses.asdict(record)
+                      for record in result.failures]),
+    }
+
+
 @dataclass(frozen=True)
 class RunOutcome:
     """What happened to one executed run of this invocation."""
 
     key: RunKey
-    status: str  # "done" | "failed"
+    status: str  # "done" | "failed" | "exhausted"
     score: Optional[float] = None
     error: Optional[str] = None
     wall_seconds: float = 0.0
@@ -69,7 +124,7 @@ class CampaignProgress:
 
     campaign: str
     total: int = 0
-    skipped: int = 0  # already done before this invocation
+    skipped: int = 0  # already terminal (done/exhausted) before this pass
     executed: List[RunOutcome] = field(default_factory=list)
     remaining: int = 0  # still pending after this invocation (max_runs)
 
@@ -81,13 +136,19 @@ class CampaignProgress:
     def failed(self) -> int:
         return sum(1 for o in self.executed if o.status != STATUS_DONE)
 
+    @property
+    def exhausted(self) -> int:
+        return sum(1 for o in self.executed
+                   if o.status == STATUS_EXHAUSTED)
+
     def render(self) -> str:
         lines = [
             f"campaign    : {self.campaign}",
             f"runs        : {self.total} total, {self.skipped} already "
             f"complete (skipped)",
             f"this pass   : {self.completed} completed, {self.failed} "
-            f"failed, {self.remaining} still pending",
+            f"failed ({self.exhausted} exhausted), {self.remaining} "
+            f"still pending",
         ]
         for outcome in self.executed:
             wall = f"{outcome.wall_seconds:.1f}s"
@@ -95,7 +156,7 @@ class CampaignProgress:
                 lines.append(f"  [done]   {outcome.key.describe()} "
                              f"score={outcome.score:.4g} ({wall})")
             else:
-                lines.append(f"  [failed] {outcome.key.describe()} "
+                lines.append(f"  [{outcome.status}] {outcome.key.describe()} "
                              f"{outcome.error} ({wall})")
         return "\n".join(lines)
 
@@ -117,6 +178,11 @@ class CampaignRunner:
         Execute at most this many runs this invocation, then return
         (the remaining runs stay pending for the next invocation — also
         how the CI smoke job emulates an interrupted campaign).
+    max_attempts:
+        Override of the spec's retry cap.  A run that has failed this
+        many times becomes ``exhausted`` and is never retried again —
+        without it, a deterministic always-failing run would be re-run
+        on every re-invocation forever.
     on_progress:
         Optional callback invoked with each :class:`RunOutcome` as it
         lands, for live CLI output.
@@ -125,27 +191,32 @@ class CampaignRunner:
     def __init__(self, spec: CampaignSpec, store: ResultStore,
                  workers: Optional[int] = None,
                  max_runs: Optional[int] = None,
+                 max_attempts: Optional[int] = None,
                  on_progress: Optional[Callable[[RunOutcome], None]] = None,
                  ) -> None:
         self.spec = spec
         self.store = store
         self.workers = spec.workers if workers is None else workers
         self.max_runs = max_runs
+        self.max_attempts = (spec.max_attempts if max_attempts is None
+                             else max_attempts)
         self.on_progress = on_progress
 
     # -- planning ------------------------------------------------------------
 
     def pending_runs(self) -> List[RunKey]:
-        """Spec runs not yet completed in the store, in grid order.
+        """Spec runs not yet terminal in the store, in grid order.
 
-        Includes never-registered and ``failed`` runs, plus ``running``
-        rows (a live row would belong to *this* runner; a stale one is
-        a crash leftover and must be re-run).
+        Includes never-registered and retryable ``failed`` runs, plus
+        ``running`` rows (a live row would belong to *this* runner; a
+        stale one is a crash leftover and must be re-run).  ``done``
+        and ``exhausted`` rows are skipped.
         """
         pending = []
         for key in self.spec.expand():
             row = self.store.get(key.run_hash)
-            if row is None or row.status != STATUS_DONE:
+            if row is None or row.status not in (STATUS_DONE,
+                                                 STATUS_EXHAUSTED):
                 pending.append(key)
         return pending
 
@@ -157,6 +228,14 @@ class CampaignRunner:
         if created:
             logger.info("campaign %s: registered %d new run(s)",
                         self.spec.name, created)
+        if self.max_attempts is not None:
+            # Rows that burned their attempts in earlier invocations
+            # (possibly under an older release without the cap).
+            spent = self.store.exhaust_spent(self.spec.name,
+                                             self.max_attempts)
+            if spent:
+                logger.info("campaign %s: %d run(s) out of attempts, "
+                            "marked exhausted", self.spec.name, len(spent))
         pending = self.pending_runs()
         progress = CampaignProgress(
             campaign=self.spec.name,
@@ -190,30 +269,21 @@ class CampaignRunner:
             wall = time.monotonic() - started
             logger.warning("campaign %s: run %s failed: %s",
                            self.spec.name, key.describe(), failure)
-            self.store.record_failure(
+            recorded = self.store.record_failure(
                 key, error=f"{type(failure).__name__}: {failure}",
-                wall_seconds=wall, campaign=self.spec.name, obs=obs_blob)
-            outcome = RunOutcome(key=key, status="failed",
+                wall_seconds=wall, campaign=self.spec.name, obs=obs_blob,
+                max_attempts=self.max_attempts)
+            outcome = RunOutcome(key=key, status=recorded or "failed",
                                  error=f"{type(failure).__name__}: {failure}",
                                  wall_seconds=wall)
         else:
             wall = time.monotonic() - started
-            metrics = solution.average_metrics
-            latency = metrics.sustained_period or metrics.e2e_latency
             self.store.record_success(
                 key,
-                score=solution.score,
-                panel_cm2=solution.solar_panel_cm2,
-                latency_s=latency,
-                solution=solution_to_dict(solution),
-                stats=(None if result is None
-                       else result.stats.as_dict()),
-                failures=(None if result is None else
-                          [dataclasses.asdict(record)
-                           for record in result.failures]),
                 wall_seconds=wall,
                 campaign=self.spec.name,
                 obs=obs_blob,
+                **success_payload(solution, result),
             )
             outcome = RunOutcome(key=key, status=STATUS_DONE,
                                  score=solution.score, wall_seconds=wall)
@@ -223,36 +293,26 @@ class CampaignRunner:
 
     def _execute_run(self, key: RunKey
                      ) -> Tuple[AuTSolution, Optional[SearchResult]]:
-        """One full CHRYSALIS search for one run key.
+        """One search via :func:`execute_search`.
 
-        Separated out so tests (and alternative executors) can stub the
-        expensive part while keeping the store/resume protocol intact.
+        Kept as a method so tests (and alternative executors) can stub
+        the expensive part while keeping the store/resume protocol
+        intact.
         """
-        network = zoo.workload_by_name(key.workload)
-        tool = Chrysalis(
-            network,
-            setup=key.setup,
-            objective=key.to_objective(),
-            environments=key.resolve_environments(),
-            ga_config=GAConfig(population_size=key.population,
-                               generations=key.generations,
-                               seed=key.seed,
-                               workers=self.workers),
-            candidate_time_budget_s=key.candidate_time_budget_s,
-        )
-        solution = tool.generate()
-        return solution, tool.last_result
+        return execute_search(key, workers=self.workers)
 
 
 def run_campaign(spec: CampaignSpec, store_path,
                  workers: Optional[int] = None,
                  max_runs: Optional[int] = None,
+                 max_attempts: Optional[int] = None,
                  on_progress: Optional[Callable[[RunOutcome], None]] = None,
                  ) -> CampaignProgress:
     """Convenience wrapper: open the store, run, close."""
     with ResultStore(store_path) as store:
         runner = CampaignRunner(spec, store, workers=workers,
-                                max_runs=max_runs, on_progress=on_progress)
+                                max_runs=max_runs, max_attempts=max_attempts,
+                                on_progress=on_progress)
         return runner.run()
 
 
@@ -261,5 +321,6 @@ __all__ = [
     "CampaignRunner",
     "RunOutcome",
     "StoredRun",
+    "execute_search",
     "run_campaign",
 ]

@@ -249,6 +249,11 @@ class CampaignSpec:
     generations: int = 8
     workers: int = 1
     candidate_time_budget_s: Optional[float] = None
+    #: Execution policy, not run identity: how many times a failing run
+    #: is attempted (by any runner or fleet worker) before it becomes
+    #: ``exhausted``.  Result-neutral — a retry of a deterministic run
+    #: recomputes the same result — so it stays out of the run hash.
+    max_attempts: int = 3
 
     def __post_init__(self) -> None:
         from repro.workloads import zoo
@@ -268,6 +273,8 @@ class CampaignSpec:
             raise ConfigurationError("generations must be at least 1")
         if self.workers < 1:
             raise ConfigurationError("workers must be at least 1")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
         for setup in self.setups:
             if setup not in _SETUPS:
                 raise ConfigurationError(
@@ -333,6 +340,7 @@ class CampaignSpec:
             "ga": {"population": self.population,
                    "generations": self.generations,
                    "workers": self.workers},
+            "max_attempts": self.max_attempts,
         }
         if self.candidate_time_budget_s is not None:
             data["candidate_time_budget_s"] = self.candidate_time_budget_s
@@ -371,6 +379,7 @@ class CampaignSpec:
             generations=int(ga.get("generations", 8)),
             workers=int(ga.get("workers", 1)),
             candidate_time_budget_s=None if budget is None else float(budget),
+            max_attempts=int(data.get("max_attempts", 3)),
         )
 
     @classmethod

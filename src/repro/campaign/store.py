@@ -10,37 +10,78 @@ absorbed-failure log, and wall-clock — enough for
 :mod:`repro.campaign.report` to rebuild winners and Pareto fronts from
 the store alone, with no spec and no re-execution.
 
+Since schema v3 the store is also the *coordination* substrate of the
+multi-worker fleet (:mod:`repro.campaign.fleet`):
+
+* **leases** — a worker takes a run with :meth:`claim`, which
+  atomically flips the row to ``running`` and stamps it with the
+  worker id and a lease deadline.  :meth:`heartbeat` extends the
+  deadline (it only ever moves forward); a worker that stops
+  heartbeating loses the run after one TTL, at which point
+  :meth:`reap_stale` (or another worker's :meth:`claim`) re-queues it.
+  Completion writes are lease-guarded: a worker that lost its lease
+  cannot clobber a newer claimant's row.
+* **attempt history** — every claim/finish/loss appends to the row's
+  ``attempts_json`` audit trail; rows that keep failing become
+  ``exhausted`` once they reach ``max_attempts`` instead of being
+  retried forever.
+* **worker registry** — workers announce themselves in a ``workers``
+  table and heartbeat it, so ``campaign status`` can report per-worker
+  liveness and throughput from the database file alone.
+
+All timestamps come from an injectable ``clock`` (default
+:func:`time.time`), which is how the lease tests run on a fake clock
+with no real sleeping.
+
 The store is schema-versioned and fails loudly: a corrupt file or a
-schema from a different release raises
+schema from a *newer* release raises
 :class:`~repro.errors.StoreError` (a :class:`ChrysalisError`) instead
-of silently mixing incompatible rows.  All writes are idempotent
-upserts, which is what makes campaign re-invocation safe.
+of silently mixing incompatible rows; files from older releases
+migrate in place on open (or open as-is with ``readonly=True``).
+Writes are idempotent upserts inside bounded-retry ``BEGIN IMMEDIATE``
+transactions, so concurrent workers sharing one WAL file never surface
+a spurious ``database is locked`` error.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import pathlib
 import sqlite3
 import time
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.campaign.spec import RunKey
 from repro.errors import StoreError
 from repro.explore.pareto import ParetoPoint, pareto_front
+from repro.obs.state import OBS
 
-_SCHEMA_VERSION = 2
+_SCHEMA_VERSION = 3
 
-#: Run lifecycle states.  ``running`` rows belong to a live runner — or
-#: to one that crashed mid-run, which is why resume treats them as
-#: pending again.
+#: Default lease time-to-live; also the liveness horizon ``campaign
+#: status`` assumes for workers that did not record their own TTL.
+DEFAULT_LEASE_TTL_S = 30.0
+
+#: Run lifecycle states.  ``running`` rows carry a lease (owner +
+#: deadline); an expired lease marks a crashed worker and makes the row
+#: claimable again.  ``exhausted`` is terminal: the run failed
+#: ``max_attempts`` times and is never retried automatically.
 STATUS_PENDING = "pending"
 STATUS_RUNNING = "running"
 STATUS_DONE = "done"
 STATUS_FAILED = "failed"
+STATUS_EXHAUSTED = "exhausted"
 
-_STATUSES = (STATUS_PENDING, STATUS_RUNNING, STATUS_DONE, STATUS_FAILED)
+_STATUSES = (STATUS_PENDING, STATUS_RUNNING, STATUS_DONE, STATUS_FAILED,
+             STATUS_EXHAUSTED)
+
+#: Attempt-history outcomes (the ``attempts_json`` audit trail).
+OUTCOME_DONE = "done"
+OUTCOME_FAILED = "failed"
+OUTCOME_EXHAUSTED = "exhausted"
+OUTCOME_LOST = "lost"  # lease expired: worker died or stopped heartbeating
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaign_meta (
@@ -48,29 +89,51 @@ CREATE TABLE IF NOT EXISTS campaign_meta (
     value TEXT NOT NULL
 );
 CREATE TABLE IF NOT EXISTS runs (
-    run_hash      TEXT PRIMARY KEY,
-    campaign      TEXT NOT NULL,
-    workload      TEXT NOT NULL,
-    setup         TEXT NOT NULL,
-    environment   TEXT NOT NULL,
-    objective     TEXT NOT NULL,
-    seed          INTEGER NOT NULL,
-    spec_json     TEXT NOT NULL,
-    status        TEXT NOT NULL DEFAULT 'pending',
-    score         REAL,
-    panel_cm2     REAL,
-    latency_s     REAL,
-    solution_json TEXT,
-    stats_json    TEXT,
-    failures_json TEXT,
-    error         TEXT,
-    wall_seconds  REAL,
-    attempts      INTEGER NOT NULL DEFAULT 0,
-    updated_at    REAL NOT NULL,
-    obs_json      TEXT
+    run_hash       TEXT PRIMARY KEY,
+    campaign       TEXT NOT NULL,
+    workload       TEXT NOT NULL,
+    setup          TEXT NOT NULL,
+    environment    TEXT NOT NULL,
+    objective      TEXT NOT NULL,
+    seed           INTEGER NOT NULL,
+    spec_json      TEXT NOT NULL,
+    status         TEXT NOT NULL DEFAULT 'pending',
+    score          REAL,
+    panel_cm2      REAL,
+    latency_s      REAL,
+    solution_json  TEXT,
+    stats_json     TEXT,
+    failures_json  TEXT,
+    error          TEXT,
+    wall_seconds   REAL,
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    updated_at     REAL NOT NULL,
+    obs_json       TEXT,
+    lease_owner    TEXT,
+    lease_deadline REAL,
+    retry_at       REAL,
+    attempts_json  TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_runs_campaign ON runs (campaign, status);
+CREATE TABLE IF NOT EXISTS workers (
+    worker_id      TEXT PRIMARY KEY,
+    campaign       TEXT NOT NULL,
+    pid            INTEGER,
+    host           TEXT,
+    lease_ttl_s    REAL,
+    started_at     REAL NOT NULL,
+    last_heartbeat REAL NOT NULL,
+    retired_at     REAL,
+    current_run    TEXT,
+    runs_done      INTEGER NOT NULL DEFAULT 0,
+    runs_failed    INTEGER NOT NULL DEFAULT 0
+);
 """
+
+#: Created outside ``_SCHEMA`` because it references columns that only
+#: exist after the v2 -> v3 migration has run.
+_LEASE_INDEX = ("CREATE INDEX IF NOT EXISTS idx_runs_lease "
+                "ON runs (campaign, status, lease_deadline)")
 
 
 @dataclass(frozen=True)
@@ -94,10 +157,25 @@ class StoredRun:
     #: Per-run observability snapshot (``repro.obs`` format), present
     #: when the run executed with observability on.
     obs: Optional[Dict[str, Any]] = None
+    #: Lease state (schema v3): the worker currently executing this run
+    #: and the wall-clock instant its claim expires.
+    lease_owner: Optional[str] = None
+    lease_deadline: Optional[float] = None
+    #: Earliest instant a ``failed`` row may be claimed again (capped
+    #: exponential backoff; ``None`` = immediately).
+    retry_at: Optional[float] = None
+    #: Audit trail of every attempt: claim owner, outcome, error, time.
+    attempt_history: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def scenario_label(self) -> str:
         return self.key.scenario_label
+
+    def lease_expired(self, now: float) -> bool:
+        """True for a ``running`` row whose claim has lapsed by ``now``."""
+        if self.status != STATUS_RUNNING:
+            return False
+        return self.lease_deadline is None or self.lease_deadline <= now
 
     def load_solution(self):
         """The stored winning solution as an ``AuTSolution`` (or None)."""
@@ -108,26 +186,102 @@ class StoredRun:
         return solution_from_dict(self.solution)
 
 
+@dataclass(frozen=True)
+class WorkerStatus:
+    """One fleet worker as seen purely from the store."""
+
+    worker_id: str
+    campaign: str
+    pid: Optional[int]
+    host: Optional[str]
+    lease_ttl_s: Optional[float]
+    started_at: float
+    last_heartbeat: float
+    retired_at: Optional[float]
+    current_run: Optional[str]
+    runs_done: int
+    runs_failed: int
+    #: Liveness verdict at query time: heartbeat within two TTLs and
+    #: the worker has not announced a clean exit.
+    alive: bool
+
+    @property
+    def throughput_per_min(self) -> float:
+        horizon = max(self.last_heartbeat - self.started_at, 1e-9)
+        return 60.0 * (self.runs_done + self.runs_failed) / horizon
+
+
 def _loads(text: Optional[str]):
     return None if text is None else json.loads(text)
 
 
-class ResultStore:
-    """One campaign database.  Safe to reopen; writes are upserts."""
+def _history(text: Optional[str]) -> List[Dict[str, Any]]:
+    return [] if text is None else json.loads(text)
 
-    def __init__(self, path) -> None:
+
+def _is_locked(error: sqlite3.Error) -> bool:
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
+
+
+class ResultStore:
+    """One campaign database.  Safe to reopen; writes are upserts.
+
+    Parameters
+    ----------
+    path:
+        SQLite file (or ``":memory:"``).
+    readonly:
+        Open without migrating: the file is never written, and schema
+        versions *older* than this release stay readable as-is (lease
+        and attempt columns simply read as absent).  Reports and
+        ``status`` work against live fleet stores this way without
+        taking write locks.
+    clock:
+        Timestamp source for every write and lease decision (default
+        :func:`time.time`).  Tests inject a fake clock here to prove
+        lease expiry bounds without sleeping.
+    timeout_s:
+        SQLite busy timeout; concurrent writers block up to this long
+        instead of erroring.
+    """
+
+    #: Bounded retries of a whole write transaction on ``database is
+    #: locked`` (each retry doubles a 50 ms backoff) before the error
+    #: surfaces as a :class:`StoreError`.
+    _LOCK_RETRIES = 6
+
+    def __init__(self, path, *, readonly: bool = False,
+                 clock: Optional[Callable[[], float]] = None,
+                 timeout_s: float = 30.0) -> None:
         self.path = str(path)
-        if self.path != ":memory:":
+        self.readonly = readonly
+        self._clock = time.time if clock is None else clock
+        if self.path != ":memory:" and not readonly:
             parent = pathlib.Path(self.path).parent
             if not parent.exists():
                 raise StoreError(
                     f"store directory {parent} does not exist")
+        if self.path == ":memory:" and readonly:
+            raise StoreError("an in-memory store cannot be readonly")
         try:
-            self._conn = sqlite3.connect(self.path, timeout=30.0)
+            if readonly:
+                self._conn = sqlite3.connect(
+                    f"file:{self.path}?mode=ro", uri=True, timeout=timeout_s)
+            else:
+                self._conn = sqlite3.connect(self.path, timeout=timeout_s)
             self._conn.row_factory = sqlite3.Row
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute("PRAGMA synchronous=NORMAL")
-            self._init_schema()
+            # Autocommit at the connection level; writes run in explicit
+            # BEGIN IMMEDIATE transactions (see _with_txn).
+            self._conn.isolation_level = None
+            self._conn.execute(
+                f"PRAGMA busy_timeout={int(timeout_s * 1000)}")
+            if readonly:
+                self._check_readable()
+            else:
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+                self._init_schema()
         except sqlite3.Error as error:
             raise StoreError(
                 f"cannot open campaign store {self.path!r}: {error}"
@@ -135,30 +289,64 @@ class ResultStore:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def _read_version(self) -> Optional[int]:
+        row = self._conn.execute(
+            "SELECT value FROM campaign_meta WHERE key='schema_version'"
+        ).fetchone()
+        return None if row is None else int(row["value"])
+
+    def _check_readable(self) -> None:
+        try:
+            version = self._read_version()
+        except sqlite3.Error as error:
+            raise StoreError(
+                f"campaign store {self.path!r} is unreadable: {error}"
+            ) from None
+        if version is None or version > _SCHEMA_VERSION:
+            raise StoreError(
+                f"campaign store {self.path!r} has schema version "
+                f"{version!r} (this release reads <= {_SCHEMA_VERSION})")
+
     def _init_schema(self) -> None:
-        with self._conn:
-            self._conn.executescript(_SCHEMA)
-            row = self._conn.execute(
-                "SELECT value FROM campaign_meta WHERE key='schema_version'"
-            ).fetchone()
-            if row is None:
+        self._conn.executescript(_SCHEMA)
+        with self._txn():
+            version = self._read_version()
+            if version is None:
                 self._conn.execute(
                     "INSERT INTO campaign_meta (key, value) VALUES (?, ?)",
                     ("schema_version", str(_SCHEMA_VERSION)))
-            elif int(row["value"]) == 1:
-                # v1 -> v2: the per-run observability blob.  Purely
-                # additive, so old stores migrate in place; the table in
-                # ``_SCHEMA`` already includes the column for new files.
-                self._conn.execute(
-                    "ALTER TABLE runs ADD COLUMN obs_json TEXT")
+                version = _SCHEMA_VERSION
+            migrations = {1: self._migrate_1_to_2, 2: self._migrate_2_to_3}
+            while version in migrations:
+                migrations[version]()
+                version += 1
                 self._conn.execute(
                     "UPDATE campaign_meta SET value=? "
-                    "WHERE key='schema_version'", (str(_SCHEMA_VERSION),))
-            elif int(row["value"]) != _SCHEMA_VERSION:
+                    "WHERE key='schema_version'", (str(version),))
+            if version != _SCHEMA_VERSION:
                 raise StoreError(
                     f"campaign store {self.path!r} has schema version "
-                    f"{row['value']} (this release reads {_SCHEMA_VERSION})"
-                )
+                    f"{version} (this release reads {_SCHEMA_VERSION})")
+            self._conn.execute(_LEASE_INDEX)
+
+    def _add_run_columns(self, *columns: str) -> None:
+        """Idempotent ALTERs: only add what the table does not have."""
+        present = {row["name"] for row in
+                   self._conn.execute("PRAGMA table_info(runs)").fetchall()}
+        for column in columns:
+            if column.split()[0] not in present:
+                self._conn.execute(f"ALTER TABLE runs ADD COLUMN {column}")
+
+    def _migrate_1_to_2(self) -> None:
+        # v1 -> v2: the per-run observability blob.  Purely additive.
+        self._add_run_columns("obs_json TEXT")
+
+    def _migrate_2_to_3(self) -> None:
+        # v2 -> v3: the fleet's lease + attempt-history columns.  Also
+        # purely additive (the workers table itself is created by the
+        # idempotent _SCHEMA script).
+        self._add_run_columns("lease_owner TEXT", "lease_deadline REAL",
+                              "retry_at REAL", "attempts_json TEXT")
 
     def close(self) -> None:
         self._conn.close()
@@ -169,10 +357,57 @@ class ResultStore:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+    def _now(self, now: Optional[float]) -> float:
+        return self._clock() if now is None else now
+
+    # -- transactions --------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _txn(self):
+        """One BEGIN IMMEDIATE transaction (no retry; see _with_txn)."""
+        self._conn.execute("BEGIN IMMEDIATE")
         try:
-            with self._conn:
-                return self._conn.execute(sql, params)
+            yield
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
+
+    def _with_txn(self, body: Callable[[], Any]) -> Any:
+        """Run ``body`` in a write transaction, retrying lock conflicts.
+
+        SQLite allows one writer at a time; with many workers sharing
+        the WAL file a ``BEGIN IMMEDIATE`` (or, rarely, a statement
+        inside the transaction) can still time out with ``database is
+        locked``.  That is contention, not corruption, so it is retried
+        with doubling backoff a bounded number of times before becoming
+        a :class:`StoreError`.
+        """
+        if self.readonly:
+            raise StoreError(
+                f"campaign store {self.path!r} is open readonly")
+        delay = 0.05
+        for attempt in range(self._LOCK_RETRIES + 1):
+            try:
+                with self._txn():
+                    return body()
+            except sqlite3.Error as error:
+                if (isinstance(error, sqlite3.OperationalError)
+                        and _is_locked(error)
+                        and attempt < self._LOCK_RETRIES):
+                    if OBS.enabled:
+                        OBS.registry.counter("store.lock_retries").inc()
+                    time.sleep(delay)
+                    delay *= 2
+                    continue
+                raise StoreError(
+                    f"campaign store {self.path!r} failed: {error}"
+                ) from None
+
+    def _execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        """One autocommit statement (reads, or single-statement writes)."""
+        try:
+            return self._conn.execute(sql, params)
         except sqlite3.Error as error:
             raise StoreError(
                 f"campaign store {self.path!r} failed: {error}") from None
@@ -186,33 +421,35 @@ class ResultStore:
         untouched, which is exactly the resume semantics — a completed
         run stays completed no matter how often the spec is re-expanded.
         """
-        created = 0
-        now = time.time()
-        try:
-            with self._conn:
-                for key in keys:
-                    cursor = self._conn.execute(
-                        "INSERT OR IGNORE INTO runs (run_hash, campaign, "
-                        "workload, setup, environment, objective, seed, "
-                        "spec_json, status, updated_at) "
-                        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                        (key.run_hash, campaign, key.workload, key.setup,
-                         key.environment, key.objective.label(), key.seed,
-                         json.dumps(key.as_dict(), sort_keys=True),
-                         STATUS_PENDING, now))
-                    created += cursor.rowcount
-        except sqlite3.Error as error:
-            raise StoreError(
-                f"campaign store {self.path!r} failed: {error}") from None
-        return created
+        keys = list(keys)
+        now = self._now(None)
+
+        def body() -> int:
+            created = 0
+            for key in keys:
+                cursor = self._conn.execute(
+                    "INSERT OR IGNORE INTO runs (run_hash, campaign, "
+                    "workload, setup, environment, objective, seed, "
+                    "spec_json, status, updated_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (key.run_hash, campaign, key.workload, key.setup,
+                     key.environment, key.objective.label(), key.seed,
+                     json.dumps(key.as_dict(), sort_keys=True),
+                     STATUS_PENDING, now))
+                created += cursor.rowcount
+            return created
+
+        return self._with_txn(body)
 
     # -- state transitions ---------------------------------------------------
 
     def mark_running(self, key: RunKey) -> None:
-        self._execute(
+        """Leaseless running transition (single-process runner path)."""
+        now = self._now(None)
+        self._with_txn(lambda: self._conn.execute(
             "UPDATE runs SET status=?, attempts=attempts+1, updated_at=? "
             "WHERE run_hash=?",
-            (STATUS_RUNNING, time.time(), key.run_hash))
+            (STATUS_RUNNING, now, key.run_hash)))
 
     def record_success(self, key: RunKey, *, score: float,
                        panel_cm2: float, latency_s: float,
@@ -221,55 +458,362 @@ class ResultStore:
                        failures: Optional[List[Dict[str, Any]]] = None,
                        wall_seconds: float = 0.0,
                        campaign: str = "",
-                       obs: Optional[Dict[str, Any]] = None) -> None:
-        """Upsert a finished run (idempotent; works without register)."""
-        self._upsert(key, campaign=campaign, status=STATUS_DONE,
-                     score=score, panel_cm2=panel_cm2, latency_s=latency_s,
-                     solution_json=json.dumps(solution),
-                     stats_json=None if stats is None else json.dumps(stats),
-                     failures_json=(None if failures is None
-                                    else json.dumps(failures)),
-                     error=None, wall_seconds=wall_seconds,
-                     obs_json=None if obs is None else json.dumps(obs))
+                       obs: Optional[Dict[str, Any]] = None,
+                       worker_id: Optional[str] = None) -> bool:
+        """Upsert a finished run (idempotent; works without register).
+
+        With ``worker_id`` the write is lease-guarded: if another
+        worker holds a live lease on the row (this worker's own lease
+        expired and the run was reclaimed), the write is dropped and
+        ``False`` returned — the live claimant's eventual write is the
+        authoritative one.  Results are deterministic per run key, so a
+        dropped write never loses information.
+        """
+        return self._finish(
+            key, campaign=campaign, status=STATUS_DONE,
+            outcome=OUTCOME_DONE, score=score, panel_cm2=panel_cm2,
+            latency_s=latency_s, solution_json=json.dumps(solution),
+            stats_json=None if stats is None else json.dumps(stats),
+            failures_json=(None if failures is None
+                           else json.dumps(failures)),
+            error=None, wall_seconds=wall_seconds,
+            obs_json=None if obs is None else json.dumps(obs),
+            worker_id=worker_id) is not None
 
     def record_failure(self, key: RunKey, error: str,
                        failures: Optional[List[Dict[str, Any]]] = None,
                        wall_seconds: float = 0.0,
                        campaign: str = "",
-                       obs: Optional[Dict[str, Any]] = None) -> None:
-        """Upsert a failed run; the campaign continues past it."""
-        self._upsert(key, campaign=campaign, status=STATUS_FAILED,
-                     score=None, panel_cm2=None, latency_s=None,
-                     solution_json=None, stats_json=None,
-                     failures_json=(None if failures is None
-                                    else json.dumps(failures)),
-                     error=str(error), wall_seconds=wall_seconds,
-                     obs_json=None if obs is None else json.dumps(obs))
+                       obs: Optional[Dict[str, Any]] = None,
+                       worker_id: Optional[str] = None,
+                       max_attempts: Optional[int] = None,
+                       retry_delay_s: Optional[float] = None,
+                       ) -> Optional[str]:
+        """Upsert a failed run; the campaign continues past it.
 
-    def _upsert(self, key: RunKey, *, campaign: str, status: str,
-                score, panel_cm2, latency_s, solution_json, stats_json,
-                failures_json, error, wall_seconds, obs_json=None) -> None:
-        self._execute(
-            "INSERT INTO runs (run_hash, campaign, workload, setup, "
-            "environment, objective, seed, spec_json, status, score, "
-            "panel_cm2, latency_s, solution_json, stats_json, "
-            "failures_json, error, wall_seconds, attempts, updated_at, "
-            "obs_json) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 1, "
-            "?, ?) "
-            "ON CONFLICT(run_hash) DO UPDATE SET "
-            "status=excluded.status, score=excluded.score, "
-            "panel_cm2=excluded.panel_cm2, latency_s=excluded.latency_s, "
-            "solution_json=excluded.solution_json, "
-            "stats_json=excluded.stats_json, "
-            "failures_json=excluded.failures_json, error=excluded.error, "
-            "wall_seconds=excluded.wall_seconds, "
-            "updated_at=excluded.updated_at, obs_json=excluded.obs_json",
-            (key.run_hash, campaign, key.workload, key.setup,
-             key.environment, key.objective.label(), key.seed,
-             json.dumps(key.as_dict(), sort_keys=True), status, score,
-             panel_cm2, latency_s, solution_json, stats_json, failures_json,
-             error, wall_seconds, time.time(), obs_json))
+        Returns the status written (``failed``, or ``exhausted`` once
+        the row has burned ``max_attempts`` attempts), or ``None`` if a
+        lease guard dropped the write.  ``retry_delay_s`` schedules the
+        earliest re-claim (capped-backoff retries).
+        """
+        return self._finish(
+            key, campaign=campaign, status=STATUS_FAILED,
+            outcome=OUTCOME_FAILED, score=None, panel_cm2=None,
+            latency_s=None, solution_json=None, stats_json=None,
+            failures_json=(None if failures is None
+                           else json.dumps(failures)),
+            error=str(error), wall_seconds=wall_seconds,
+            obs_json=None if obs is None else json.dumps(obs),
+            worker_id=worker_id, max_attempts=max_attempts,
+            retry_delay_s=retry_delay_s)
+
+    def _finish(self, key: RunKey, *, campaign: str, status: str,
+                outcome: str, score, panel_cm2, latency_s, solution_json,
+                stats_json, failures_json, error, wall_seconds,
+                obs_json, worker_id: Optional[str],
+                max_attempts: Optional[int] = None,
+                retry_delay_s: Optional[float] = None) -> Optional[str]:
+        now = self._now(None)
+
+        def body() -> Optional[str]:
+            row = self._conn.execute(
+                "SELECT status, attempts, attempts_json, lease_owner, "
+                "lease_deadline FROM runs WHERE run_hash=?",
+                (key.run_hash,)).fetchone()
+            attempts = 1 if row is None else max(row["attempts"], 1)
+            history = _history(None if row is None else row["attempts_json"])
+            if worker_id is not None and row is not None:
+                holder = row["lease_owner"]
+                deadline = row["lease_deadline"]
+                if (row["status"] == STATUS_RUNNING
+                        and holder not in (None, worker_id)
+                        and deadline is not None and deadline > now):
+                    # Another live lease owns this run now; our claim
+                    # expired somewhere along the way.
+                    return None
+                if row["status"] == STATUS_DONE:
+                    return None  # a reclaimant already finished it
+            final_status, final_outcome, retry_at = status, outcome, None
+            if status == STATUS_FAILED:
+                if max_attempts is not None and attempts >= max_attempts:
+                    final_status = STATUS_EXHAUSTED
+                    final_outcome = OUTCOME_EXHAUSTED
+                elif retry_delay_s is not None:
+                    retry_at = now + retry_delay_s
+            entry: Dict[str, Any] = {"attempt": attempts,
+                                     "worker": worker_id,
+                                     "outcome": final_outcome,
+                                     "wall_seconds": wall_seconds,
+                                     "at": now}
+            if error is not None:
+                entry["error"] = error
+            history.append(entry)
+            self._conn.execute(
+                "INSERT INTO runs (run_hash, campaign, workload, setup, "
+                "environment, objective, seed, spec_json, status, score, "
+                "panel_cm2, latency_s, solution_json, stats_json, "
+                "failures_json, error, wall_seconds, attempts, updated_at, "
+                "obs_json, lease_owner, lease_deadline, retry_at, "
+                "attempts_json) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
+                "?, 1, ?, ?, NULL, NULL, ?, ?) "
+                "ON CONFLICT(run_hash) DO UPDATE SET "
+                "status=excluded.status, score=excluded.score, "
+                "panel_cm2=excluded.panel_cm2, "
+                "latency_s=excluded.latency_s, "
+                "solution_json=excluded.solution_json, "
+                "stats_json=excluded.stats_json, "
+                "failures_json=excluded.failures_json, "
+                "error=excluded.error, "
+                "wall_seconds=excluded.wall_seconds, "
+                "updated_at=excluded.updated_at, "
+                "obs_json=excluded.obs_json, "
+                "lease_owner=NULL, lease_deadline=NULL, "
+                "retry_at=excluded.retry_at, "
+                "attempts_json=excluded.attempts_json",
+                (key.run_hash, campaign, key.workload, key.setup,
+                 key.environment, key.objective.label(), key.seed,
+                 json.dumps(key.as_dict(), sort_keys=True), final_status,
+                 score, panel_cm2, latency_s, solution_json, stats_json,
+                 failures_json, error, wall_seconds, now, obs_json,
+                 retry_at, json.dumps(history)))
+            if worker_id is not None:
+                column = ("runs_done" if final_status == STATUS_DONE
+                          else "runs_failed")
+                self._conn.execute(
+                    f"UPDATE workers SET {column}={column}+1, "
+                    "current_run=NULL WHERE worker_id=?", (worker_id,))
+            return final_status
+
+        written = self._with_txn(body)
+        if written is None and OBS.enabled:
+            OBS.registry.counter("fleet.store.dropped_writes").inc()
+        return written
+
+    # -- leases --------------------------------------------------------------
+
+    def claim(self, campaign: str, worker_id: str, *,
+              ttl_s: float = DEFAULT_LEASE_TTL_S,
+              max_attempts: Optional[int] = None,
+              now: Optional[float] = None) -> Optional[StoredRun]:
+        """Atomically lease the next executable run to ``worker_id``.
+
+        Claimable rows, in stable grid order: ``pending`` rows,
+        ``failed`` rows that still have attempts left and whose backoff
+        (``retry_at``) has elapsed, and ``running`` rows whose lease has
+        expired (crashed worker — claiming doubles as reaping).  The
+        winning row flips to ``running`` with ``lease_deadline = now +
+        ttl_s`` and its attempt counter incremented, all in one write
+        transaction, so two workers can never claim the same row.
+
+        Returns the claimed row, or ``None`` when nothing is claimable
+        right now (which is *not* the same as the campaign being done —
+        see :meth:`unfinished_count`).
+        """
+        now = self._now(now)
+
+        def body() -> Optional[str]:
+            row = self._conn.execute(
+                "SELECT run_hash, status, lease_owner, attempts, "
+                "attempts_json FROM runs WHERE campaign=? AND ("
+                "status=? "
+                "OR (status=? AND (? IS NULL OR attempts<?) "
+                "    AND (retry_at IS NULL OR retry_at<=?)) "
+                "OR (status=? AND (lease_deadline IS NULL "
+                "    OR lease_deadline<=?))) "
+                "ORDER BY workload, setup, environment, objective, seed "
+                "LIMIT 1",
+                (campaign, STATUS_PENDING,
+                 STATUS_FAILED, max_attempts, max_attempts, now,
+                 STATUS_RUNNING, now)).fetchone()
+            if row is None:
+                return None
+            history = _history(row["attempts_json"])
+            if row["status"] == STATUS_RUNNING:
+                # Taking over an expired lease: audit the loss.
+                history.append({"attempt": row["attempts"],
+                                "worker": row["lease_owner"],
+                                "outcome": OUTCOME_LOST, "at": now})
+            self._conn.execute(
+                "UPDATE runs SET status=?, lease_owner=?, lease_deadline=?, "
+                "retry_at=NULL, attempts=attempts+1, attempts_json=?, "
+                "updated_at=? WHERE run_hash=?",
+                (STATUS_RUNNING, worker_id, now + ttl_s,
+                 json.dumps(history), now, row["run_hash"]))
+            self._conn.execute(
+                "UPDATE workers SET current_run=?, last_heartbeat=? "
+                "WHERE worker_id=?", (row["run_hash"], now, worker_id))
+            return row["run_hash"]
+
+        claimed = self._with_txn(body)
+        if claimed is None:
+            return None
+        if OBS.enabled:
+            OBS.registry.counter("fleet.store.claims").inc()
+        return self.get(claimed)
+
+    def heartbeat(self, worker_id: str, run_hash: Optional[str] = None, *,
+                  ttl_s: float = DEFAULT_LEASE_TTL_S,
+                  now: Optional[float] = None) -> bool:
+        """Refresh worker liveness and (optionally) extend a run lease.
+
+        The lease deadline is monotonic — it only ever moves forward —
+        and extends only while this worker still owns the row.  Returns
+        ``False`` if the lease was lost (expired and reclaimed), which
+        tells the worker its in-flight result will be dropped.
+        """
+        now = self._now(now)
+
+        def body() -> bool:
+            held = True
+            if run_hash is not None:
+                cursor = self._conn.execute(
+                    "UPDATE runs "
+                    "SET lease_deadline=MAX(COALESCE(lease_deadline, 0), ?),"
+                    " updated_at=? "
+                    "WHERE run_hash=? AND lease_owner=? AND status=?",
+                    (now + ttl_s, now, run_hash, worker_id, STATUS_RUNNING))
+                held = cursor.rowcount == 1
+            self._conn.execute(
+                "UPDATE workers SET last_heartbeat=? WHERE worker_id=?",
+                (now, worker_id))
+            return held
+
+        held = self._with_txn(body)
+        if OBS.enabled:
+            OBS.registry.counter("fleet.store.heartbeats").inc()
+            if not held:
+                OBS.registry.counter("fleet.store.lease_lost").inc()
+        return held
+
+    def reap_stale(self, campaign: Optional[str] = None, *,
+                   max_attempts: Optional[int] = None,
+                   now: Optional[float] = None) -> List[str]:
+        """Re-queue every ``running`` row whose lease has expired.
+
+        A dead worker's runs come back as ``pending`` (immediately
+        claimable — losing a lease is the worker's fault, not the
+        run's, so no backoff), or flip straight to ``exhausted`` when
+        the row already burned ``max_attempts`` attempts.  Returns the
+        reaped run hashes.  Idempotent and safe to call from any
+        process: the coordinator does it on a timer, workers do it
+        opportunistically when they find nothing to claim.
+        """
+        now = self._now(now)
+
+        def body() -> List[str]:
+            sql = ("SELECT run_hash, attempts, attempts_json, lease_owner "
+                   "FROM runs WHERE status=? "
+                   "AND (lease_deadline IS NULL OR lease_deadline<=?)")
+            params: List[Any] = [STATUS_RUNNING, now]
+            if campaign is not None:
+                sql += " AND campaign=?"
+                params.append(campaign)
+            reaped = []
+            for row in self._conn.execute(sql, params).fetchall():
+                history = _history(row["attempts_json"])
+                history.append({"attempt": row["attempts"],
+                                "worker": row["lease_owner"],
+                                "outcome": OUTCOME_LOST, "at": now})
+                if (max_attempts is not None
+                        and row["attempts"] >= max_attempts):
+                    self._conn.execute(
+                        "UPDATE runs SET status=?, error=?, lease_owner=NULL,"
+                        " lease_deadline=NULL, retry_at=NULL, "
+                        "attempts_json=?, updated_at=? WHERE run_hash=?",
+                        (STATUS_EXHAUSTED,
+                         f"lease expired after {row['attempts']} attempt(s)",
+                         json.dumps(history), now, row["run_hash"]))
+                else:
+                    self._conn.execute(
+                        "UPDATE runs SET status=?, lease_owner=NULL, "
+                        "lease_deadline=NULL, retry_at=NULL, "
+                        "attempts_json=?, updated_at=? WHERE run_hash=?",
+                        (STATUS_PENDING, json.dumps(history), now,
+                         row["run_hash"]))
+                reaped.append(row["run_hash"])
+            return reaped
+
+        reaped = self._with_txn(body)
+        if reaped and OBS.enabled:
+            OBS.registry.counter("fleet.store.reaped").inc(len(reaped))
+        return reaped
+
+    def exhaust_spent(self, campaign: str, max_attempts: int,
+                      now: Optional[float] = None) -> List[str]:
+        """Flip ``failed`` rows with no attempts left to ``exhausted``."""
+        now = self._now(now)
+
+        def body() -> List[str]:
+            rows = self._conn.execute(
+                "SELECT run_hash FROM runs WHERE campaign=? AND status=? "
+                "AND attempts>=?",
+                (campaign, STATUS_FAILED, max_attempts)).fetchall()
+            hashes = [row["run_hash"] for row in rows]
+            for run_hash in hashes:
+                self._conn.execute(
+                    "UPDATE runs SET status=?, retry_at=NULL, updated_at=? "
+                    "WHERE run_hash=?", (STATUS_EXHAUSTED, now, run_hash))
+            return hashes
+
+        return self._with_txn(body)
+
+    # -- worker registry -----------------------------------------------------
+
+    def register_worker(self, worker_id: str, campaign: str, *,
+                        pid: Optional[int] = None,
+                        host: Optional[str] = None,
+                        lease_ttl_s: Optional[float] = None,
+                        now: Optional[float] = None) -> None:
+        """Announce a worker (idempotent; re-registering restarts it)."""
+        now = self._now(now)
+        self._with_txn(lambda: self._conn.execute(
+            "INSERT INTO workers (worker_id, campaign, pid, host, "
+            "lease_ttl_s, started_at, last_heartbeat, retired_at, "
+            "current_run) VALUES (?, ?, ?, ?, ?, ?, ?, NULL, NULL) "
+            "ON CONFLICT(worker_id) DO UPDATE SET "
+            "campaign=excluded.campaign, pid=excluded.pid, "
+            "host=excluded.host, lease_ttl_s=excluded.lease_ttl_s, "
+            "started_at=excluded.started_at, "
+            "last_heartbeat=excluded.last_heartbeat, "
+            "retired_at=NULL, current_run=NULL",
+            (worker_id, campaign, pid, host, lease_ttl_s, now, now)))
+
+    def retire_worker(self, worker_id: str,
+                      now: Optional[float] = None) -> None:
+        """Record a clean worker exit (its row stays for throughput)."""
+        now = self._now(now)
+        self._with_txn(lambda: self._conn.execute(
+            "UPDATE workers SET retired_at=?, last_heartbeat=?, "
+            "current_run=NULL WHERE worker_id=?",
+            (now, now, worker_id)))
+
+    def workers_status(self, campaign: Optional[str] = None,
+                       now: Optional[float] = None) -> List[WorkerStatus]:
+        """Every known worker with a liveness verdict, store-only."""
+        now = self._now(now)
+        sql = "SELECT * FROM workers"
+        params: List[str] = []
+        if campaign is not None:
+            sql += " WHERE campaign=?"
+            params.append(campaign)
+        sql += " ORDER BY worker_id"
+        workers = []
+        for row in self._execute(sql, params).fetchall():
+            ttl = row["lease_ttl_s"] or DEFAULT_LEASE_TTL_S
+            alive = (row["retired_at"] is None
+                     and now - row["last_heartbeat"] <= 2 * ttl)
+            workers.append(WorkerStatus(
+                worker_id=row["worker_id"], campaign=row["campaign"],
+                pid=row["pid"], host=row["host"],
+                lease_ttl_s=row["lease_ttl_s"],
+                started_at=row["started_at"],
+                last_heartbeat=row["last_heartbeat"],
+                retired_at=row["retired_at"],
+                current_run=row["current_run"],
+                runs_done=row["runs_done"], runs_failed=row["runs_failed"],
+                alive=alive))
+        return workers
 
     # -- queries -------------------------------------------------------------
 
@@ -317,6 +861,15 @@ class ResultStore:
             counts[row["status"]] = row["n"]
         return counts
 
+    def unfinished_count(self, campaign: Optional[str] = None) -> int:
+        """Rows that still need execution (not ``done``/``exhausted``)."""
+        sql = ("SELECT COUNT(*) AS n FROM runs WHERE status NOT IN (?, ?)")
+        params: List[str] = [STATUS_DONE, STATUS_EXHAUSTED]
+        if campaign is not None:
+            sql += " AND campaign=?"
+            params.append(campaign)
+        return self._execute(sql, params).fetchone()["n"]
+
     # -- Pareto slices -------------------------------------------------------
 
     def pareto_points(self, campaign: Optional[str] = None,
@@ -351,6 +904,13 @@ class ResultStore:
             raise StoreError(
                 f"run {row['run_hash']} has an unreadable spec: {error}"
             ) from None
+        # Columns introduced by later schema versions read as absent on
+        # a pre-migration file opened with readonly=True.
+        present = row.keys()
+
+        def _col(name: str):
+            return row[name] if name in present else None
+
         return StoredRun(
             run_hash=row["run_hash"],
             campaign=row["campaign"],
@@ -366,5 +926,9 @@ class ResultStore:
             wall_seconds=row["wall_seconds"],
             attempts=row["attempts"],
             updated_at=row["updated_at"],
-            obs=_loads(row["obs_json"]),
+            obs=_loads(_col("obs_json")),
+            lease_owner=_col("lease_owner"),
+            lease_deadline=_col("lease_deadline"),
+            retry_at=_col("retry_at"),
+            attempt_history=_history(_col("attempts_json")),
         )

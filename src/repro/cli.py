@@ -15,11 +15,14 @@ Commands
 ``faults-sweep``
     Stress an explicit design across fault-injection intensities and
     print the survival-under-faults table.
-``campaign run|status|report``
+``campaign run|fleet|worker|status|report``
     Durable multi-scenario campaigns: execute a JSON campaign spec
     against a SQLite result store (resumable — re-invoking skips
-    completed runs), show completion counts, and rebuild the winners /
-    Pareto-front report purely from the store.
+    completed runs), run it across a fault-tolerant multi-process
+    fleet (``fleet`` spawns local workers; extra ``worker`` processes
+    on any machine sharing the store file join the same campaign),
+    show completion counts plus per-worker liveness, and rebuild the
+    winners / Pareto-front report purely from the store.
 ``obs report``
     Render an observability snapshot — either a ``--obs-output`` JSON
     file or the per-run blobs persisted in a campaign store.
@@ -46,7 +49,16 @@ from repro.campaign import (
     ResultStore,
 )
 from repro.api import evaluate as api_evaluate
-from repro.campaign.store import STATUS_DONE, STATUS_FAILED
+from repro.campaign.fleet import (
+    CampaignWorker,
+    FleetConfig,
+    FleetCoordinator,
+)
+from repro.campaign.store import (
+    STATUS_DONE,
+    STATUS_EXHAUSTED,
+    STATUS_FAILED,
+)
 from repro.core.chrysalis import Chrysalis
 from repro.core.describer import describe_design
 from repro.design import AuTDesign, EnergyDesign, InferenceDesign
@@ -273,6 +285,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     handlers = {
         "run": _campaign_run,
+        "fleet": _campaign_fleet,
+        "worker": _campaign_worker,
         "status": _campaign_status,
         "report": _campaign_report,
     }
@@ -287,6 +301,7 @@ def _campaign_run(args: argparse.Namespace) -> int:
             spec, store,
             workers=args.workers,
             max_runs=args.max_runs,
+            max_attempts=args.max_attempts,
             on_progress=lambda outcome: print(
                 f"  [{outcome.status}] {outcome.key.describe()} "
                 f"({outcome.wall_seconds:.1f}s)"),
@@ -299,6 +314,47 @@ def _campaign_run(args: argparse.Namespace) -> int:
     if obs_on:
         _obs_finish(args)
     return 0 if progress.failed == 0 else 1
+
+
+def _fleet_config(args: argparse.Namespace) -> FleetConfig:
+    return FleetConfig(
+        lease_ttl_s=args.lease_ttl,
+        heartbeat_s=args.heartbeat_every,
+        poll_s=args.poll,
+        max_attempts=args.max_attempts,
+    )
+
+
+def _campaign_fleet(args: argparse.Namespace) -> int:
+    spec = CampaignSpec.from_path(args.spec)
+    coordinator = FleetCoordinator(
+        spec, args.spec, args.store,
+        n_workers=args.fleet_workers,
+        config=_fleet_config(args),
+    )
+    print(f"campaign {spec.name}: {len(spec.expand())} run(s), "
+          f"{args.fleet_workers} worker(s), store {args.store}")
+    progress = coordinator.run(timeout_s=args.timeout)
+    print()
+    print(progress.render())
+    return 0 if progress.converged else 1
+
+
+def _campaign_worker(args: argparse.Namespace) -> int:
+    spec = CampaignSpec.from_path(args.spec)
+    worker = CampaignWorker(
+        spec, args.store,
+        worker_id=args.worker_id,
+        config=_fleet_config(args),
+        search_workers=args.workers,
+    )
+    print(f"worker {worker.worker_id}: joining campaign {spec.name} "
+          f"on {args.store}", flush=True)
+    summary = worker.run()
+    print(f"worker {worker.worker_id}: {summary.done} done, "
+          f"{summary.failed} failed, {summary.lease_lost} lease(s) lost, "
+          f"{summary.reaped} stale lease(s) reaped")
+    return 0
 
 
 def _campaign_status(args: argparse.Namespace) -> int:
@@ -315,10 +371,19 @@ def _campaign_status(args: argparse.Namespace) -> int:
             done = counts[STATUS_DONE]
             print(f"{name}: {done}/{total} complete "
                   f"({counts[STATUS_FAILED]} failed, "
+                  f"{counts[STATUS_EXHAUSTED]} exhausted, "
                   f"{counts['pending'] + counts['running']} pending)")
+            for worker in store.workers_status(name):
+                state = "alive" if worker.alive else (
+                    "exited" if worker.retired_at is not None else "dead")
+                print(f"  worker [{state:<6}] {worker.worker_id}: "
+                      f"{worker.runs_done} done, "
+                      f"{worker.runs_failed} failed "
+                      f"({worker.throughput_per_min:.1f} runs/min)")
             if args.runs:
                 for run in store.runs(campaign=name):
-                    print(f"  [{run.status:<7}] {run.key.describe()}")
+                    print(f"  [{run.status:<9}] {run.key.describe()} "
+                          f"(attempt {run.attempts})")
             incomplete += total - done
     return 0 if incomplete == 0 else 1
 
@@ -474,7 +539,51 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the spec's per-search worker count")
     crun.add_argument("--max-runs", type=int, default=None,
                       help="stop after this many runs (resume later)")
+    crun.add_argument("--max-attempts", type=int, default=None,
+                      help="override the spec's retry cap; a run that "
+                           "fails this many times becomes 'exhausted' "
+                           "and is never retried")
     _add_obs_args(crun)
+
+    def add_fleet_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("spec",
+                       help="campaign spec JSON (see docs/CAMPAIGNS.md)")
+        p.add_argument("--store", default="campaign.sqlite",
+                       help="shared SQLite result store; every process "
+                            "pointing at the same file joins the same fleet")
+        p.add_argument("--lease-ttl", type=float,
+                       default=FleetConfig.lease_ttl_s, metavar="SECONDS",
+                       help="run-lease time-to-live; a dead worker's runs "
+                            "re-queue within one TTL")
+        p.add_argument("--heartbeat-every", type=float, default=None,
+                       metavar="SECONDS",
+                       help="lease-extension period (default: TTL/4)")
+        p.add_argument("--poll", type=float, default=FleetConfig.poll_s,
+                       metavar="SECONDS",
+                       help="idle/watch polling period")
+        p.add_argument("--max-attempts", type=int, default=None,
+                       help="override the spec's retry cap")
+
+    cfleet = csub.add_parser(
+        "fleet",
+        help="run a campaign across N fault-tolerant local workers")
+    add_fleet_args(cfleet)
+    cfleet.add_argument("--workers", dest="fleet_workers", type=int,
+                        default=2,
+                        help="local worker processes to spawn")
+    cfleet.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="hard stop; the campaign stays resumable")
+
+    cworker = csub.add_parser(
+        "worker",
+        help="join a campaign as one fleet worker (any machine that "
+             "shares the store file)")
+    add_fleet_args(cworker)
+    cworker.add_argument("--worker-id", default=None,
+                         help="fleet-unique worker name (default: host:pid)")
+    cworker.add_argument("--workers", type=int, default=None,
+                         help="override the spec's per-search worker count")
 
     cstatus = csub.add_parser(
         "status", help="completion counts of the stored campaigns")

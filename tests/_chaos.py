@@ -1,0 +1,241 @@
+"""Seeded crash-injection harness for the campaign fleet.
+
+Importable (``tests/test_campaign_fleet_chaos.py`` drives it) and
+runnable (the CI ``fleet-smoke`` job invokes it directly)::
+
+    python tests/_chaos.py --runs 8 --workers 3 --kill 1 \
+        --ttl 2.0 --delay 0.5 --store /tmp/chaos.sqlite
+
+What it does:
+
+1. Builds a tiny real campaign (``har``, population 4, generations 2 —
+   roughly 10 ms per search) of N seeds.
+2. Runs it on a local fleet while a seeded saboteur SIGKILLs ``--kill``
+   workers: either mid-run (the victim holds a lease; a configurable
+   per-run delay widens the window so the kill reliably lands between
+   two heartbeats) or right after the victim registers.
+3. Asserts the surviving fleet still converges to 100% ``done`` and
+   that every stored ``solution_json`` is byte-identical to a fresh
+   single-process :class:`~repro.campaign.runner.CampaignRunner`
+   reference store.
+
+Stdlib + ``repro`` only — no pytest import, so the CI job can run it
+in a bare environment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sqlite3
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.fleet import RUN_DELAY_ENV, FleetConfig, FleetCoordinator
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec, ObjectiveSpec
+from repro.campaign.store import STATUS_DONE, ResultStore
+
+
+def build_spec(runs: int = 8, name: str = "chaos",
+               max_attempts: int = 3) -> CampaignSpec:
+    """N seeds of the cheapest real search in the zoo."""
+    return CampaignSpec(
+        name=name,
+        workloads=("har",),
+        setups=("existing",),
+        environments=("indoor",),
+        objectives=(ObjectiveSpec(kind="lat*sp"),),
+        seeds=tuple(range(runs)),
+        population=4,
+        generations=2,
+        max_attempts=max_attempts,
+    )
+
+
+def solution_bytes(store_path) -> Dict[str, Optional[str]]:
+    """Raw ``solution_json`` text per run hash, straight from SQLite.
+
+    Reads the column as stored — no json round-trip — because the
+    contract under test is *byte* identity, not structural equality.
+    """
+    conn = sqlite3.connect(str(store_path))
+    try:
+        rows = conn.execute(
+            "SELECT run_hash, solution_json FROM runs").fetchall()
+    finally:
+        conn.close()
+    return {run_hash: text for run_hash, text in rows}
+
+
+def serial_reference(spec: CampaignSpec, store_path) -> Dict[str, str]:
+    """The ground truth: the same campaign via the in-process runner."""
+    progress = run_campaign(spec, store_path)
+    if progress.failed:
+        raise RuntimeError(
+            f"serial reference had {progress.failed} failed run(s)")
+    return solution_bytes(store_path)
+
+
+@dataclass
+class ChaosResult:
+    converged: bool
+    counts: Dict[str, int]
+    killed: List[str] = field(default_factory=list)
+    reaped: int = 0
+    #: Lease losses recorded in the attempt histories — every takeover
+    #: of a dead worker's run lands here, whether the lease was reaped
+    #: by the coordinator or claimed over directly by a survivor.
+    lost_leases: int = 0
+    mismatches: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def bit_identical(self) -> bool:
+        return not self.mismatches and not self.missing
+
+    @property
+    def ok(self) -> bool:
+        return self.converged and self.bit_identical
+
+
+class _Saboteur:
+    """SIGKILLs seeded-random victims from the coordinator's tick loop."""
+
+    def __init__(self, kills: int, seed: int, when: str) -> None:
+        if when not in ("lease", "registered"):
+            raise ValueError(f"unknown kill condition {when!r}")
+        self.kills = kills
+        self.when = when
+        self.rng = random.Random(seed)
+        self.victims: Optional[List[str]] = None
+        self.killed: List[str] = []
+
+    def __call__(self, coordinator: FleetCoordinator,
+                 store: ResultStore) -> None:
+        if self.victims is None:
+            # Choose once, as soon as the fleet exists; seeded so a
+            # failing scenario replays exactly.
+            pool = sorted(coordinator.children)
+            self.rng.shuffle(pool)
+            self.victims = pool[:self.kills]
+        for victim in list(self.victims):
+            if not self._armed(victim, store):
+                continue
+            process = coordinator.children.get(victim)
+            if process is not None and process.poll() is None:
+                process.kill()  # SIGKILL: no cleanup, no lease release
+                process.wait()
+                self.killed.append(victim)
+            self.victims.remove(victim)
+
+    def _armed(self, victim: str, store: ResultStore) -> bool:
+        if self.when == "registered":
+            return any(w.worker_id == victim
+                       for w in store.workers_status())
+        # "lease": the victim is mid-run — it holds a lease and (given a
+        # run delay wider than the heartbeat period) sits between beats.
+        return any(run.lease_owner == victim
+                   for run in store.runs()
+                   if run.status == "running")
+
+
+def run_chaos(runs: int = 8, workers: int = 3, kill: int = 1, *,
+              ttl_s: float = 2.0, run_delay_s: float = 0.5,
+              seed: int = 0, kill_when: str = "lease",
+              store_path=None, reference: Optional[Dict[str, str]] = None,
+              timeout_s: float = 300.0) -> ChaosResult:
+    """One full kill-and-converge scenario; see the module docstring."""
+    spec = build_spec(runs)
+    workdir = None
+    if store_path is None:
+        workdir = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        store_path = os.path.join(workdir.name, "fleet.sqlite")
+    spec_path = str(store_path) + ".spec.json"
+    with open(spec_path, "w") as handle:
+        handle.write(spec.to_json())
+    saboteur = _Saboteur(kill, seed, kill_when)
+    config = FleetConfig(lease_ttl_s=ttl_s, poll_s=0.1)
+    coordinator = FleetCoordinator(spec, spec_path, store_path,
+                                   n_workers=workers, config=config)
+    previous_delay = os.environ.get(RUN_DELAY_ENV)
+    os.environ[RUN_DELAY_ENV] = str(run_delay_s)
+    try:
+        coordinator.start()
+        progress = coordinator.wait(on_tick=saboteur, timeout_s=timeout_s)
+    finally:
+        if previous_delay is None:
+            os.environ.pop(RUN_DELAY_ENV, None)
+        else:
+            os.environ[RUN_DELAY_ENV] = previous_delay
+    with ResultStore(store_path) as store:
+        lost = sum(
+            1
+            for run in store.runs(campaign=spec.name)
+            for entry in run.attempt_history
+            if entry.get("outcome") == "lost")
+    result = ChaosResult(converged=progress.converged,
+                         counts=progress.counts,
+                         killed=saboteur.killed,
+                         reaped=progress.reaped,
+                         lost_leases=lost)
+    if reference is None:
+        reference = serial_reference(
+            spec, os.path.join(os.path.dirname(str(store_path)),
+                               "reference.sqlite"))
+    fleet = solution_bytes(store_path)
+    for run_hash, expected in reference.items():
+        got = fleet.get(run_hash)
+        if got is None:
+            result.missing.append(run_hash)
+        elif got != expected:
+            result.mismatches.append(run_hash)
+    if workdir is not None:
+        workdir.cleanup()
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="SIGKILL-injection harness for the campaign fleet")
+    parser.add_argument("--runs", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=3)
+    parser.add_argument("--kill", type=int, default=1,
+                        help="workers to SIGKILL")
+    parser.add_argument("--ttl", type=float, default=2.0,
+                        help="lease TTL (recovery bound), seconds")
+    parser.add_argument("--delay", type=float, default=0.5,
+                        help="artificial per-run delay widening the "
+                             "crash window, seconds")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="victim-selection seed")
+    parser.add_argument("--kill-when", choices=("lease", "registered"),
+                        default="lease")
+    parser.add_argument("--store", default=None,
+                        help="keep the fleet store at this path "
+                             "(default: a temp dir, deleted afterwards)")
+    args = parser.parse_args(argv)
+    result = run_chaos(args.runs, args.workers, args.kill,
+                       ttl_s=args.ttl, run_delay_s=args.delay,
+                       seed=args.seed, kill_when=args.kill_when,
+                       store_path=args.store)
+    done = result.counts.get(STATUS_DONE, 0)
+    total = sum(result.counts.values())
+    print(f"killed      : {len(result.killed)} worker(s) "
+          f"({', '.join(result.killed) or 'none'})")
+    print(f"reaped      : {result.reaped} stale lease(s) by the "
+          f"coordinator, {result.lost_leases} lease takeover(s) total")
+    print(f"converged   : {result.converged} ({done}/{total} done)")
+    print(f"bit-identical to serial runner: {result.bit_identical}")
+    if result.missing:
+        print(f"  missing   : {', '.join(result.missing)}")
+    if result.mismatches:
+        print(f"  mismatched: {', '.join(result.mismatches)}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

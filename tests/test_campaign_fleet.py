@@ -1,0 +1,512 @@
+"""Tests for lease-based fleet execution (store layer + worker loop).
+
+Every lease-timing assertion runs against an injected fake clock — no
+test here sleeps to make a lease expire, so the "a dead worker's runs
+re-queue within one TTL" bound is asserted exactly, not approximately.
+"""
+
+import sqlite3
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.fleet import (
+    CampaignWorker,
+    FleetConfig,
+    retry_delay_s,
+)
+from repro.campaign.runner import execute_search
+from repro.campaign.spec import CampaignSpec, ObjectiveSpec, RunKey
+from repro.campaign.store import (
+    STATUS_DONE,
+    STATUS_EXHAUSTED,
+    STATUS_PENDING,
+    STATUS_RUNNING,
+    ResultStore,
+)
+from repro.errors import ChrysalisError, ConfigurationError, StoreError
+
+
+def make_key(workload="har", seed=0, **overrides):
+    base = dict(workload=workload, setup="existing", environment="paper",
+                objective=ObjectiveSpec(kind="lat*sp"), seed=seed,
+                population=4, generations=2)
+    base.update(overrides)
+    return RunKey(**base)
+
+
+def make_spec(runs=2, name="fleet", max_attempts=3):
+    return CampaignSpec(
+        name=name, workloads=("har",), setups=("existing",),
+        environments=("indoor",),
+        objectives=(ObjectiveSpec(kind="lat*sp"),),
+        seeds=tuple(range(runs)), population=4, generations=2,
+        max_attempts=max_attempts)
+
+
+SOLUTION = {"schema_version": 1, "fake": True}
+TTL = 10.0
+
+
+class FakeClock:
+    def __init__(self, now=1_000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def store(clock):
+    with ResultStore(":memory:", clock=clock) as s:
+        yield s
+
+
+def fill(store, seeds=(0, 1, 2)):
+    keys = [make_key(seed=s) for s in seeds]
+    store.register("camp", keys)
+    return keys
+
+
+class TestFleetConfig:
+    def test_heartbeat_defaults_to_quarter_ttl(self):
+        assert FleetConfig(lease_ttl_s=8.0).heartbeat_interval_s == 2.0
+        assert FleetConfig(heartbeat_s=0.5).heartbeat_interval_s == 0.5
+
+    def test_rejects_nonsensical_values(self):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(lease_ttl_s=0.0)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(poll_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(lease_ttl_s=2.0, heartbeat_s=2.0)
+
+    def test_attempts_cap_prefers_override(self):
+        spec = make_spec(max_attempts=5)
+        assert FleetConfig().attempts_cap(spec) == 5
+        assert FleetConfig(max_attempts=2).attempts_cap(spec) == 2
+
+
+class TestRetryDelay:
+    def test_deterministic_per_hash_and_attempt(self):
+        config = FleetConfig()
+        assert retry_delay_s("abc", 2, config) == \
+            retry_delay_s("abc", 2, config)
+        assert retry_delay_s("abc", 2, config) != \
+            retry_delay_s("abc", 3, config)
+
+    def test_exponential_with_jitter_bounds(self):
+        config = FleetConfig(backoff_base_s=1.0, backoff_cap_s=1000.0)
+        for attempt in range(1, 8):
+            delay = retry_delay_s("deadbeef", attempt, config)
+            raw = 2.0 ** (attempt - 1)
+            assert 0.75 * raw <= delay <= 1.25 * raw
+
+    def test_cap(self):
+        config = FleetConfig(backoff_base_s=1.0, backoff_cap_s=4.0)
+        assert retry_delay_s("deadbeef", 50, config) <= 4.0 * 1.25
+
+
+class TestClaim:
+    def test_claim_leases_in_grid_order(self, store, clock):
+        keys = fill(store)
+        row = store.claim("camp", "w1", ttl_s=TTL)
+        assert row.run_hash == keys[0].run_hash
+        assert row.status == STATUS_RUNNING
+        assert row.lease_owner == "w1"
+        assert row.lease_deadline == clock.now + TTL
+        assert row.attempts == 1
+
+    def test_two_workers_claim_distinct_runs(self, store):
+        fill(store, seeds=(0, 1))
+        first = store.claim("camp", "w1", ttl_s=TTL)
+        second = store.claim("camp", "w2", ttl_s=TTL)
+        assert first.run_hash != second.run_hash
+        assert store.claim("camp", "w3", ttl_s=TTL) is None
+
+    def test_expired_lease_is_claimable_and_audited(self, store, clock):
+        fill(store, seeds=(0,))
+        row = store.claim("camp", "w1", ttl_s=TTL)
+        clock.advance(TTL + 0.001)
+        taken = store.claim("camp", "w2", ttl_s=TTL)
+        assert taken.run_hash == row.run_hash
+        assert taken.lease_owner == "w2"
+        assert taken.attempts == 2
+        lost = [e for e in taken.attempt_history if e["outcome"] == "lost"]
+        assert lost and lost[0]["worker"] == "w1"
+
+    def test_live_lease_is_not_claimable(self, store, clock):
+        fill(store, seeds=(0,))
+        store.claim("camp", "w1", ttl_s=TTL)
+        clock.advance(TTL - 0.001)  # one tick short of expiry
+        assert store.claim("camp", "w2", ttl_s=TTL) is None
+
+    def test_failed_run_respects_retry_backoff(self, store, clock):
+        [key] = fill(store, seeds=(0,))
+        store.claim("camp", "w1", ttl_s=TTL)
+        store.record_failure(key, error="boom", campaign="camp",
+                             worker_id="w1", max_attempts=3,
+                             retry_delay_s=5.0)
+        assert store.claim("camp", "w1", ttl_s=TTL) is None
+        clock.advance(5.0)
+        assert store.claim("camp", "w1", ttl_s=TTL).run_hash == key.run_hash
+
+    def test_spent_failed_run_is_not_claimable(self, store):
+        [key] = fill(store, seeds=(0,))
+        for _ in range(2):
+            store.claim("camp", "w1", ttl_s=TTL)
+            store.record_failure(key, error="boom", campaign="camp",
+                                 worker_id="w1", retry_delay_s=0.0)
+        assert store.get(key.run_hash).attempts == 2
+        assert store.claim("camp", "w1", ttl_s=TTL, max_attempts=2) is None
+
+
+class TestHeartbeat:
+    def test_extends_deadline_monotonically(self, store, clock):
+        [key] = fill(store, seeds=(0,))
+        store.claim("camp", "w1", ttl_s=TTL)
+        clock.advance(4.0)
+        assert store.heartbeat("w1", key.run_hash, ttl_s=TTL)
+        assert store.get(key.run_hash).lease_deadline == clock.now + TTL
+        # A shorter extension never moves the deadline backwards.
+        assert store.heartbeat("w1", key.run_hash, ttl_s=1.0)
+        assert store.get(key.run_hash).lease_deadline == clock.now + TTL
+
+    def test_returns_false_after_lease_lost(self, store, clock):
+        [key] = fill(store, seeds=(0,))
+        store.claim("camp", "w1", ttl_s=TTL)
+        clock.advance(TTL + 1.0)
+        store.claim("camp", "w2", ttl_s=TTL)
+        assert store.heartbeat("w1", key.run_hash, ttl_s=TTL) is False
+        # ... and the failed beat did not touch w2's lease.
+        assert store.get(key.run_hash).lease_owner == "w2"
+
+    def test_idle_heartbeat_keeps_worker_alive(self, store, clock):
+        store.register_worker("w1", "camp", lease_ttl_s=TTL)
+        clock.advance(3 * TTL)
+        assert not store.workers_status("camp")[0].alive
+        store.heartbeat("w1")
+        assert store.workers_status("camp")[0].alive
+
+
+class TestReap:
+    def test_reclaimed_within_exactly_one_ttl(self, store, clock):
+        """The recovery bound: a dead worker's lease is reclaimable at
+        claim-time + TTL, not a moment later."""
+        [key] = fill(store, seeds=(0,))
+        store.claim("camp", "w1", ttl_s=TTL)
+        clock.advance(TTL - 0.001)
+        assert store.reap_stale("camp") == []
+        clock.advance(0.001)  # exactly one TTL after the claim
+        assert store.reap_stale("camp") == [key.run_hash]
+        assert store.get(key.run_hash).status == STATUS_PENDING
+        assert store.get(key.run_hash).lease_owner is None
+
+    def test_reaped_run_is_immediately_claimable(self, store, clock):
+        [key] = fill(store, seeds=(0,))
+        store.claim("camp", "w1", ttl_s=TTL)
+        clock.advance(TTL)
+        store.reap_stale("camp")
+        taken = store.claim("camp", "w2", ttl_s=TTL)
+        assert taken.run_hash == key.run_hash
+        assert taken.attempts == 2
+
+    def test_reap_exhausts_spent_rows(self, store, clock):
+        [key] = fill(store, seeds=(0,))
+        for _ in range(2):
+            store.claim("camp", "w1", ttl_s=TTL)
+            clock.advance(TTL)
+            reaped = store.reap_stale("camp", max_attempts=2)
+        assert reaped == [key.run_hash]
+        run = store.get(key.run_hash)
+        assert run.status == STATUS_EXHAUSTED
+        assert "lease expired" in run.error
+
+    def test_reap_is_idempotent(self, store, clock):
+        fill(store, seeds=(0,))
+        store.claim("camp", "w1", ttl_s=TTL)
+        clock.advance(TTL)
+        assert len(store.reap_stale("camp")) == 1
+        assert store.reap_stale("camp") == []
+
+
+class TestLeaseGuard:
+    def test_stale_writer_is_dropped(self, store, clock):
+        """A worker that lost its lease cannot clobber the reclaimant."""
+        [key] = fill(store, seeds=(0,))
+        store.claim("camp", "w1", ttl_s=TTL)
+        clock.advance(TTL + 1.0)
+        store.claim("camp", "w2", ttl_s=TTL)  # takeover
+        assert store.record_success(
+            key, score=1.0, panel_cm2=4.0, latency_s=1.0,
+            solution=SOLUTION, campaign="camp", worker_id="w1") is False
+        assert store.get(key.run_hash).status == STATUS_RUNNING
+        assert store.record_success(
+            key, score=1.0, panel_cm2=4.0, latency_s=1.0,
+            solution=SOLUTION, campaign="camp", worker_id="w2") is True
+        assert store.get(key.run_hash).status == STATUS_DONE
+
+    def test_late_write_after_completion_is_dropped(self, store, clock):
+        [key] = fill(store, seeds=(0,))
+        store.claim("camp", "w1", ttl_s=TTL)
+        clock.advance(TTL + 1.0)
+        store.claim("camp", "w2", ttl_s=TTL)
+        store.record_success(key, score=1.0, panel_cm2=4.0, latency_s=1.0,
+                             solution=SOLUTION, campaign="camp",
+                             worker_id="w2")
+        assert store.record_failure(key, error="late", campaign="camp",
+                                    worker_id="w1") is None
+        assert store.get(key.run_hash).status == STATUS_DONE
+
+
+class TestExhaustAndCounts:
+    def test_exhaust_spent_flips_failed_rows(self, store):
+        [key] = fill(store, seeds=(0,))
+        store.claim("camp", "w1", ttl_s=TTL)
+        store.record_failure(key, error="boom", campaign="camp",
+                             worker_id="w1")
+        assert store.exhaust_spent("camp", max_attempts=1) == [key.run_hash]
+        assert store.get(key.run_hash).status == STATUS_EXHAUSTED
+        assert store.exhaust_spent("camp", max_attempts=1) == []
+
+    def test_unfinished_ignores_terminal_rows(self, store):
+        keys = fill(store, seeds=(0, 1, 2))
+        assert store.unfinished_count("camp") == 3
+        store.record_success(keys[0], score=1.0, panel_cm2=4.0,
+                             latency_s=1.0, solution=SOLUTION,
+                             campaign="camp")
+        store.claim("camp", "w1", ttl_s=TTL)
+        store.record_failure(keys[1], error="boom", campaign="camp",
+                             worker_id="w1", max_attempts=1)
+        assert store.get(keys[1].run_hash).status == STATUS_EXHAUSTED
+        assert store.unfinished_count("camp") == 1
+
+    def test_workers_status_liveness(self, store, clock):
+        store.register_worker("w1", "camp", pid=42, lease_ttl_s=TTL)
+        store.register_worker("w2", "camp", lease_ttl_s=TTL)
+        store.retire_worker("w2")
+        clock.advance(2 * TTL + 0.001)
+        by_id = {w.worker_id: w for w in store.workers_status("camp")}
+        assert by_id["w1"].alive is False  # silent past two TTLs: dead
+        assert by_id["w2"].alive is False
+        assert by_id["w2"].retired_at is not None
+
+
+class TestReadonlyOldSchema:
+    """v2 stores stay readable under v3 code without being migrated."""
+
+    def _make_v2_store(self, path):
+        with ResultStore(path) as store:
+            store.record_success(
+                make_key(seed=0), score=1.0, panel_cm2=4.0, latency_s=1.0,
+                solution=SOLUTION, campaign="camp")
+            store.record_success(
+                make_key(seed=1), score=2.0, panel_cm2=2.0, latency_s=2.0,
+                solution=SOLUTION, campaign="camp")
+        conn = sqlite3.connect(path)
+        conn.execute("DROP INDEX IF EXISTS idx_runs_lease")
+        for column in ("lease_owner", "lease_deadline", "retry_at",
+                       "attempts_json"):
+            conn.execute(f"ALTER TABLE runs DROP COLUMN {column}")
+        conn.execute("DROP TABLE workers")
+        conn.execute("UPDATE campaign_meta SET value='2' "
+                     "WHERE key='schema_version'")
+        conn.commit()
+        conn.close()
+
+    def test_reads_without_migrating(self, tmp_path):
+        path = tmp_path / "v2.sqlite"
+        self._make_v2_store(path)
+        with ResultStore(path, readonly=True) as store:
+            counts = store.status_counts("camp")
+            assert counts[STATUS_DONE] == 2
+            assert counts[STATUS_EXHAUSTED] == 0
+            front = store.pareto_slice("camp")
+            assert len(front) == 2
+            run = store.runs(campaign="camp")[0]
+            assert run.lease_owner is None
+            assert run.attempt_history == []
+        # The file was not migrated behind the readers' backs.
+        conn = sqlite3.connect(path)
+        version = conn.execute(
+            "SELECT value FROM campaign_meta "
+            "WHERE key='schema_version'").fetchone()[0]
+        columns = {row[1] for row in
+                   conn.execute("PRAGMA table_info(runs)").fetchall()}
+        conn.close()
+        assert version == "2"
+        assert "lease_owner" not in columns
+
+    def test_readonly_rejects_writes(self, tmp_path):
+        path = tmp_path / "v2.sqlite"
+        self._make_v2_store(path)
+        with ResultStore(path, readonly=True) as store:
+            with pytest.raises(StoreError, match="readonly"):
+                store.register("camp", [make_key(seed=9)])
+
+    def test_readonly_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        ResultStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE campaign_meta SET value='99' "
+                     "WHERE key='schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError, match="schema version"):
+            ResultStore(path, readonly=True)
+
+
+class _FlakyConnection:
+    """Proxy that injects 'database is locked' on the first N writes."""
+
+    def __init__(self, conn, failures):
+        self._conn = conn
+        self.failures = failures
+        self.locked_raised = 0
+
+    def execute(self, sql, *args):
+        if sql.startswith("BEGIN") and self.failures > 0:
+            self.failures -= 1
+            self.locked_raised += 1
+            raise sqlite3.OperationalError("database is locked")
+        return self._conn.execute(sql, *args)
+
+    def __getattr__(self, name):
+        return getattr(self._conn, name)
+
+
+class TestLockRetry:
+    def test_bounded_retry_rides_out_contention(self, store, monkeypatch):
+        monkeypatch.setattr("repro.campaign.store.time.sleep",
+                            lambda _s: None)
+        flaky = _FlakyConnection(store._conn, failures=3)
+        store._conn = flaky
+        assert store.register("camp", [make_key()]) == 1
+        assert flaky.locked_raised == 3
+
+    def test_persistent_lock_becomes_store_error(self, store, monkeypatch):
+        monkeypatch.setattr("repro.campaign.store.time.sleep",
+                            lambda _s: None)
+        store._conn = _FlakyConnection(store._conn, failures=10 ** 9)
+        with pytest.raises(StoreError, match="locked"):
+            store.register("camp", [make_key()])
+
+
+class TestWorkerLoop:
+    """CampaignWorker integration against a real (tiny) search."""
+
+    def _config(self):
+        return FleetConfig(lease_ttl_s=TTL, heartbeat_s=0.05, poll_s=0.02,
+                           backoff_base_s=0.01, backoff_cap_s=0.02)
+
+    def test_two_workers_one_store_no_double_execution(self, tmp_path):
+        spec = make_spec(runs=4, name="contend")
+        path = tmp_path / "contend.sqlite"
+        lock = threading.Lock()
+        executions = []
+
+        def tracked(key):
+            start = time.monotonic()
+            result = execute_search(key)
+            with lock:
+                executions.append((key.run_hash, start, time.monotonic()))
+            return result
+
+        workers = [CampaignWorker(spec, path, worker_id=f"w{i}",
+                                  config=self._config(), execute=tracked)
+                   for i in range(2)]
+        threads = [threading.Thread(target=w.run) for w in workers]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+        with ResultStore(path) as store:
+            counts = store.status_counts("contend")
+            assert counts[STATUS_DONE] == 4
+            assert store.unfinished_count("contend") == 0
+        hashes = [run_hash for run_hash, _, _ in executions]
+        assert sorted(hashes) == sorted(k.run_hash for k in spec.expand())
+        assert len(set(hashes)) == len(hashes)  # nothing ran twice
+
+    def test_failing_run_exhausts_and_worker_terminates(self, tmp_path):
+        spec = make_spec(runs=2, name="flaky", max_attempts=2)
+        path = tmp_path / "flaky.sqlite"
+        doomed = spec.expand()[0].run_hash
+
+        def execute(key):
+            if key.run_hash == doomed:
+                raise ChrysalisError("no feasible design")
+            return execute_search(key)
+
+        summary = CampaignWorker(spec, path, worker_id="w0",
+                                 config=self._config(),
+                                 execute=execute).run()
+        assert summary.done == 1
+        assert summary.failed == 2  # max_attempts burned
+        with ResultStore(path) as store:
+            assert store.get(doomed).status == STATUS_EXHAUSTED
+            assert store.status_counts("flaky")[STATUS_DONE] == 1
+            history = store.get(doomed).attempt_history
+            assert [e["outcome"] for e in history] == ["failed", "exhausted"]
+
+
+OPS = st.lists(
+    st.tuples(st.sampled_from(["claim-a", "claim-b", "beat-a", "beat-b",
+                               "advance", "reap"]),
+              st.floats(min_value=0.1, max_value=3 * TTL)),
+    max_size=30)
+
+
+class TestLeaseExclusionProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OPS)
+    def test_no_run_is_ever_held_by_two_live_leases(self, ops):
+        """Under any interleaving of claims, heartbeats, reaps, and time,
+        a claim only ever takes a run whose previous lease has expired."""
+        clock = FakeClock()
+        with ResultStore(":memory:", clock=clock) as store:
+            store.register("camp", [make_key(seed=s) for s in range(2)])
+            leases = {}  # run_hash -> (owner, deadline) model
+            for op, value in ops:
+                now = clock.now
+                if op.startswith("claim"):
+                    worker = op[-1]
+                    row = store.claim("camp", worker, ttl_s=TTL)
+                    if row is not None:
+                        prior = leases.get(row.run_hash)
+                        assert prior is None or prior[0] == worker \
+                            or prior[1] <= now, \
+                            f"claim by {worker} stole a live lease {prior}"
+                        leases[row.run_hash] = (worker, now + TTL)
+                elif op.startswith("beat"):
+                    worker = op[-1]
+                    for run_hash, (owner, deadline) in list(leases.items()):
+                        if owner != worker:
+                            continue
+                        held = store.heartbeat(worker, run_hash, ttl_s=TTL)
+                        # Ownership only changes via claim/reap (both
+                        # update the model), so a modeled owner's beat
+                        # must succeed — even past the deadline, an
+                        # unreclaimed lease revives.
+                        assert held, "beat failed for the modeled owner"
+                        leases[run_hash] = (worker,
+                                            max(deadline, now + TTL))
+                elif op == "advance":
+                    clock.advance(value)
+                else:
+                    for run_hash in store.reap_stale("camp"):
+                        assert leases[run_hash][1] <= now, \
+                            "reap took a live lease"
+                        del leases[run_hash]

@@ -1,0 +1,58 @@
+"""Crash-injection tests: SIGKILL a worker, the fleet still converges.
+
+These drive real subprocess fleets through :mod:`tests/_chaos`, so they
+are the slowest campaign tests (a few seconds each): short lease TTLs
+keep recovery fast, and an artificial per-run delay keeps the kill
+window wide enough to land deterministically.
+"""
+
+import sys
+
+import pytest
+
+from repro.campaign.store import STATUS_DONE
+from tests import _chaos
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """One serial ground-truth store shared by every scenario here."""
+    spec = _chaos.build_spec(runs=6)
+    path = tmp_path_factory.mktemp("chaos-ref") / "reference.sqlite"
+    return _chaos.serial_reference(spec, path)
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+class TestKillAndReap:
+    def test_sigkill_mid_run_converges_bit_identical(self, tmp_path,
+                                                     reference):
+        """Kill 1 of 3 workers while it holds a lease: the survivors
+        reclaim its runs within one TTL and finish the campaign with
+        solutions byte-identical to the single-process runner."""
+        result = _chaos.run_chaos(
+            runs=6, workers=3, kill=1, ttl_s=1.0, run_delay_s=0.3,
+            seed=0, kill_when="lease",
+            store_path=tmp_path / "fleet.sqlite", reference=reference)
+        assert result.killed, "the saboteur never fired"
+        assert result.converged, f"did not converge: {result.counts}"
+        assert result.counts[STATUS_DONE] == 6
+        # The dead worker held a lease; its run must have been taken
+        # over — by the coordinator's reap or directly by a survivor's
+        # claim, either of which audits a lost lease.
+        assert result.lost_leases >= 1, \
+            "the dead worker's lease was never taken over"
+        assert result.bit_identical, (
+            f"missing={result.missing} mismatched={result.mismatches}")
+
+    def test_sigkill_between_claims_converges(self, tmp_path, reference):
+        """Kill a worker as soon as it registers (possibly idle, between
+        heartbeats): degraded fleet, same result."""
+        result = _chaos.run_chaos(
+            runs=6, workers=2, kill=1, ttl_s=1.0, run_delay_s=0.2,
+            seed=1, kill_when="registered",
+            store_path=tmp_path / "fleet.sqlite", reference=reference)
+        assert result.killed
+        assert result.converged, f"did not converge: {result.counts}"
+        assert result.counts[STATUS_DONE] == 6
+        assert result.bit_identical, (
+            f"missing={result.missing} mismatched={result.mismatches}")

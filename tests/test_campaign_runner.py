@@ -9,7 +9,12 @@ import pytest
 
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignSpec, ObjectiveSpec
-from repro.campaign.store import STATUS_DONE, STATUS_FAILED, ResultStore
+from repro.campaign.store import (
+    STATUS_DONE,
+    STATUS_EXHAUSTED,
+    STATUS_FAILED,
+    ResultStore,
+)
 from repro.core.chrysalis import Chrysalis
 from repro.errors import SearchError
 from repro.explore.ga import GAConfig
@@ -130,6 +135,40 @@ class TestResume:
         StubRunner(spec, store, solved=solved).run()
         assert store.status_counts("camp")[STATUS_DONE] == 2
         assert store.get(doomed).attempts == 2
+
+    def test_retries_stop_at_max_attempts(self, store, solved):
+        """A deterministically broken run must not retry forever: after
+        ``max_attempts`` invocations it is exhausted and skipped."""
+        spec = make_spec(seeds=(0, 1))
+        doomed = spec.expand()[0].run_hash
+        for _ in range(2):
+            runner = StubRunner(spec, store, solved=solved,
+                                fail_hashes={doomed}, max_attempts=2)
+            runner.run()
+        row = store.get(doomed)
+        assert row.status == STATUS_EXHAUSTED
+        assert row.attempts == 2
+
+        # Re-invoking the campaign executes nothing: the exhausted row
+        # is terminal, the done row stays done.
+        final = StubRunner(spec, store, solved=solved,
+                           fail_hashes={doomed}, max_attempts=2)
+        progress = final.run()
+        assert final.executed_keys == []
+        assert progress.skipped == 2
+        counts = store.status_counts("camp")
+        assert counts[STATUS_DONE] == 1
+        assert counts[STATUS_EXHAUSTED] == 1
+
+    def test_exhausted_surfaces_in_progress_and_outcome(self, store, solved):
+        spec = make_spec(seeds=(0,))
+        doomed = spec.expand()[0].run_hash
+        runner = StubRunner(spec, store, solved=solved,
+                            fail_hashes={doomed}, max_attempts=1)
+        progress = runner.run()
+        assert progress.exhausted == 1
+        assert progress.executed[0].status == STATUS_EXHAUSTED
+        assert "exhausted" in progress.render()
 
 
 class TestFailures:

@@ -7,6 +7,7 @@ import pytest
 from repro.campaign.spec import ObjectiveSpec, RunKey
 from repro.campaign.store import (
     STATUS_DONE,
+    STATUS_EXHAUSTED,
     STATUS_FAILED,
     STATUS_PENDING,
     STATUS_RUNNING,
@@ -40,7 +41,7 @@ class TestSchema:
         with ResultStore(path) as store:  # reopen: schema already there
             assert store.status_counts() == {
                 STATUS_PENDING: 0, STATUS_RUNNING: 0,
-                STATUS_DONE: 0, STATUS_FAILED: 0}
+                STATUS_DONE: 0, STATUS_FAILED: 0, STATUS_EXHAUSTED: 0}
 
     def test_wal_mode(self, store):
         row = store._conn.execute("PRAGMA journal_mode").fetchone()
@@ -173,7 +174,7 @@ class TestQueries:
         self._fill(store)
         assert store.status_counts("camp") == {
             STATUS_PENDING: 1, STATUS_RUNNING: 0,
-            STATUS_DONE: 1, STATUS_FAILED: 1}
+            STATUS_DONE: 1, STATUS_FAILED: 1, STATUS_EXHAUSTED: 0}
 
     def test_campaigns_listing(self, store):
         self._fill(store)
@@ -237,11 +238,11 @@ class TestObsBlobs:
                      "WHERE key='schema_version'")
         conn.commit()
         conn.close()
-        with ResultStore(path) as store:  # reopening migrates
+        with ResultStore(path) as store:  # reopening migrates (to v3)
             row = store._conn.execute(
                 "SELECT value FROM campaign_meta "
                 "WHERE key='schema_version'").fetchone()
-            assert row[0] == "2"
+            assert row[0] == "3"
             store.record_success(make_key(), score=1.0, panel_cm2=4.0,
                                  latency_s=1.0, solution=SOLUTION,
                                  campaign="camp", obs={"version": 1})
