@@ -1,22 +1,28 @@
 #!/usr/bin/env python
-"""Search-throughput benchmark: serial vs memoized vs parallel.
+"""Search-throughput benchmark: serial vs memoized vs parallel vs batched.
 
-Runs the same fixed-seed bi-level search three ways —
+Runs the same fixed-seed bi-level search four ways —
 
-* ``serial-cold``   — one process, every cache disabled and empty;
-* ``memoized``      — one process, layer-cost + mapper caches on
-  (cleared first, so the number measures *within-run* amortization);
-* ``parallel``      — ``--workers`` processes on top of the caches —
+* ``serial_cold`` — one process, every cache disabled and cleared
+  before *each* repeat: the honest scalar baseline;
+* ``memoized``    — one process, layer-cost cache + mapper memo on,
+  cleared once per mode — the second repeat runs against a warm
+  process-wide memo, so this mode measures *cross-run* amortization
+  (its ``mapper_hit_rate`` must be > 0; it was pinned at 0.0 while the
+  memo's lifetime was one explorer);
+* ``parallel``    — ``--workers`` processes on top of the caches;
+* ``batched``     — one process, vectorized generation evaluation
+  (``GAConfig.batched``), caches cleared before each repeat so the
+  reported speedup is cold-path against ``serial_cold`` —
 
-verifies that all three return the *identical* best design and score
-(the PR's core invariant), and writes the resulting throughput and
-cache-hit numbers to ``BENCH_search.json``.
+verifies that all four return the *identical* best design and score,
+and writes the resulting throughput and cache-hit numbers to
+``BENCH_search.json``.
 
 Each mode is timed ``--repeats`` times and the fastest run is kept, so
 the reported speedups are about the code, not scheduler noise.  CI runs
-``--smoke`` (a ~1 s budget) and archives the JSON as an artifact; the
-smoke budget is sized so the memoized configuration clears a 2x
-evals/s speedup over serial-cold with margin.
+``--smoke --min-batched-speedup 8`` (a ~1 s budget) and archives the
+JSON as an artifact.
 
 Usage::
 
@@ -31,22 +37,36 @@ import argparse
 import json
 import pathlib
 import sys
-import time
 from typing import Optional
 
 from repro.dataflow.cost_model import (clear_layer_cost_cache,
                                        configure_layer_cost_cache)
 from repro.explore.bilevel import BilevelExplorer, SearchResult
 from repro.explore.ga import GAConfig
+from repro.explore.mapper_search import (clear_mapper_memo,
+                                         configure_mapper_memo)
 from repro.explore.objectives import Objective
 from repro.explore.space import DesignSpace
 from repro.workloads import zoo
 
 
-def _run_search(workload: str, setup: str, config: GAConfig,
-                caches: bool) -> SearchResult:
-    configure_layer_cost_cache(enabled=caches)
+def _configure_caches(enabled: bool) -> None:
+    """The layer-cost cache and mapper memo always switch together.
+
+    Asymmetric states were the source of the pre-PR-7 accounting bugs
+    (a warm layer cache under a cold mapper memo, and vice versa, make
+    the per-mode numbers incomparable).
+    """
+    configure_layer_cost_cache(enabled=enabled)
+    configure_mapper_memo(enabled=enabled)
+
+
+def _clear_caches() -> None:
     clear_layer_cost_cache()
+    clear_mapper_memo()
+
+
+def _run_search(workload: str, setup: str, config: GAConfig) -> SearchResult:
     space = (DesignSpace.existing_aut() if setup == "existing"
              else DesignSpace.future_aut())
     explorer = BilevelExplorer(
@@ -59,11 +79,21 @@ def _run_search(workload: str, setup: str, config: GAConfig,
 
 
 def _bench_mode(workload: str, setup: str, config: GAConfig,
-                caches: bool, repeats: int) -> SearchResult:
-    """Fastest of ``repeats`` runs (results are deterministic)."""
+                caches: bool, repeats: int,
+                clear_each_repeat: bool) -> SearchResult:
+    """Fastest of ``repeats`` runs (results are deterministic).
+
+    ``clear_each_repeat=True`` makes every repeat cold (baseline and
+    batched modes); ``False`` clears once, so later repeats measure the
+    warm process-wide caches (memoized and parallel modes).
+    """
+    _configure_caches(enabled=caches)
+    _clear_caches()
     best: Optional[SearchResult] = None
-    for _ in range(repeats):
-        result = _run_search(workload, setup, config, caches)
+    for index in range(repeats):
+        if clear_each_repeat and index > 0:
+            _clear_caches()
+        result = _run_search(workload, setup, config)
         if best is None or result.stats.search_seconds < \
                 best.stats.search_seconds:
             best = result
@@ -84,6 +114,10 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--repeats", type=int, default=2,
                         help="timed runs per mode; fastest is reported")
+    parser.add_argument("--min-batched-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail (exit 1) unless the batched mode is at "
+                             "least X times faster than serial_cold")
     parser.add_argument("--output", default="BENCH_search.json")
     args = parser.parse_args(argv)
 
@@ -94,6 +128,7 @@ def main(argv: Optional[list] = None) -> int:
                 generations=args.generations, seed=args.seed)
     serial_cfg = GAConfig(**base)
     parallel_cfg = GAConfig(**base, workers=args.workers)
+    batched_cfg = GAConfig(**base, batched=True)
 
     print(f"benchmarking {args.workload} ({args.setup} space), "
           f"population={args.population} generations={args.generations} "
@@ -102,14 +137,18 @@ def main(argv: Optional[list] = None) -> int:
     modes = {}
     modes["serial_cold"] = _bench_mode(
         args.workload, args.setup, serial_cfg, caches=False,
-        repeats=args.repeats)
+        repeats=args.repeats, clear_each_repeat=True)
     modes["memoized"] = _bench_mode(
         args.workload, args.setup, serial_cfg, caches=True,
-        repeats=args.repeats)
+        repeats=args.repeats, clear_each_repeat=False)
     modes["parallel"] = _bench_mode(
         args.workload, args.setup, parallel_cfg, caches=True,
-        repeats=args.repeats)
-    configure_layer_cost_cache(enabled=True)
+        repeats=args.repeats, clear_each_repeat=False)
+    modes["batched"] = _bench_mode(
+        args.workload, args.setup, batched_cfg, caches=True,
+        repeats=args.repeats, clear_each_repeat=True)
+    _configure_caches(enabled=True)
+    _clear_caches()
 
     reference = modes["serial_cold"]
     identical_best = all(
@@ -118,6 +157,11 @@ def main(argv: Optional[list] = None) -> int:
     )
 
     cold_rate = reference.stats.evals_per_second
+
+    def speedup(name: str) -> float:
+        return (modes[name].stats.evals_per_second / cold_rate
+                if cold_rate else 0.0)
+
     report = {
         "workload": args.workload,
         "setup": args.setup,
@@ -129,10 +173,9 @@ def main(argv: Optional[list] = None) -> int:
         "best_score": reference.score,
         "modes": {name: result.stats.as_dict()
                   for name, result in modes.items()},
-        "speedup_memoized": (modes["memoized"].stats.evals_per_second
-                             / cold_rate if cold_rate else 0.0),
-        "speedup_parallel": (modes["parallel"].stats.evals_per_second
-                             / cold_rate if cold_rate else 0.0),
+        "speedup_memoized": speedup("memoized"),
+        "speedup_parallel": speedup("parallel"),
+        "speedup_batched": speedup("batched"),
     }
 
     path = pathlib.Path(args.output)
@@ -146,14 +189,26 @@ def main(argv: Optional[list] = None) -> int:
               f"mapper hits {stats.mapper_hit_rate:6.1%}")
     print(f"  speedup: memoized {report['speedup_memoized']:.2f}x, "
           f"parallel {report['speedup_parallel']:.2f}x "
-          f"({args.workers} workers)")
+          f"({args.workers} workers), "
+          f"batched {report['speedup_batched']:.2f}x")
     print(f"  identical best across modes: {identical_best}")
     print(f"report written to {path}")
 
+    failed = False
     if not identical_best:
         print("ERROR: modes disagreed on the best design", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if modes["memoized"].stats.mapper_hit_rate <= 0.0:
+        print("ERROR: memoized mode recorded no mapper-memo hits "
+              "(the process-wide memo is dead again)", file=sys.stderr)
+        failed = True
+    if (args.min_batched_speedup is not None
+            and report["speedup_batched"] < args.min_batched_speedup):
+        print(f"ERROR: batched speedup {report['speedup_batched']:.2f}x is "
+              f"below the required {args.min_batched_speedup:g}x",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -39,7 +39,8 @@ import importlib
 import warnings
 
 from repro import obs
-from repro.api import FIDELITIES, EvaluationReport, evaluate
+from repro.api import (FIDELITIES, EvaluationReport, evaluate,
+                       evaluate_batch)
 from repro.campaign import CampaignSpec, ResultStore, run_campaign
 from repro.core.chrysalis import Chrysalis
 from repro.core.result import AuTSolution
@@ -75,6 +76,7 @@ __all__ = [
     "Scenario",
     "__version__",
     "evaluate",
+    "evaluate_batch",
     "obs",
     "run_campaign",
     "run_faults_sweep",

@@ -24,7 +24,7 @@ snapshot of the evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.scenarios import Scenario, scenario_by_name
 from repro.design import AuTDesign
@@ -32,6 +32,7 @@ from repro.energy.environment import LightEnvironment
 from repro.errors import ConfigurationError
 from repro.hardware.checkpoint import CheckpointModel
 from repro.obs import state as obs_state
+from repro.sim.analytical import BatchAnalyticalModel
 from repro.sim.engine import SimulationResult
 from repro.sim.evaluator import ChrysalisEvaluator, _average_metrics
 from repro.sim.metrics import InferenceMetrics
@@ -209,4 +210,87 @@ def evaluate(design: AuTDesign,
     return report
 
 
-__all__ = ["FIDELITIES", "EvaluationReport", "evaluate"]
+def evaluate_batch(designs: Sequence[AuTDesign],
+                   workload: Union[str, Network],
+                   scenario: Optional[Union[str, Scenario]] = None,
+                   *,
+                   environments: Optional[Sequence[LightEnvironment]] = None,
+                   checkpoint: Optional[CheckpointModel] = None,
+                   obs: bool = False) -> List[EvaluationReport]:
+    """Price many designs on one workload in one vectorized sweep.
+
+    The batched counterpart of :func:`evaluate` at analytical fidelity:
+    designs sharing an accelerator configuration are priced together
+    (hardware built once, per-layer costs batched through numpy via
+    :class:`~repro.sim.analytical.BatchAnalyticalModel`), so a whole GA
+    population or Pareto front costs a handful of array sweeps instead
+    of ``N`` scalar evaluations.
+
+    Every report is **bit-identical** to ``evaluate(design, workload,
+    fidelity="analytical", ...)`` for the same design — same averaged
+    metrics, same per-environment breakdown (environments up to and
+    including the first infeasible one), same infeasibility verdicts.
+    The step simulator has no batched form; asking for it is a
+    :class:`ConfigurationError` at :func:`evaluate`'s door, and this
+    function simply does not take a fidelity.
+
+    Returns one :class:`EvaluationReport` per design, in order; an
+    empty design list returns an empty list.
+    """
+    designs = list(designs)
+    network = _resolve_workload(workload)
+    envs = _resolve_environments(scenario, environments)
+    if not designs:
+        return []
+
+    def _run() -> List[EvaluationReport]:
+        metrics_by_env = [
+            BatchAnalyticalModel(network, environment,
+                                 checkpoint).evaluate_many(designs)
+            for environment in envs
+        ]
+        reports: List[EvaluationReport] = []
+        for index, design in enumerate(designs):
+            by_env: Dict[str, InferenceMetrics] = {}
+            average: Optional[InferenceMetrics] = None
+            for environment, env_metrics in zip(envs, metrics_by_env):
+                metrics = env_metrics[index]
+                by_env[environment.name] = metrics
+                if not metrics.feasible:
+                    average = metrics
+                    break
+            if average is None:
+                average = _average_metrics(list(by_env.values()))
+            reports.append(EvaluationReport(
+                design=design,
+                workload=network.name,
+                fidelity="analytical",
+                metrics=average,
+                by_environment=by_env,
+                simulations=None,
+            ))
+        return reports
+
+    enabled_here = False
+    if obs and not obs_state.OBS.enabled:
+        obs_state.enable(profile=True)
+        enabled_here = True
+    try:
+        if obs_state.OBS.enabled:
+            with obs_state.run_scope("api.evaluate_batch",
+                                     workload=network.name,
+                                     designs=len(designs)) as scope:
+                reports = _run()
+            snapshot = scope.snapshot()
+            for report in reports:
+                report.obs = snapshot
+        else:
+            reports = _run()
+    finally:
+        if enabled_here:
+            obs_state.disable()
+            obs_state.reset()
+    return reports
+
+
+__all__ = ["FIDELITIES", "EvaluationReport", "evaluate", "evaluate_batch"]

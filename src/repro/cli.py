@@ -219,7 +219,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         objective=_build_objective(args),
         ga_config=GAConfig(population_size=args.population,
                            generations=args.generations, seed=args.seed,
-                           workers=args.workers),
+                           workers=args.workers, batched=args.batched),
     )
     solution = tool.generate()
     print(solution.report())
@@ -480,6 +480,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--workers", type=int, default=1,
                         help="worker processes for genome evaluation "
                              "(1 = serial; N > 1 gives identical results)")
+    search.add_argument("--batched", action="store_true",
+                        help="vectorized in-process generation evaluation "
+                             "(identical results; mutually exclusive with "
+                             "--workers > 1)")
     search.add_argument("--output", "--json", dest="output", default=None,
                         metavar="PATH", action=_DeprecatedAlias,
                         deprecated_aliases={"--json"}, preferred="--output",

@@ -20,9 +20,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.dataflow.cost_model import layer_cost_cache_stats
+from repro.dataflow.cost_model import (layer_cost_cache_stats,
+                                       merge_layer_cost_entries)
 from repro.dataflow.mapping import LayerMapping
-from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.design import AuTDesign
 from repro.energy.environment import LightEnvironment
 from repro.errors import (
     ChrysalisError,
@@ -35,7 +36,7 @@ from repro.errors import (
 )
 from repro.explore.failures import FailureLog, FailureRecord, describe_genome
 from repro.explore.ga import GAConfig, GAHistory, GeneticAlgorithm, genome_key
-from repro.explore.mapper_search import MappingOptimizer
+from repro.explore.mapper_search import MappingOptimizer, merge_mapper_entries
 from repro.explore.objectives import Objective
 from repro.explore.pareto import ParetoPoint
 from repro.explore.space import DesignSpace, Genome
@@ -123,14 +124,11 @@ class BilevelExplorer:
         #: (the pre-v1.1 cache was keyed by ``id(design.mappings)`` and
         #: never read).
         self._design_cache: Dict[tuple, AuTDesign] = {}
-        #: Whole SW-level search results keyed by the canonical
-        #: ``(EnergyDesign, InferenceDesign)`` projection of a genome, so
-        #: genomes differing only in genes the lowering ignores reuse the
-        #: entire mapper result.  ``None`` (unmappable) is cached too.
-        self._mapper_cache: Dict[
-            Tuple[EnergyDesign, InferenceDesign],
-            Optional[Tuple[LayerMapping, ...]],
-        ] = {}
+        # Whole SW-level search results live in the *process-wide*
+        # mapper memo (see repro.explore.mapper_search._MapperMemo),
+        # probed through self.mapper.  PR 2 kept an equivalent dict per
+        # explorer, which is why the bench never saw a mapper hit: every
+        # run builds a fresh explorer, so the memo died with it.
         self._mapper_hits = 0
         self._mapper_misses = 0
         self._design_cache_hits = 0
@@ -219,10 +217,27 @@ class BilevelExplorer:
             merge_snapshot(outcome.obs)
         self.stats.hw_evaluations += 1
         self.stats.eval_seconds += outcome.eval_seconds
-        self.stats.mapper_hits += outcome.mapper_hits
-        self.stats.mapper_misses += outcome.mapper_misses
-        self.stats.layer_cost_hits += outcome.layer_cost_hits
-        self.stats.layer_cost_misses += outcome.layer_cost_misses
+        mapper_hits = outcome.mapper_hits
+        mapper_misses = outcome.mapper_misses
+        layer_hits = outcome.layer_cost_hits
+        layer_misses = outcome.layer_cost_misses
+        if outcome.layer_cost_entries:
+            # Merge the worker's cache journal.  Entries the parent
+            # already held were worker-local misses that a serial run
+            # would have scored as hits; because outcomes are applied in
+            # submission order, reclassifying them pins the parallel
+            # hit/miss totals to the serial run's, key for key.
+            reclassified = merge_layer_cost_entries(outcome.layer_cost_entries)
+            layer_hits += reclassified
+            layer_misses -= reclassified
+        if outcome.mapper_entries:
+            reclassified = merge_mapper_entries(outcome.mapper_entries)
+            mapper_hits += reclassified
+            mapper_misses -= reclassified
+        self.stats.mapper_hits += mapper_hits
+        self.stats.mapper_misses += mapper_misses
+        self.stats.layer_cost_hits += layer_hits
+        self.stats.layer_cost_misses += layer_misses
         if outcome.failure is not None:
             self.failures.records.append(outcome.failure)
             logger.warning("absorbed %s for candidate %s: %s",
@@ -230,9 +245,9 @@ class BilevelExplorer:
                            outcome.failure.message)
         if outcome.design is not None:
             self._design_cache[genome_key(genome)] = outcome.design
-            # Warm the projection cache too: outcomes computed in worker
-            # processes never touched the parent's caches.
-            self._mapper_cache.setdefault(
+            # Warm the projection memo too (insert-if-absent): belt and
+            # braces for outcomes whose journal was unavailable.
+            self.mapper.memo_fill(
                 (outcome.design.energy, outcome.design.inference),
                 outcome.design.mappings,
             )
@@ -264,13 +279,13 @@ class BilevelExplorer:
         )
         seeded = self.space.to_design(genome, seed_mappings)
         key = (seeded.energy, seeded.inference)
-        if key in self._mapper_cache:
+        hit, mappings = self.mapper.memo_probe(key)
+        if hit:
             self._mapper_hits += 1
-            mappings = self._mapper_cache[key]
         else:
             self._mapper_misses += 1
             mappings = self.mapper.optimize(seeded.energy, seeded.inference)
-            self._mapper_cache[key] = mappings
+            self.mapper.memo_fill(key, mappings)
         if mappings is None:
             return None
         return self.space.to_design(genome, mappings)
@@ -319,6 +334,11 @@ class BilevelExplorer:
 
             batch_evaluator = ParallelGenomeEvaluator(
                 self, workers=self.ga_config.workers)
+        elif self.ga_config.batched:
+            # Imported lazily: batch_eval.py imports this module.
+            from repro.explore.batch_eval import VectorizedGenomeEvaluator
+
+            batch_evaluator = VectorizedGenomeEvaluator(self)
         algorithm = GeneticAlgorithm(self.space, self.evaluate_genome,
                                      self.ga_config,
                                      seeds=self._seed_genomes(),

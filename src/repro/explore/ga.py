@@ -61,6 +61,14 @@ class GAConfig:
     #: N > 1 evaluates each generation's uncached genomes concurrently
     #: (generation-synchronous, so results are identical to serial).
     workers: int = 1
+    #: Vectorized in-process evaluation: each generation's uncached
+    #: genomes are priced as one numpy sweep
+    #: (:class:`repro.explore.batch_eval.VectorizedGenomeEvaluator`),
+    #: bit-identical to the scalar path.  Mutually exclusive with
+    #: ``workers > 1`` — the sweep already amortizes what the pool
+    #: parallelizes, and combining them would interleave two different
+    #: cache-accounting protocols.
+    batched: bool = False
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -75,6 +83,10 @@ class GAConfig:
                 "elite_count outside [0, population_size)")
         if self.workers < 1:
             raise ConfigurationError("workers must be at least 1")
+        if self.batched and self.workers > 1:
+            raise ConfigurationError(
+                "batched evaluation is in-process; use batched=True with "
+                "workers=1, or workers>1 without batched")
 
 
 class BatchEvaluator(Protocol):

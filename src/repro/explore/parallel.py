@@ -36,8 +36,10 @@ from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
+from repro.dataflow import cost_model as _cost_cache
 from repro.energy.environment import LightEnvironment
 from repro.errors import ConfigurationError
+from repro.explore import mapper_search as _mapper_memo
 from repro.explore.objectives import Objective
 from repro.explore.space import DesignSpace, Genome
 from repro.explore.stats import GenomeOutcome
@@ -65,6 +67,12 @@ class WorkerSpec:
     #: so workers record (and ship back) the same telemetry.
     obs_enabled: bool = False
     obs_profile: bool = False
+    #: Snapshots of the parent's layer-cost cache and mapper memo at
+    #: pool creation.  On a warm start (second run in one process) they
+    #: stop every worker from re-missing keys the parent already holds;
+    #: on a cold start they are simply empty.
+    layer_cost_seed: Tuple[tuple, ...] = ()
+    mapper_seed: Tuple[tuple, ...] = ()
 
     @classmethod
     def from_explorer(cls, explorer: "BilevelExplorer") -> "WorkerSpec":
@@ -77,6 +85,8 @@ class WorkerSpec:
             candidate_time_budget_s=explorer.candidate_time_budget_s,
             obs_enabled=obs_state.OBS.enabled,
             obs_profile=obs_state.OBS.profile,
+            layer_cost_seed=_cost_cache.snapshot_layer_cost_entries(),
+            mapper_seed=_mapper_memo.snapshot_mapper_entries(),
         )
 
     def build(self) -> "BilevelExplorer":
@@ -99,6 +109,13 @@ _WORKER: Optional["BilevelExplorer"] = None
 def _init_worker(spec: WorkerSpec) -> None:
     global _WORKER
     _WORKER = spec.build()
+    # Warm the process-local caches with the parent's state, then start
+    # journaling so every insert this worker makes ships home inside its
+    # GenomeOutcome (seeded entries are not journaled — no echo).
+    _cost_cache.seed_layer_cost_cache(spec.layer_cost_seed)
+    _mapper_memo.seed_mapper_memo(spec.mapper_seed)
+    _cost_cache.start_layer_cost_journal()
+    _mapper_memo.start_mapper_journal()
     if spec.obs_enabled:
         obs_state.enable(profile=spec.obs_profile)
 
@@ -106,14 +123,17 @@ def _init_worker(spec: WorkerSpec) -> None:
 def _compute_outcome(genome: Genome) -> GenomeOutcome:
     assert _WORKER is not None, "worker pool was not initialized"
     if not obs_state.OBS.enabled:
-        return _WORKER.compute_outcome(genome)
-    # Merge-on-return: record this task into a fresh scope, ship the
-    # snapshot with the result, and drop the worker-local copy (the
-    # parent process owns aggregation).
-    with obs_state.run_scope() as scope:
         outcome = _WORKER.compute_outcome(genome)
-    outcome.obs = scope.snapshot()
-    obs_state.reset()
+    else:
+        # Merge-on-return: record this task into a fresh scope, ship the
+        # snapshot with the result, and drop the worker-local copy (the
+        # parent process owns aggregation).
+        with obs_state.run_scope() as scope:
+            outcome = _WORKER.compute_outcome(genome)
+        outcome.obs = scope.snapshot()
+        obs_state.reset()
+    outcome.layer_cost_entries = _cost_cache.drain_layer_cost_journal()
+    outcome.mapper_entries = _mapper_memo.drain_mapper_journal()
     return outcome
 
 

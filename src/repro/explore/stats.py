@@ -34,11 +34,16 @@ class SearchStats:
     * ``layer_cost_*`` — the process-wide LRU over
       ``(hardware, checkpoint, layer, mapping)`` tile costs
       (:func:`repro.dataflow.cost_model.layer_cost_cache_stats`);
-    * ``mapper_*`` — the explorer-level memo of whole SW-level mapping
+    * ``mapper_*`` — the process-wide memo of whole SW-level mapping
       searches, keyed by the canonical ``(EnergyDesign,
       InferenceDesign)`` projection of a genome;
     * ``design_cache_hits`` — reuses of a fully lowered design by
-      genome key (e.g. the winner re-lowering at the end of ``run()``).
+      genome key (e.g. the winner re-lowering at the end of ``run()``);
+    * ``batched_*`` — work routed through the vectorized population
+      evaluator (``GAConfig.batched``): sweeps is the number of
+      generation-sized numpy passes, genomes how many candidates they
+      priced, and ``scalar_fallbacks`` how many candidates dropped back
+      to the scalar oracle path (errors, or re-pricing one at a time).
     """
 
     hw_evaluations: int = 0
@@ -50,6 +55,9 @@ class SearchStats:
     layer_cost_hits: int = 0
     layer_cost_misses: int = 0
     design_cache_hits: int = 0
+    batched_sweeps: int = 0
+    batched_genomes: int = 0
+    scalar_fallbacks: int = 0
 
     # -- derived rates -------------------------------------------------------
 
@@ -86,6 +94,11 @@ class SearchStats:
             f"{self.layer_cost_misses} miss(es) "
             f"({self.layer_cost_hit_rate:.1%} hit rate)",
         ]
+        if self.batched_sweeps:
+            lines.append(
+                f"batched     : {self.batched_genomes} genome(s) in "
+                f"{self.batched_sweeps} sweep(s), "
+                f"{self.scalar_fallbacks} scalar fallback(s)")
         return "\n".join(lines)
 
     def as_dict(self) -> Dict[str, float]:
@@ -103,6 +116,9 @@ class SearchStats:
             "layer_cost_misses": self.layer_cost_misses,
             "layer_cost_hit_rate": self.layer_cost_hit_rate,
             "design_cache_hits": self.design_cache_hits,
+            "batched_sweeps": self.batched_sweeps,
+            "batched_genomes": self.batched_genomes,
+            "scalar_fallbacks": self.scalar_fallbacks,
         }
 
 
@@ -127,6 +143,13 @@ class GenomeOutcome:
     layer_cost_hits: int = 0
     layer_cost_misses: int = 0
     design_cache_hits: int = 0
+    #: Journal entries a worker process's caches recorded while this
+    #: genome evaluated — ``(prefix, key, value)`` tuples the parent
+    #: merges back (and uses to reclassify worker-local misses that a
+    #: serial run would have scored as hits).  Empty for in-process
+    #: evaluation, where the caches are already shared.
+    layer_cost_entries: Tuple[tuple, ...] = ()
+    mapper_entries: Tuple[tuple, ...] = ()
     #: Observability snapshot of the evaluation when it ran in a worker
     #: process with observability on (``None`` otherwise, so the common
     #: disabled path adds no pickle weight).  The parent merges it via

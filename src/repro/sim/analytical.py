@@ -18,7 +18,9 @@ It is the inner-loop scorer of the explorer; the step simulator
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.dataflow.cost_model import DataflowCostModel, LayerCost
 from repro.dataflow.mapping import LayerMapping
@@ -216,6 +218,199 @@ class AnalyticalModel:
             exceptions=0,
             sustained_period=sustained_period,
         )
+
+
+class BatchAnalyticalModel:
+    """Prices N ``(design, workload)`` pairs in one vectorized sweep.
+
+    One instance is bound to a ``(network, environment)`` pair and
+    evaluates many :class:`AuTDesign` candidates at once: hardware is
+    built once per distinct :class:`InferenceDesign`, every layer's tile
+    costs are priced by a single
+    :meth:`~repro.dataflow.cost_model.DataflowCostModel.layer_cost_batch`
+    call per group, and the Eq. 7 energy balance runs as elementwise
+    numpy arithmetic over the whole batch.
+
+    Bit-identity contract: for every design the returned
+    :class:`InferenceMetrics` equals ``AnalyticalModel(design, ...)
+    .evaluate()`` exactly — the float chains mirror the scalar code
+    operation for operation (same order, same masking semantics), every
+    ``**``-bearing per-design scalar is computed in pure Python before
+    entering an array, and the three infeasibility branches fire in the
+    scalar model's check order with the scalar model's messages.
+    """
+
+    def __init__(self, network: Network, environment: LightEnvironment,
+                 checkpoint: Optional[CheckpointModel] = None) -> None:
+        self.network = network
+        self.environment = environment
+        self.checkpoint = checkpoint
+
+    # -- plan construction -----------------------------------------------------
+
+    def plans(self, designs: Sequence[AuTDesign]) -> List[List[LayerCost]]:
+        """Per-layer costs for each design, via grouped batch pricing.
+
+        Designs sharing an :class:`InferenceDesign` share hardware and a
+        cost model; their per-layer mappings are priced together, so the
+        layer-cost cache sees exactly one probe per distinct key (the
+        "single memo-cache fill" the batched search mode relies on).
+        """
+        plans: List[Optional[List[LayerCost]]] = [None] * len(designs)
+        groups: dict = {}
+        for index, design in enumerate(designs):
+            design.validate_against(self.network)
+            groups.setdefault(design.inference, []).append(index)
+        for inference, indices in groups.items():
+            hardware = inference.build()
+            checkpoint = self.checkpoint or CheckpointModel(
+                nvm=hardware.nvm.technology
+            )
+            cost_model = DataflowCostModel(hardware, checkpoint)
+            rows: List[List[LayerCost]] = [[] for _ in indices]
+            for layer_index, layer in enumerate(self.network):
+                costs = cost_model.layer_cost_batch(
+                    layer,
+                    [designs[i].mappings[layer_index] for i in indices],
+                )
+                for row, cost in zip(rows, costs):
+                    row.append(cost)
+            for index, row in zip(indices, rows):
+                plans[index] = row
+        return plans  # type: ignore[return-value]
+
+    # -- whole-inference evaluation (Eq. 7, batched) -----------------------------
+
+    def evaluate_many(
+        self, designs: Sequence[AuTDesign]
+    ) -> List[InferenceMetrics]:
+        """One :class:`InferenceMetrics` per design, in order."""
+        designs = list(designs)
+        if not designs:
+            return []
+        return self.evaluate_plans(designs, self.plans(designs))
+
+    def evaluate_plans(
+        self,
+        designs: Sequence[AuTDesign],
+        plans: Sequence[Sequence[LayerCost]],
+    ) -> List[InferenceMetrics]:
+        """Vectorized Eq. 7 over pre-priced plans (one per design)."""
+        n = len(designs)
+        if n == 0:
+            return []
+        k_eh = self.environment.k_eh
+        # Per-design energy-side scalars stay in pure Python: the ``**``
+        # in leak/stored must be CPython's pow to match the scalar path.
+        p_eh_list, leak_list, net_list = [], [], []
+        stored_list, buck_list, chain_list, effective_list = [], [], [], []
+        for design in designs:
+            energy = design.energy
+            pmic = energy.pmic
+            p_eh = energy.build_panel().power(k_eh)
+            leak = energy.k_cap * energy.capacitance_f * pmic.v_on**2
+            net = pmic.charge_power(p_eh) - leak
+            stored = 0.5 * energy.capacitance_f * (
+                pmic.v_on**2 - pmic.v_off**2)
+            chain = pmic.boost_efficiency * pmic.buck_efficiency
+            effective = p_eh * chain - leak * pmic.buck_efficiency
+            p_eh_list.append(p_eh)
+            leak_list.append(leak)
+            net_list.append(net)
+            stored_list.append(stored)
+            buck_list.append(pmic.buck_efficiency)
+            chain_list.append(chain)
+            effective_list.append(effective)
+        p_eh = np.array(p_eh_list)
+        leak = np.array(leak_list)
+        net = np.array(net_list)
+        stored = np.array(stored_list)
+        buck = np.array(buck_list)
+        chain = np.array(chain_list)
+        effective = np.array(effective_list)
+
+        # Eq. 8 per layer + breakdown accumulation, in network order.
+        # Each term is the exact Python expression the scalar loop adds
+        # (LayerCost fields are already Python floats), gathered into an
+        # array and accumulated with the same left-to-right order.
+        bad_layer = np.full(n, -1, dtype=np.int64)
+        compute = np.zeros(n)
+        vm = np.zeros(n)
+        nvm = np.zeros(n)
+        static = np.zeros(n)
+        ckpt = np.zeros(n)
+        busy = np.zeros(n)
+        for layer_index in range(len(self.network)):
+            costs = [plan[layer_index] for plan in plans]
+            tile_energy = np.array([c.tile.energy for c in costs])
+            tile_time = np.array([c.tile.total_time for c in costs])
+            # available_cycle_energy(tile_time), elementwise.
+            available = (stored + np.maximum(net * tile_time, 0.0)) * buck
+            infeasible_here = ~(tile_energy <= available) & (bad_layer < 0)
+            if infeasible_here.any():
+                bad_layer[infeasible_here] = layer_index
+            compute = compute + np.array([c.compute_energy for c in costs])
+            vm = vm + np.array(
+                [c.n_tiles * c.tile.vm_energy for c in costs])
+            nvm = nvm + np.array(
+                [c.n_tiles * c.tile.nvm_energy for c in costs])
+            static = static + np.array([c.static_energy for c in costs])
+            ckpt = ckpt + np.array([c.checkpoint_energy for c in costs])
+            busy = busy + np.array([c.busy_time for c in costs])
+
+        # rail = breakdown.total with cap_leakage/conversion still zero;
+        # mirrors (compute + vm + nvm) + (static + checkpoint + 0 + 0).
+        rail = (compute + vm + nvm) + (static + ckpt)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            banked = (stored + np.maximum(net * 0.0, 0.0)) * buck
+            missing = rail - banked - effective * busy
+            charge = np.maximum(missing, 0.0) / effective
+            e2e = busy + charge
+            sustained = np.maximum(rail / effective, busy)
+            harvested = p_eh * sustained
+            cap_leakage = leak * sustained
+            conversion = harvested * (1.0 - chain)
+
+        metrics: List[InferenceMetrics] = []
+        for i in range(n):
+            if net[i] <= 0.0:
+                metrics.append(InferenceMetrics.infeasible(
+                    "leakage and PMIC losses consume the entire harvest"
+                ))
+                continue
+            if bad_layer[i] >= 0:
+                cost = plans[i][bad_layer[i]]
+                metrics.append(InferenceMetrics.infeasible(
+                    f"layer {cost.layer_name!r}: one tile exceeds the "
+                    f"energy cycle (Eq. 8) with N_tile={cost.n_tiles}"
+                ))
+                continue
+            if effective[i] <= 0.0:
+                metrics.append(InferenceMetrics.infeasible(
+                    "effective charge power is non-positive"
+                ))
+                continue
+            breakdown = EnergyBreakdown(
+                compute=float(compute[i]),
+                vm=float(vm[i]),
+                nvm=float(nvm[i]),
+                static=float(static[i]),
+                checkpoint=float(ckpt[i]),
+                cap_leakage=float(cap_leakage[i]),
+                conversion=float(conversion[i]),
+            )
+            n_tiles_total = sum(cost.n_tiles for cost in plans[i])
+            metrics.append(InferenceMetrics(
+                e2e_latency=float(e2e[i]),
+                busy_time=float(busy[i]),
+                charge_time=float(charge[i]),
+                energy=breakdown,
+                harvested_energy=float(harvested[i]),
+                power_cycles=max(n_tiles_total, 1),
+                exceptions=0,
+                sustained_period=float(sustained[i]),
+            ))
+        return metrics
 
 
 def _next_tile_count(n: int, bound: int) -> int:

@@ -6,9 +6,23 @@ import pytest
 
 from repro.design import AuTDesign, EnergyDesign, InferenceDesign
 from repro.energy.environment import LightEnvironment
+from repro.explore.mapper_search import clear_mapper_memo
 from repro.hardware.accelerators import AcceleratorFamily
 from repro.units import uF
 from repro.workloads import zoo
+
+
+@pytest.fixture(autouse=True)
+def _fresh_mapper_memo():
+    """Isolate tests from the process-wide mapper memo.
+
+    The memo deliberately outlives explorers (that lifetime is the PR 7
+    bugfix), which means one test's SW-level searches would otherwise
+    leak into the next test's hit/miss accounting and monkeypatching.
+    """
+    clear_mapper_memo()
+    yield
+    clear_mapper_memo()
 
 
 @pytest.fixture

@@ -1,0 +1,216 @@
+"""Batch-vs-scalar identity suite for the vectorized evaluation core.
+
+The contract under test: the scalar :class:`AnalyticalModel` is the
+oracle, and every batched path — :class:`BatchAnalyticalModel`, the
+public :func:`repro.evaluate_batch`, and a ``GAConfig(batched=True)``
+search — must reproduce its results *bit for bit* (``==`` on every
+float field, not approx), feasible and infeasible candidates alike.
+"""
+
+import math
+
+import pytest
+
+from repro import evaluate, evaluate_batch
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.errors import ConfigurationError
+from repro.explore.bilevel import BilevelExplorer
+from repro.explore.ga import GAConfig
+from repro.explore.mapper_search import clear_mapper_memo
+from repro.explore.objectives import Objective
+from repro.explore.space import DesignSpace
+from repro.hardware.accelerators import AcceleratorFamily
+from repro.sim.analytical import AnalyticalModel, BatchAnalyticalModel
+from repro.units import uF
+from repro.workloads import zoo
+
+NETWORKS = {
+    "har_cnn": zoo.har_cnn,
+    "mnist_cnn": zoo.mnist_cnn,
+    "cifar10_cnn": zoo.cifar10_cnn,
+}
+
+ENVIRONMENTS = {
+    "brighter": LightEnvironment.brighter,
+    "darker": LightEnvironment.darker,
+}
+
+
+def _designs_for(network):
+    """A zoo of candidates spanning both setups plus pathological ones.
+
+    The last two are deliberately infeasible: a starved harvester whose
+    leakage eats the entire income, and a single-tile mapping whose one
+    tile cannot fit in an energy cycle on the paper's existing AuT.
+    """
+    msp = InferenceDesign.msp430()
+    tpu = InferenceDesign(family=AcceleratorFamily.TPU, n_pes=64,
+                          cache_bytes_per_pe=512)
+    eyeriss = InferenceDesign(family=AcceleratorFamily.EYERISS, n_pes=64,
+                              cache_bytes_per_pe=512)
+    mid = EnergyDesign(panel_area_cm2=8.0, capacitance_f=uF(100))
+    big = EnergyDesign(panel_area_cm2=10.0, capacitance_f=uF(470))
+    starved = EnergyDesign(panel_area_cm2=0.05, capacitance_f=uF(10))
+    return [
+        AuTDesign.with_default_mappings(mid, msp, network, n_tiles=2),
+        AuTDesign.with_default_mappings(big, tpu, network, n_tiles=2),
+        AuTDesign.with_default_mappings(big, eyeriss, network, n_tiles=4),
+        AuTDesign.with_default_mappings(mid, tpu, network, n_tiles=1),
+        AuTDesign.with_default_mappings(starved, msp, network, n_tiles=2),
+        AuTDesign.with_default_mappings(mid, msp, network, n_tiles=1),
+    ]
+
+
+def assert_metrics_identical(batch, scalar):
+    """Bit-identity: every field compared with ``==``, never approx."""
+    assert batch.feasible == scalar.feasible
+    assert batch.infeasible_reason == scalar.infeasible_reason
+    assert batch.e2e_latency == scalar.e2e_latency
+    assert batch.busy_time == scalar.busy_time
+    assert batch.charge_time == scalar.charge_time
+    assert batch.harvested_energy == scalar.harvested_energy
+    assert batch.sustained_period == scalar.sustained_period
+    assert batch.power_cycles == scalar.power_cycles
+    assert batch.exceptions == scalar.exceptions
+    assert batch.energy.compute == scalar.energy.compute
+    assert batch.energy.vm == scalar.energy.vm
+    assert batch.energy.nvm == scalar.energy.nvm
+    assert batch.energy.static == scalar.energy.static
+    assert batch.energy.checkpoint == scalar.energy.checkpoint
+    assert batch.energy.cap_leakage == scalar.energy.cap_leakage
+    assert batch.energy.conversion == scalar.energy.conversion
+
+
+class TestBatchModelIdentity:
+    @pytest.mark.parametrize("env_name", sorted(ENVIRONMENTS))
+    @pytest.mark.parametrize("net_name", sorted(NETWORKS))
+    def test_mixed_batch_matches_scalar_oracle(self, net_name, env_name):
+        """One heterogeneous sweep — several accelerator families,
+        duplicates, and infeasible candidates — equals N scalar calls."""
+        network = NETWORKS[net_name]()
+        environment = ENVIRONMENTS[env_name]()
+        designs = _designs_for(network)
+        designs.append(designs[0])  # duplicate genome in the same batch
+
+        batched = BatchAnalyticalModel(network, environment).evaluate_many(
+            designs)
+        assert len(batched) == len(designs)
+        saw_infeasible = False
+        for design, got in zip(designs, batched):
+            want = AnalyticalModel(design, network, environment).evaluate()
+            assert_metrics_identical(got, want)
+            saw_infeasible = saw_infeasible or not want.feasible
+        assert saw_infeasible, "zoo must exercise the infeasible path"
+
+    def test_empty_batch(self, har_network, brighter):
+        assert BatchAnalyticalModel(har_network, brighter,
+                                    None).evaluate_many([]) == []
+
+    def test_order_preserved_under_grouping(self, har_network, brighter):
+        """Designs are grouped by accelerator internally; results must
+        still come back in submission order."""
+        designs = _designs_for(har_network)
+        interleaved = [designs[1], designs[0], designs[3], designs[2],
+                       designs[0]]
+        batched = BatchAnalyticalModel(
+            har_network, brighter).evaluate_many(interleaved)
+        for design, got in zip(interleaved, batched):
+            want = AnalyticalModel(design, har_network, brighter).evaluate()
+            assert_metrics_identical(got, want)
+
+
+class TestEvaluateBatchAPI:
+    def test_reports_match_scalar_evaluate(self, har_network):
+        designs = _designs_for(har_network)
+        reports = evaluate_batch(designs, har_network)
+        assert len(reports) == len(designs)
+        for design, report in zip(designs, reports):
+            want = evaluate(design, har_network, fidelity="analytical")
+            assert report.fidelity == "analytical"
+            assert report.design is design
+            assert report.simulations is None
+            assert_metrics_identical(report.metrics, want.metrics)
+            assert (list(report.by_environment)
+                    == list(want.by_environment))
+            for name in report.by_environment:
+                assert_metrics_identical(report.by_environment[name],
+                                         want.by_environment[name])
+
+    def test_empty_design_list(self):
+        assert evaluate_batch([], "har") == []
+
+
+SMALL_GA = dict(population_size=6, generations=3, seed=11)
+
+
+def make_explorer(**overrides):
+    params = dict(SMALL_GA, **overrides)
+    return BilevelExplorer(
+        network=zoo.har_cnn(),
+        space=DesignSpace.existing_aut(),
+        objective=Objective.lat_sp(),
+        ga_config=GAConfig(**params),
+    )
+
+
+def assert_results_equal(a, b):
+    assert a.score == b.score
+    assert a.design == b.design
+    assert a.history.best == b.history.best
+    assert a.history.mean == b.history.mean
+    assert a.history.evaluations == b.history.evaluations
+    assert [p.values for p in a.evaluated] == [p.values for p in b.evaluated]
+    assert len(a.failures) == len(b.failures)
+    assert ([(r.candidate, r.family, r.stage) for r in a.failures.records]
+            == [(r.candidate, r.family, r.stage) for r in b.failures.records])
+
+
+class TestBatchedSearchIdentity:
+    def test_batched_search_matches_serial(self):
+        serial = make_explorer().run()
+        clear_mapper_memo()  # both runs probe the process-wide memo cold
+        batched = make_explorer(batched=True).run()
+        assert_results_equal(serial, batched)
+        assert serial.stats.hw_evaluations == batched.stats.hw_evaluations
+        assert serial.stats.mapper_hits == batched.stats.mapper_hits
+        assert serial.stats.mapper_misses == batched.stats.mapper_misses
+        assert batched.stats.batched_sweeps > 0
+        assert batched.stats.batched_genomes > 0
+        assert batched.stats.scalar_fallbacks == 0
+        assert serial.stats.batched_sweeps == 0
+        assert math.isfinite(batched.score)
+
+    def test_batched_recorded_in_summary(self):
+        result = make_explorer(batched=True).run()
+        assert "batched" in result.summary()
+
+    def test_batched_excludes_workers(self):
+        with pytest.raises(ConfigurationError):
+            GAConfig(batched=True, workers=2)
+
+
+class TestMapperMemoLifetime:
+    def test_memo_survives_explorer_turnover(self):
+        """Regression for the dead mapper memo (``mapper_hit_rate: 0.0``).
+
+        The memo used to live on the explorer instance, so a second
+        search over the same space — the exact scenario the ``memoized``
+        benchmark mode measures — re-missed every projection.  It is now
+        process-wide: a fresh explorer replaying the same seed must see
+        hits only.
+        """
+        cold = make_explorer().run()
+        assert cold.stats.mapper_misses > 0
+        warm = make_explorer().run()
+        assert warm.stats.mapper_hits > 0
+        assert warm.stats.mapper_misses == 0
+        assert_results_equal(cold, warm)
+
+    def test_repeated_genome_population_hits(self):
+        """Within one run, duplicate projections must score memo hits."""
+        explorer = make_explorer()
+        genome = explorer.space.seed_genomes()[0]
+        explorer.evaluate_genome(genome)
+        explorer.evaluate_genome(dict(genome))
+        assert explorer.stats.mapper_hits > 0

@@ -15,6 +15,7 @@ from repro.errors import ConfigurationError
 from repro.explore.bilevel import BilevelExplorer
 from repro.explore.ga import GAConfig
 from repro.explore.objectives import Objective
+from repro.explore.mapper_search import clear_mapper_memo
 from repro.explore.parallel import ParallelGenomeEvaluator, WorkerSpec
 from repro.explore.space import DesignSpace
 from repro.workloads import zoo
@@ -59,8 +60,28 @@ class TestSerialParallelEquivalence:
     def test_parallel_matches_serial(self):
         serial = make_explorer(workers=1).run()
         clear_layer_cost_cache()
+        clear_mapper_memo()
         parallel = make_explorer(workers=2).run()
         assert_results_equal(serial, parallel)
+
+    def test_parallel_cache_accounting_matches_serial(self):
+        """Cold parallel cache counters equal cold serial, key for key.
+
+        Regression: before the journal merge-back protocol, each worker
+        process re-missed every layer-cost key the other workers (or the
+        parent) already held, roughly doubling the reported misses of a
+        2-worker run; the memo/journal reclassification pins both cache
+        counter pairs to the serial numbers exactly.
+        """
+        serial = make_explorer(workers=1).run()
+        clear_layer_cost_cache()
+        clear_mapper_memo()
+        parallel = make_explorer(workers=2).run()
+        assert (parallel.stats.layer_cost_misses
+                == serial.stats.layer_cost_misses)
+        assert parallel.stats.layer_cost_hits == serial.stats.layer_cost_hits
+        assert parallel.stats.mapper_misses == serial.stats.mapper_misses
+        assert parallel.stats.mapper_hits == serial.stats.mapper_hits
 
     def test_workers_recorded_in_stats(self):
         result = make_explorer(workers=2).run()
@@ -197,6 +218,7 @@ class TestObservabilityPropagation:
         serial = obs_state.snapshot()
         obs_state.reset()
         clear_layer_cost_cache()
+        clear_mapper_memo()
         make_explorer(workers=2).run()
         parallel = obs_state.snapshot()
 

@@ -36,6 +36,7 @@ PUBLIC_API = [
     "Scenario",
     "__version__",
     "evaluate",
+    "evaluate_batch",
     "obs",
     "run_campaign",
     "run_faults_sweep",
