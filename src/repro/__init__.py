@@ -33,14 +33,15 @@ Package map
 ``repro.campaign``   durable, resumable multi-scenario DSE campaigns
 ``repro.obs``        metrics registry, run-scoped spans, profiling
 ``repro.api``        the single-entry :func:`evaluate` facade
+``repro.serve``      always-on evaluation service (coalesce + batch)
 """
 
 import importlib
 import warnings
 
-from repro import obs
-from repro.api import (FIDELITIES, EvaluationReport, evaluate,
-                       evaluate_batch)
+from repro import obs, serve
+from repro.api import (FIDELITIES, EvalRequest, EvaluationReport, evaluate,
+                       evaluate_batch, evaluate_many)
 from repro.campaign import CampaignSpec, ResultStore, run_campaign
 from repro.core.chrysalis import Chrysalis
 from repro.core.result import AuTSolution
@@ -64,6 +65,7 @@ __all__ = [
     "ChrysalisEvaluator",
     "DesignSpace",
     "EnergyDesign",
+    "EvalRequest",
     "EvaluationReport",
     "FIDELITIES",
     "FaultConfig",
@@ -77,10 +79,12 @@ __all__ = [
     "__version__",
     "evaluate",
     "evaluate_batch",
+    "evaluate_many",
     "obs",
     "run_campaign",
     "run_faults_sweep",
     "scenario_by_name",
+    "serve",
     "zoo",
 ]
 

@@ -24,7 +24,8 @@ snapshot of the evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.core.scenarios import Scenario, scenario_by_name
 from repro.design import AuTDesign
@@ -293,4 +294,113 @@ def evaluate_batch(designs: Sequence[AuTDesign],
     return reports
 
 
-__all__ = ["FIDELITIES", "EvaluationReport", "evaluate", "evaluate_batch"]
+@dataclass(frozen=True)
+class EvalRequest:
+    """One entry of a heterogeneous :func:`evaluate_many` batch.
+
+    The batched counterpart of one :func:`evaluate` call's arguments:
+    ``workload`` accepts a zoo name or a :class:`Network`, and
+    ``scenario`` / ``environments`` follow the same mutually-exclusive
+    resolution rules (neither means the paper's brighter/darker pair).
+    """
+
+    design: AuTDesign
+    workload: Union[str, Network]
+    scenario: Optional[Union[str, Scenario]] = None
+    environments: Optional[Tuple[LightEnvironment, ...]] = None
+    checkpoint: Optional[CheckpointModel] = None
+
+
+def evaluate_many(requests: Sequence[EvalRequest],
+                  *, obs: bool = False) -> List[EvaluationReport]:
+    """Price a heterogeneous request batch at analytical fidelity.
+
+    Where :func:`evaluate_batch` takes many designs against *one*
+    workload/environment context, this takes arbitrary mixed requests —
+    different workloads, scenarios, checkpoint models — and partitions
+    them into homogeneous groups, pricing each group through one
+    vectorized :func:`evaluate_batch` sweep.  Results come back in
+    request order and are bit-identical to calling
+    ``evaluate(fidelity="analytical")`` per request.
+
+    This is the pricing engine behind the evaluation service's
+    micro-batcher (:mod:`repro.serve`): whatever mix of requests a
+    flush drains, each compatibility group costs one sweep.
+    """
+    requests = list(requests)
+    if not requests:
+        return []
+    resolved = []
+    groups: Dict[tuple, List[int]] = {}
+    for index, request in enumerate(requests):
+        network = _resolve_workload(request.workload)
+        envs = _resolve_environments(request.scenario, request.environments)
+        resolved.append((network, envs, request.checkpoint))
+        groups.setdefault((network, envs, request.checkpoint),
+                          []).append(index)
+
+    def _run() -> List[Optional[EvaluationReport]]:
+        reports: List[Optional[EvaluationReport]] = [None] * len(requests)
+        for (network, envs, checkpoint), indices in groups.items():
+            batch = evaluate_batch(
+                [requests[i].design for i in indices], network,
+                environments=envs, checkpoint=checkpoint)
+            for i, report in zip(indices, batch):
+                reports[i] = report
+        return reports
+
+    enabled_here = False
+    if obs and not obs_state.OBS.enabled:
+        obs_state.enable(profile=True)
+        enabled_here = True
+    try:
+        if obs_state.OBS.enabled:
+            with obs_state.run_scope("api.evaluate_many",
+                                     requests=len(requests),
+                                     groups=len(groups)) as scope:
+                reports = _run()
+            snapshot = scope.snapshot()
+            for report in reports:
+                report.obs = snapshot
+        else:
+            reports = _run()
+    finally:
+        if enabled_here:
+            obs_state.disable()
+            obs_state.reset()
+    return reports
+
+
+def serve(**config_knobs: Any):
+    """Build the always-on evaluation service (front door for traffic).
+
+    Returns an unstarted
+    :class:`~repro.serve.service.EvaluationService`; drive it as an
+    async context manager::
+
+        import asyncio
+        from repro.api import serve
+
+        async def main():
+            async with serve(max_wait_ms=2.0) as service:
+                report = await service.submit(design, "har")
+                print(report.metrics.e2e_latency)
+
+        asyncio.run(main())
+
+    Keyword arguments are :class:`~repro.serve.service.ServeConfig`
+    fields (``max_batch_size``, ``max_wait_ms``, ``max_queue``,
+    ``default_deadline_s``, ``drain_timeout_s``).  Identical in-flight
+    requests coalesce onto one evaluation, analytical requests
+    micro-batch through :func:`evaluate_many`'s vectorized sweeps, and
+    responses stay bit-identical to :func:`evaluate` — see
+    ``docs/SERVING.md``.
+    """
+    # Imported lazily: repro.serve imports this module's evaluators.
+    from repro.serve.service import EvaluationService, ServeConfig
+
+    return EvaluationService(ServeConfig(**config_knobs))
+
+
+__all__ = ["FIDELITIES", "EvalRequest", "EvaluationReport", "evaluate",
+           "evaluate_batch", "evaluate_many", "serve"]

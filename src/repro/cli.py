@@ -26,6 +26,12 @@ Commands
 ``obs report``
     Render an observability snapshot — either a ``--obs-output`` JSON
     file or the per-run blobs persisted in a campaign store.
+``serve run|bench``
+    Always-on evaluation service: ``run`` starts the TCP front of one
+    coalescing/micro-batching :class:`~repro.serve.EvaluationService`
+    (JSON-lines protocol, see docs/SERVING.md); ``bench`` fires
+    concurrent client traffic at a running service and prints
+    client-side throughput and latency percentiles.
 
 ``search``, ``simulate``, and ``campaign run`` all accept ``--obs``
 (record spans/metrics/profiling and print the report afterwards) and
@@ -36,9 +42,12 @@ format of ``obs report``).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import pathlib
+import signal
 import sys
+import time
 import warnings
 from typing import List, Optional
 
@@ -80,6 +89,12 @@ from repro.serialize import (
     design_from_json,
     design_to_json,
     solution_to_json,
+)
+from repro.serve import (
+    EvaluationService,
+    ServeClient,
+    ServeConfig,
+    ServeServer,
 )
 from repro.sim.report import render_faults_sweep
 from repro.workloads import zoo
@@ -433,6 +448,130 @@ def _obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    handlers = {"run": _serve_run, "bench": _serve_bench}
+    return handlers[args.serve_command](args)
+
+
+def _serve_config(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        default_deadline_s=args.deadline,
+    )
+
+
+def _render_serve_stats(stats) -> str:
+    data = stats.as_dict()
+    latency = data["latency_seconds"]
+    occupancy = data["batch_occupancy"]
+    mean_occupancy = (occupancy["sum"] / occupancy["count"]
+                      if occupancy["count"] else 0.0)
+    p50 = latency["p50"] or 0.0
+    p99 = latency["p99"] or 0.0
+    return (f"served {data['requests']} request(s): "
+            f"{data['evaluated']} evaluated, "
+            f"coalesce rate {data['coalesce_rate']:.1%}, "
+            f"{data['batches']} batch(es) "
+            f"(mean occupancy {mean_occupancy:.1f}), "
+            f"latency p50 {p50 * 1e3:.1f} ms / p99 {p99 * 1e3:.1f} ms, "
+            f"{data['shed']} shed, {data['timeouts']} timeout(s), "
+            f"{data['failures']} failure(s)")
+
+
+def _serve_run(args: argparse.Namespace) -> int:
+    service = EvaluationService(_serve_config(args))
+
+    async def _main() -> None:
+        async with service, \
+                ServeServer(service, args.host, args.port) as server:
+            host, port = server.address
+            print(f"evaluation service listening on {host}:{port} "
+                  f"(max batch {args.max_batch_size}, "
+                  f"max wait {args.max_wait_ms:g} ms, "
+                  f"queue {args.max_queue}); Ctrl-C to stop", flush=True)
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                except (NotImplementedError, RuntimeError):
+                    pass  # platform without signal support in loops
+            await stop.wait()
+            print("draining ...", flush=True)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    print(_render_serve_stats(service.stats))
+    return 0
+
+
+def _serve_design_pool(args: argparse.Namespace,
+                       network) -> List[AuTDesign]:
+    """Distinct valid designs for bench traffic (panel-area sweep)."""
+    if getattr(args, "design", None):
+        design = design_from_json(pathlib.Path(args.design).read_text())
+        design.validate_against(network)
+        return [design]
+    inference = _inference_design(args)
+    designs: List[AuTDesign] = []
+    count = max(1, args.designs)
+    for index in range(count):
+        fraction = index / max(count - 1, 1)
+        energy = EnergyDesign(
+            panel_area_cm2=args.panel * (0.75 + 0.5 * fraction),
+            capacitance_f=args.cap * 1e-6)
+        mappings = MappingOptimizer(network).optimize(energy, inference)
+        if mappings is not None:
+            designs.append(AuTDesign(energy=energy, inference=inference,
+                                     mappings=mappings))
+    if not designs:
+        raise ChrysalisError(
+            "no feasible design in the bench pool; try a bigger "
+            "--panel or --cap")
+    return designs
+
+
+def _serve_bench(args: argparse.Namespace) -> int:
+    network = zoo.workload_by_name(args.workload)
+    designs = _serve_design_pool(args, network)
+    latencies: List[float] = []
+
+    async def _main() -> float:
+        async with await ServeClient.connect(args.host,
+                                             args.port) as client:
+            gate = asyncio.Semaphore(args.concurrency)
+
+            async def one(index: int) -> None:
+                async with gate:
+                    begin = time.perf_counter()
+                    await client.evaluate(
+                        designs[index % len(designs)], args.workload,
+                        environment=args.environment,
+                        deadline_s=args.deadline)
+                    latencies.append(time.perf_counter() - begin)
+
+            begin = time.perf_counter()
+            await asyncio.gather(*[one(i) for i in range(args.requests)])
+            return time.perf_counter() - begin
+
+    wall = asyncio.run(_main())
+    latencies.sort()
+
+    def pct(q: float) -> float:
+        return latencies[min(len(latencies) - 1,
+                             int(q * len(latencies)))] * 1e3
+
+    print(f"{args.requests} request(s) over {len(designs)} distinct "
+          f"design(s) at concurrency {args.concurrency}: "
+          f"{args.requests / wall:.1f} req/s "
+          f"(p50 {pct(0.50):.1f} ms, p99 {pct(0.99):.1f} ms)")
+    return 0
+
+
 def cmd_faults_sweep(args: argparse.Namespace) -> int:
     network = zoo.workload_by_name(args.workload)
     environment = _ENVIRONMENTS[args.environment]()
@@ -625,6 +764,53 @@ def build_parser() -> argparse.ArgumentParser:
     oreport.add_argument("--csv", default=None, metavar="PATH",
                          help="also write the aggregated CSV")
 
+    serve = sub.add_parser(
+        "serve",
+        help="always-on evaluation service (see docs/SERVING.md)")
+    ssub = serve.add_subparsers(dest="serve_command", required=True)
+
+    def add_serve_endpoint(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=7733)
+
+    srun = ssub.add_parser(
+        "run", help="start the TCP evaluation service (JSON lines)")
+    add_serve_endpoint(srun)
+    srun.add_argument("--max-batch-size", type=int,
+                      default=ServeConfig.max_batch_size,
+                      help="largest micro-batch one flush may hold")
+    srun.add_argument("--max-wait-ms", type=float,
+                      default=ServeConfig.max_wait_ms,
+                      help="longest the batcher may hold a request "
+                           "while waiting for company")
+    srun.add_argument("--max-queue", type=int,
+                      default=ServeConfig.max_queue,
+                      help="admission limit; beyond it requests are "
+                           "shed with an overload error")
+    srun.add_argument("--deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="default per-request deadline")
+
+    sbench = ssub.add_parser(
+        "bench",
+        help="fire concurrent client traffic at a running service")
+    add_design_args(sbench)
+    add_serve_endpoint(sbench)
+    sbench.add_argument("--requests", type=int, default=64,
+                        help="total requests to send")
+    sbench.add_argument("--concurrency", type=int, default=16,
+                        help="in-flight request cap")
+    sbench.add_argument("--designs", type=int, default=8,
+                        help="distinct designs in the traffic pool; "
+                             "repeats of the same design coalesce "
+                             "server-side")
+    sbench.add_argument("--environment", default="paper",
+                        help="environment label (paper, brighter, "
+                             "darker, indoor, scenario:<name>)")
+    sbench.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-request deadline")
+
     faults = sub.add_parser(
         "faults-sweep",
         help="stress a design across fault-injection intensities")
@@ -657,6 +843,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": cmd_simulate,
         "campaign": cmd_campaign,
         "obs": cmd_obs,
+        "serve": cmd_serve,
         "faults-sweep": cmd_faults_sweep,
     }
     try:

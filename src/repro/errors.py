@@ -57,3 +57,17 @@ class SearchError(ChrysalisError):
 class StoreError(ChrysalisError):
     """A campaign result store is unusable (corrupt SQLite file, schema
     version from a different library release, filesystem failure)."""
+
+
+class ServeError(ChrysalisError):
+    """Base class for evaluation-service failures (see repro.serve)."""
+
+
+class ServiceOverloadError(ServeError):
+    """The service's admission queue is full; the request was shed
+    without being enqueued.  Clients should back off and retry."""
+
+
+class ServiceClosedError(ServeError):
+    """The service is not running (never started, draining, or
+    stopped); the request was not accepted."""

@@ -333,10 +333,14 @@ class VectorizedGenomeEvaluator:
             key = keys[i]
             if key in resolved:
                 probe_hits[i] = memo_on
+                if memo_on:
+                    explorer.mapper.memo_note_hit()
                 out_mappings[i] = resolved[key]
                 continue
             if key in pending:
                 probe_hits[i] = memo_on
+                if memo_on:
+                    explorer.mapper.memo_note_hit()
                 pending[key].append(i)
                 continue
             hit, mappings = explorer.mapper.memo_probe(key)

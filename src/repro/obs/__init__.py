@@ -43,6 +43,7 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    histogram_quantile,
     validate_metric_name,
 )
 from repro.obs.spans import NOOP_SPAN, LiveSpan, SpanNode, SpanRecorder
@@ -75,6 +76,7 @@ __all__ = [
     "aggregate_spans",
     "disable",
     "enable",
+    "histogram_quantile",
     "hottest_phases",
     "is_enabled",
     "merge_snapshot",

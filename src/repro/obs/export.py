@@ -19,6 +19,7 @@ import io
 import json
 from typing import Any, Dict, List, Optional
 
+from repro.obs.registry import REPORT_QUANTILES, histogram_quantile
 from repro.obs.spans import SpanNode
 
 
@@ -140,6 +141,8 @@ def to_csv(snapshot: Dict[str, Any]) -> str:
     for name, data in metrics.get("histograms", {}).items():
         for field in ("count", "sum", "min", "max"):
             row("histogram", name, field, data.get(field))
+        for label, q in REPORT_QUANTILES:
+            row("histogram", name, label, histogram_quantile(data, q))
     for root in aggregate_spans(snapshot):
         for phase in root.walk():
             row("span", phase.path, "count", phase.count)
@@ -208,12 +211,17 @@ def render_report(snapshot: Optional[Dict[str, Any]], top: int = 10) -> str:
         lines.append("")
         lines.append("histograms:")
         lines.append(f"  {'name':<44} {'count':>8} {'mean':>12} "
+                     f"{'p50':>12} {'p90':>12} {'p99':>12} "
                      f"{'min':>12} {'max':>12}")
         for name, data in histograms.items():
             count = data.get("count", 0)
             mean = (data.get("sum", 0.0) / count) if count else 0.0
+            quantiles = " ".join(
+                f"{histogram_quantile(data, q) or 0.0:>12.3e}"
+                for _, q in REPORT_QUANTILES)
             lines.append(
                 f"  {name:<44} {count:>8} {mean:>12.3e} "
+                f"{quantiles} "
                 f"{data.get('min') or 0.0:>12.3e} "
                 f"{data.get('max') or 0.0:>12.3e}")
     return "\n".join(lines)

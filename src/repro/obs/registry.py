@@ -26,7 +26,7 @@ the propagation half of the span/metric merge-on-return protocol.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.errors import ConfigurationError
 
@@ -103,6 +103,64 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile, interpolated within the buckets.
+
+        The power-of-two buckets bound the relative error at 2x worst
+        case; linear interpolation inside the covering bucket and the
+        clamp to the *exact* ``min``/``max`` aggregates tighten the
+        common cases (``q=0`` and ``q=1`` are exact).  ``None`` on an
+        empty histogram.
+        """
+        return histogram_quantile(
+            {"count": self.count, "min": self.min, "max": self.max,
+             "buckets": self.buckets}, q)
+
+
+def histogram_quantile(data: Mapping, q: float) -> Optional[float]:
+    """:meth:`Histogram.quantile` over the dict (snapshot) form.
+
+    Accepts both live bucket maps (int keys) and JSON round-tripped
+    snapshots (string keys), so exporters can quote percentiles from
+    persisted blobs without reconstructing instruments.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q!r}")
+    count = data.get("count", 0)
+    if not count:
+        return None
+    low = data.get("min")
+    high = data.get("max")
+    target = q * count
+    cumulative = 0
+    for index, bucket_count in sorted(
+            (int(key), value) for key, value in data.get("buckets", {}).items()
+    ):
+        cumulative += bucket_count
+        if cumulative >= target:
+            fraction = (target - (cumulative - bucket_count)) / bucket_count
+            if index <= Histogram.ZERO_BUCKET:
+                # Non-positive observations carry no log2 position;
+                # interpolate over their full possible span [min, 0].
+                lower_edge = low if low is not None else 0.0
+                upper_edge = 0.0
+            else:
+                lower_edge = 2.0 ** index
+                upper_edge = 2.0 ** (index + 1)
+            estimate = lower_edge + fraction * (upper_edge - lower_edge)
+            if low is not None:
+                estimate = max(estimate, low)
+            if high is not None:
+                estimate = min(estimate, high)
+            return estimate
+    # Unreachable while per-bucket counts sum to ``count``; fall back to
+    # the exact maximum rather than crash on a hand-built snapshot.
+    return high
+
+
+#: The percentiles every exporter quotes (serve SLOs, phase timers).
+REPORT_QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
 
 class MetricsRegistry:
     """Interned instruments keyed by name, one namespace per kind."""
@@ -149,6 +207,7 @@ class MetricsRegistry:
                     "sum": h.sum,
                     "min": None if h.count == 0 else h.min,
                     "max": None if h.count == 0 else h.max,
+                    **{label: h.quantile(q) for label, q in REPORT_QUANTILES},
                     "buckets": {str(index): count
                                 for index, count in sorted(h.buckets.items())},
                 }

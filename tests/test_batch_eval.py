@@ -17,7 +17,8 @@ from repro.energy.environment import LightEnvironment
 from repro.errors import ConfigurationError
 from repro.explore.bilevel import BilevelExplorer
 from repro.explore.ga import GAConfig
-from repro.explore.mapper_search import clear_mapper_memo
+from repro.explore.batch_eval import VectorizedGenomeEvaluator
+from repro.explore.mapper_search import clear_mapper_memo, mapper_memo_stats
 from repro.explore.objectives import Objective
 from repro.explore.space import DesignSpace
 from repro.hardware.accelerators import AcceleratorFamily
@@ -214,3 +215,52 @@ class TestMapperMemoLifetime:
         explorer.evaluate_genome(genome)
         explorer.evaluate_genome(dict(genome))
         assert explorer.stats.mapper_hits > 0
+
+
+class TestBatchedMapperMemo:
+    """The vectorized evaluator and the process-wide mapper memo.
+
+    Regression suite for the batched-mode memo bypass: warm batched
+    runs used to report ``mapper_hit_rate: 0.0`` because the bench
+    only ever ran the batched mode cold, which hid that the batched
+    duplicate-key fast path skipped the process-wide hit counter.
+    """
+
+    def test_batched_mode_consults_and_fills_process_memo(self):
+        cold = make_explorer(batched=True).run()
+        assert cold.stats.mapper_misses > 0
+        warm = make_explorer(batched=True).run()
+        assert warm.stats.mapper_hits > 0
+        assert warm.stats.mapper_misses == 0
+        assert_results_equal(cold, warm)
+
+    def test_memo_is_shared_across_batched_and_scalar_modes(self):
+        """A cold batched run must warm the memo for scalar mode —
+        the sharing the serving layer's mixed traffic relies on."""
+        batched = make_explorer(batched=True).run()
+        serial = make_explorer().run()
+        assert serial.stats.mapper_hits > 0
+        assert serial.stats.mapper_misses == 0
+        assert_results_equal(batched, serial)
+
+    def test_duplicate_designs_count_as_process_memo_hits(self):
+        """Batched duplicate-key short-circuits must keep the global
+        hit/miss accounting probe-for-probe identical to serial mode
+        (they used to bump only the per-run stats, so
+        ``mapper_memo_stats()`` under-reported batched hits)."""
+        serial = make_explorer()
+        genome = serial.space.seed_genomes()[0]
+        first = serial.evaluate_genome(genome)
+        second = serial.evaluate_genome(dict(genome))
+        serial_stats = mapper_memo_stats()
+
+        clear_mapper_memo()
+        batched = make_explorer(batched=True)
+        evaluator = VectorizedGenomeEvaluator(batched)
+        scores = evaluator.evaluate_many([genome, dict(genome)])
+        evaluator.close()
+
+        assert scores == [first, second]
+        assert mapper_memo_stats() == serial_stats
+        hits, _misses = mapper_memo_stats()
+        assert hits > 0  # the duplicate genome is a (counted) hit

@@ -25,6 +25,7 @@ from repro.obs import (
     MetricsRegistry,
     SpanRecorder,
     aggregate_spans,
+    histogram_quantile,
     hottest_phases,
     merge_snapshots,
     render_report,
@@ -115,6 +116,70 @@ class TestRegistry:
         for bad in ("", "Sim.steps", "sim..steps", "sim steps"):
             with pytest.raises(ConfigurationError):
                 validate_metric_name(bad)
+
+    def test_quantile_extremes_are_exact(self):
+        histogram = Histogram("x")
+        for value in (0.5, 2.0, 3.0, 1024.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 0.5
+        assert histogram.quantile(1.0) == 1024.0
+
+    def test_quantile_interpolates_within_buckets(self):
+        histogram = Histogram("x")
+        for value in (1.0, 1.25, 1.5, 1.75):  # all in bucket [1, 2)
+            histogram.observe(value)
+        # The estimate can only place mass inside the covering bucket,
+        # so it must stay within [1, 2) and be monotone in q.
+        q25 = histogram.quantile(0.25)
+        q75 = histogram.quantile(0.75)
+        assert 1.0 <= q25 <= q75 < 2.0
+
+    def test_quantile_bounded_relative_error(self):
+        import random
+
+        rng = random.Random(7)
+        values = [rng.uniform(0.001, 100.0) for _ in range(500)]
+        histogram = Histogram("x")
+        for value in values:
+            histogram.observe(value)
+        values.sort()
+        for q in (0.5, 0.9, 0.99):
+            exact = values[int(q * len(values)) - 1]
+            estimate = histogram.quantile(q)
+            # Power-of-two buckets bound the relative error at 2x.
+            assert exact / 2 <= estimate <= exact * 2
+
+    def test_quantile_empty_and_invalid(self):
+        histogram = Histogram("x")
+        assert histogram.quantile(0.5) is None
+        with pytest.raises(ConfigurationError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ConfigurationError):
+            histogram.quantile(1.5)
+
+    def test_quantile_nonpositive_observations(self):
+        histogram = Histogram("x")
+        for value in (-1.0, -0.5, 0.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == -1.0
+        assert histogram.quantile(1.0) == 0.0
+        assert -1.0 <= histogram.quantile(0.5) <= 0.0
+
+    def test_quantiles_in_snapshot_and_json_roundtrip(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 4.0, 8.0):
+            registry.histogram("h").observe(value)
+        data = registry.as_dict()["histograms"]["h"]
+        assert data["p50"] is not None
+        assert data["p50"] <= data["p90"] <= data["p99"] <= data["max"]
+        # histogram_quantile must accept the JSON round-trip (string
+        # bucket keys), matching the live instrument's answer.
+        roundtrip = json.loads(json.dumps(data))
+        live = registry.histogram("h").quantile(0.9)
+        assert histogram_quantile(roundtrip, 0.9) == pytest.approx(live)
+        empty = MetricsRegistry()
+        empty.histogram("e")
+        assert empty.as_dict()["histograms"]["e"]["p99"] is None
 
 
 # -- spans --------------------------------------------------------------------

@@ -24,6 +24,7 @@ PUBLIC_API = [
     "ChrysalisEvaluator",
     "DesignSpace",
     "EnergyDesign",
+    "EvalRequest",
     "EvaluationReport",
     "FIDELITIES",
     "FaultConfig",
@@ -37,10 +38,12 @@ PUBLIC_API = [
     "__version__",
     "evaluate",
     "evaluate_batch",
+    "evaluate_many",
     "obs",
     "run_campaign",
     "run_faults_sweep",
     "scenario_by_name",
+    "serve",
     "zoo",
 ]
 

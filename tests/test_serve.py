@@ -1,0 +1,408 @@
+"""Tests for the always-on evaluation service (repro.serve).
+
+The behavioral tests (coalescing, flush triggers, deadlines, shedding)
+inject fake evaluation functions and a fake clock, so they are
+deterministic and never pay for a real evaluation; the fidelity tests
+at the bottom run the real analytical engine and pin the service's
+bit-identity against direct :func:`repro.api.evaluate` calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.api import EvalRequest, evaluate, evaluate_many, serve
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.errors import (ConfigurationError, EvaluationTimeout,
+                          InfeasibleDesignError, ServiceClosedError,
+                          ServiceOverloadError)
+from repro.serve import EvaluationService, ServeConfig, request_key
+from repro.units import uF
+from repro.workloads import zoo
+
+
+def _designs(network, count):
+    """``count`` distinct valid designs (panel-area sweep)."""
+    designs = []
+    for index in range(count):
+        energy = EnergyDesign(panel_area_cm2=6.0 + 2.0 * index,
+                              capacitance_f=uF(100))
+        designs.append(AuTDesign.with_default_mappings(
+            energy, InferenceDesign.msp430(), network, n_tiles=2))
+    return designs
+
+
+@pytest.fixture(scope="module")
+def har_designs():
+    return _designs(zoo.har_cnn(), 4)
+
+
+class _FakeBatchEval:
+    """Stand-in for evaluate_batch: records calls, returns markers."""
+
+    def __init__(self):
+        self.calls = []
+        self.release = None  # set to a threading.Event to block
+
+    def __call__(self, designs, network, environments, checkpoint):
+        if self.release is not None:
+            assert self.release.wait(timeout=10.0)
+        self.calls.append(len(designs))
+        return [("report", design) for design in designs]
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# coalescing
+# ---------------------------------------------------------------------------
+
+
+def test_identical_requests_coalesce_onto_one_evaluation(har_designs):
+    fake = _FakeBatchEval()
+    service = EvaluationService(ServeConfig(max_wait_ms=5.0),
+                                evaluate_batch_fn=fake)
+
+    async def main():
+        async with service:
+            return await asyncio.gather(*[
+                service.submit(har_designs[0], "har") for _ in range(6)])
+
+    results = asyncio.run(main())
+    assert fake.calls == [1]  # one flush, one design — not six
+    assert all(result == results[0] for result in results)
+    assert service.stats.requests == 6
+    assert service.stats.coalesced == 5
+    assert service.stats.evaluated == 1
+    assert service.stats.coalesce_rate == pytest.approx(5 / 6)
+
+
+def test_distinct_designs_do_not_coalesce(har_designs):
+    fake = _FakeBatchEval()
+    service = EvaluationService(ServeConfig(max_wait_ms=5.0),
+                                evaluate_batch_fn=fake)
+
+    async def main():
+        async with service:
+            return await asyncio.gather(*[
+                service.submit(design, "har") for design in har_designs])
+
+    results = asyncio.run(main())
+    assert service.stats.coalesced == 0
+    assert service.stats.evaluated == len(har_designs)
+    assert len({id(result) for result in results}) == len(har_designs)
+
+
+# ---------------------------------------------------------------------------
+# micro-batching flush triggers
+# ---------------------------------------------------------------------------
+
+
+def test_flush_when_batch_fills_before_max_wait(har_designs):
+    fake = _FakeBatchEval()
+    # max_wait_ms is far beyond the test timeout and eager flushing is
+    # off: only a full batch can trigger the flush that lets these
+    # submissions complete.
+    service = EvaluationService(
+        ServeConfig(max_batch_size=len(har_designs), max_wait_ms=60_000.0,
+                    eager_flush=False),
+        evaluate_batch_fn=fake)
+
+    async def main():
+        async with service:
+            await asyncio.wait_for(
+                asyncio.gather(*[service.submit(design, "har")
+                                 for design in har_designs]),
+                timeout=10.0)
+
+    asyncio.run(main())
+    assert fake.calls == [len(har_designs)]
+    assert service.stats.batches == 1
+    assert service.stats.batch_occupancy.max == len(har_designs)
+
+
+def test_flush_on_max_wait_with_partial_batch(har_designs):
+    fake = _FakeBatchEval()
+    # Two requests can never fill a 64-slot batch and eager flushing is
+    # off: completion proves the bounded-latency timer flushed the
+    # partial batch.
+    service = EvaluationService(
+        ServeConfig(max_batch_size=64, max_wait_ms=10.0,
+                    eager_flush=False),
+        evaluate_batch_fn=fake)
+
+    async def main():
+        async with service:
+            await asyncio.wait_for(
+                asyncio.gather(service.submit(har_designs[0], "har"),
+                               service.submit(har_designs[1], "har")),
+                timeout=10.0)
+
+    asyncio.run(main())
+    assert service.stats.evaluated == 2
+    assert sum(fake.calls) == 2
+
+
+def test_eager_flush_does_not_wait_out_the_timer(har_designs):
+    fake = _FakeBatchEval()
+    # max_wait_ms far beyond the wait_for timeout: only the default
+    # work-conserving eager flush (price what is queued as soon as the
+    # queue drains) can complete these partial batches in time.
+    service = EvaluationService(
+        ServeConfig(max_batch_size=64, max_wait_ms=60_000.0),
+        evaluate_batch_fn=fake)
+
+    async def main():
+        async with service:
+            await asyncio.wait_for(
+                asyncio.gather(*[service.submit(design, "har")
+                                 for design in har_designs]),
+                timeout=5.0)
+
+    asyncio.run(main())
+    assert sum(fake.calls) == len(har_designs)
+    assert service.stats.evaluated == len(har_designs)
+
+
+# ---------------------------------------------------------------------------
+# deadlines and admission control
+# ---------------------------------------------------------------------------
+
+
+def test_deadline_expired_in_queue_raises_structured_timeout(har_designs):
+    fake = _FakeBatchEval()
+    clock = _FakeClock()
+    # eager_flush off so the flush happens after the clock has moved.
+    service = EvaluationService(ServeConfig(max_wait_ms=50.0,
+                                            eager_flush=False),
+                                evaluate_batch_fn=fake, time_fn=clock)
+
+    async def main():
+        async with service:
+            task = asyncio.ensure_future(
+                service.submit(har_designs[0], "har", deadline_s=1.0))
+            await asyncio.sleep(0)  # let the submission enqueue
+            clock.now = 100.0       # deadline long gone by flush time
+            with pytest.raises(EvaluationTimeout):
+                await task
+
+    asyncio.run(main())
+    assert fake.calls == []  # expired before evaluation, never priced
+    assert service.stats.timeouts == 1
+    assert service.stats.evaluated == 0
+
+
+def test_full_queue_sheds_with_overload_error(har_designs):
+    fake = _FakeBatchEval()
+    fake.release = threading.Event()
+    service = EvaluationService(
+        ServeConfig(max_batch_size=1, max_wait_ms=0.0, max_queue=1),
+        evaluate_batch_fn=fake)
+
+    async def main():
+        async with service:
+            first = asyncio.ensure_future(
+                service.submit(har_designs[0], "har"))
+            await asyncio.sleep(0.05)  # batcher takes it, blocks in eval
+            second = asyncio.ensure_future(
+                service.submit(har_designs[1], "har"))
+            await asyncio.sleep(0.05)  # sits in the (size-1) queue
+            with pytest.raises(ServiceOverloadError):
+                await service.submit(har_designs[2], "har")
+            fake.release.set()
+            await asyncio.gather(first, second)
+
+    asyncio.run(main())
+    assert service.stats.shed == 1
+    assert service.stats.evaluated == 2
+
+
+def test_rejects_when_not_running(har_designs):
+    service = EvaluationService()
+
+    async def before_start():
+        await service.submit(har_designs[0], "har")
+
+    with pytest.raises(ServiceClosedError):
+        asyncio.run(before_start())
+
+    async def after_stop():
+        async with service:
+            pass
+        await service.submit(har_designs[0], "har")
+
+    with pytest.raises(ServiceClosedError):
+        asyncio.run(after_stop())
+
+
+def test_stop_drains_admitted_requests(har_designs):
+    fake = _FakeBatchEval()
+    service = EvaluationService(ServeConfig(max_wait_ms=60_000.0,
+                                            max_batch_size=64,
+                                            eager_flush=False),
+                                evaluate_batch_fn=fake)
+
+    async def main():
+        await service.start()
+        tasks = [asyncio.ensure_future(service.submit(design, "har"))
+                 for design in har_designs]
+        await asyncio.sleep(0.05)  # queued, batch not full, not flushed
+        await service.stop(drain=True)  # must flush them, not drop them
+        return await asyncio.gather(*tasks)
+
+    results = asyncio.run(main())
+    assert len(results) == len(har_designs)
+    assert service.stats.evaluated == len(har_designs)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ServeConfig(max_batch_size=0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(max_wait_ms=-1.0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(max_queue=0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(default_deadline_s=0.0)
+
+
+def test_submit_validates_fidelity_and_deadline(har_designs):
+    service = EvaluationService(evaluate_batch_fn=_FakeBatchEval())
+
+    async def bad_fidelity():
+        async with service:
+            await service.submit(har_designs[0], "har", fidelity="nope")
+
+    with pytest.raises(ConfigurationError):
+        asyncio.run(bad_fidelity())
+
+    async def bad_deadline():
+        async with service:
+            await service.submit(har_designs[0], "har", deadline_s=-1.0)
+
+    with pytest.raises(ConfigurationError):
+        asyncio.run(bad_deadline())
+
+
+def test_evaluation_failure_propagates_without_killing_service(
+        har_designs):
+    calls = []
+
+    def failing_then_fine(designs, network, environments, checkpoint):
+        calls.append(len(designs))
+        if len(calls) == 1:
+            raise InfeasibleDesignError("cannot complete the workload")
+        return [("report", design) for design in designs]
+
+    service = EvaluationService(ServeConfig(max_wait_ms=2.0),
+                                evaluate_batch_fn=failing_then_fine)
+
+    async def main():
+        async with service:
+            with pytest.raises(InfeasibleDesignError):
+                await service.submit(har_designs[0], "har")
+            # the batcher survived; the next request still works
+            return await service.submit(har_designs[1], "har")
+
+    result = asyncio.run(main())
+    assert result == ("report", har_designs[1])
+    assert service.stats.failures == 1
+    assert service.stats.evaluated == 1
+
+
+# ---------------------------------------------------------------------------
+# request keys
+# ---------------------------------------------------------------------------
+
+
+def test_request_key_is_content_based(har_designs):
+    network = zoo.har_cnn()
+    envs = tuple(LightEnvironment.paper_environments())
+    key_a, group_a = request_key(har_designs[0], network, envs,
+                                 "analytical")
+    key_b, group_b = request_key(har_designs[0], zoo.har_cnn(), envs,
+                                 "analytical")
+    assert (key_a, group_a) == (key_b, group_b)  # equal values, equal keys
+
+    key_c, group_c = request_key(har_designs[1], network, envs,
+                                 "analytical")
+    assert key_c != key_a
+    assert group_c == group_a  # same batch-compatibility class
+
+    key_d, group_d = request_key(har_designs[0], network, envs, "step")
+    assert key_d != key_a
+    assert group_d != group_a
+
+
+# ---------------------------------------------------------------------------
+# fidelity: the service must not change what is computed
+# ---------------------------------------------------------------------------
+
+
+def test_service_results_bit_identical_to_direct_evaluate(har_designs):
+    service = EvaluationService(ServeConfig(max_wait_ms=5.0))
+
+    async def main():
+        async with service:
+            return await asyncio.gather(*[
+                service.submit(har_designs[index % 3], "har")
+                for index in range(6)])
+
+    reports = asyncio.run(main())
+    assert service.stats.coalesced == 3
+    for index, report in enumerate(reports):
+        direct = evaluate(har_designs[index % 3], "har",
+                          fidelity="analytical")
+        assert report.metrics == direct.metrics
+        assert report.by_environment == direct.by_environment
+        assert report.fidelity == "analytical"
+
+
+def test_serve_entrypoint_builds_configured_service():
+    service = serve(max_batch_size=8, max_wait_ms=1.0)
+    assert isinstance(service, EvaluationService)
+    assert service.config.max_batch_size == 8
+    assert not service.running
+
+
+# ---------------------------------------------------------------------------
+# evaluate_many: the heterogeneous batch front the service flushes into
+# ---------------------------------------------------------------------------
+
+
+def test_evaluate_many_matches_per_request_evaluate(har_designs):
+    cifar_design = AuTDesign.with_default_mappings(
+        EnergyDesign(panel_area_cm2=10.0, capacitance_f=uF(470)),
+        InferenceDesign.msp430(), zoo.cifar10_cnn(), n_tiles=2)
+    requests = [
+        EvalRequest(har_designs[0], "har"),
+        EvalRequest(cifar_design, "cifar10"),
+        EvalRequest(har_designs[1], "har", scenario="wearable"),
+        EvalRequest(har_designs[0], "har"),
+    ]
+    reports = evaluate_many(requests)
+    assert [r.workload for r in reports] == ["har_cnn", "cifar10_cnn",
+                                             "har_cnn", "har_cnn"]
+    for request, report in zip(requests, reports):
+        direct = evaluate(request.design, request.workload,
+                          scenario=request.scenario,
+                          fidelity="analytical")
+        assert report.metrics == direct.metrics
+
+
+def test_evaluate_many_empty_and_obs(har_designs):
+    assert evaluate_many([]) == []
+    reports = evaluate_many([EvalRequest(har_designs[0], "har")],
+                            obs=True)
+    assert reports[0].obs is not None
+    assert "spans" in reports[0].obs

@@ -1,0 +1,139 @@
+"""Tests for the evaluation service's JSON-lines TCP transport."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import evaluate
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.errors import ConfigurationError, ServeError
+from repro.serve import (EvaluationService, ServeClient, ServeConfig,
+                         ServeServer)
+from repro.serialize import design_to_dict
+from repro.units import uF
+from repro.workloads import zoo
+
+
+@pytest.fixture(scope="module")
+def designs():
+    network = zoo.har_cnn()
+    return [
+        AuTDesign.with_default_mappings(
+            EnergyDesign(panel_area_cm2=6.0 + 2.0 * index,
+                         capacitance_f=uF(100)),
+            InferenceDesign.msp430(), network, n_tiles=2)
+        for index in range(3)
+    ]
+
+
+def _run_with_server(coroutine_fn):
+    """Start service + server, run ``coroutine_fn(service, host, port)``."""
+
+    async def main():
+        # eager_flush off: requests trickle in over TCP, so the timer
+        # window is what lets across-client duplicates coalesce
+        # deterministically.
+        service = EvaluationService(ServeConfig(max_wait_ms=2.0,
+                                                eager_flush=False))
+        async with service, ServeServer(service) as server:
+            host, port = server.address
+            return await coroutine_fn(service, host, port)
+
+    return asyncio.run(main())
+
+
+def test_round_trip_matches_local_evaluation(designs):
+    async def scenario(service, host, port):
+        async with await ServeClient.connect(host, port) as client:
+            return await client.evaluate(designs[0], "har")
+
+    remote = _run_with_server(scenario)
+    local = evaluate(designs[0], "har", fidelity="analytical")
+    assert remote.workload == local.workload
+    assert remote.fidelity == "analytical"
+    assert remote.feasible == local.feasible
+    assert remote.metrics == local.metrics
+    assert remote.by_environment == local.by_environment
+
+
+def test_concurrent_clients_share_one_service(designs):
+    async def scenario(service, host, port):
+        async def one_client(index):
+            async with await ServeClient.connect(host, port) as client:
+                # every client also asks for designs[0]: across-client
+                # duplicates must coalesce server-side
+                mine = await asyncio.gather(
+                    client.evaluate(designs[index], "har"),
+                    client.evaluate(designs[0], "har"))
+                return mine
+
+        results = await asyncio.gather(*[one_client(i) for i in range(3)])
+        return service.stats, results
+
+    stats, results = _run_with_server(scenario)
+    assert stats.requests == 6
+    assert stats.coalesced >= 2  # three clients asked for designs[0]
+    local = evaluate(designs[1], "har", fidelity="analytical")
+    assert results[1][0].metrics == local.metrics
+
+
+def test_remote_errors_map_back_to_library_types(designs):
+    async def scenario(service, host, port):
+        async with await ServeClient.connect(host, port) as client:
+            with pytest.raises(ConfigurationError):
+                await client.evaluate(designs[0], "no-such-workload")
+            with pytest.raises(ConfigurationError):
+                await client.evaluate(designs[0], "har",
+                                      environment="no-such-env")
+            # the connection survives failed requests
+            return await client.evaluate(designs[0], "har")
+
+    remote = _run_with_server(scenario)
+    assert remote.feasible == evaluate(designs[0], "har",
+                                       fidelity="analytical").feasible
+
+
+def test_malformed_request_line_gets_error_response(designs):
+    async def scenario(service, host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"this is not json\n")
+        garbage = json.loads(await reader.readline())
+        writer.write(json.dumps({"id": 9}).encode() + b"\n")  # no design
+        missing = json.loads(await reader.readline())
+        # a well-formed request on the same connection still works
+        writer.write(json.dumps({
+            "id": 10, "design": design_to_dict(designs[0]),
+            "workload": "har"}).encode() + b"\n")
+        good = json.loads(await reader.readline())
+        writer.close()
+        await writer.wait_closed()
+        return garbage, missing, good
+
+    garbage, missing, good = _run_with_server(scenario)
+    assert garbage["ok"] is False
+    assert missing["ok"] is False and missing["id"] == 9
+    assert good["ok"] is True and good["id"] == 10
+    assert good["report"]["fidelity"] == "analytical"
+
+
+def test_server_close_fails_pending_client_calls(designs):
+    async def main():
+        service = EvaluationService(ServeConfig(max_wait_ms=2.0))
+        async with service:
+            server = await ServeServer(service).start()
+            host, port = server.address
+            client = await ServeClient.connect(host, port)
+            report = await client.evaluate(designs[0], "har")
+            await server.stop()
+            await asyncio.sleep(0.05)  # let the client see the EOF
+            with pytest.raises(ServeError):
+                await client.evaluate(designs[1], "har")
+            await client.close()
+            return report
+
+    report = asyncio.run(main())
+    assert report.metrics == evaluate(designs[0], "har",
+                                      fidelity="analytical").metrics
