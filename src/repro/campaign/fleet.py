@@ -317,7 +317,7 @@ class CampaignWorker:
             written = store.record_success(
                 key, wall_seconds=wall, campaign=self.spec.name,
                 obs=obs_blob, worker_id=self.worker_id,
-                **success_payload(solution, result))
+                **success_payload(solution, result, key))
             status = STATUS_DONE if written else "lost"
             if written:
                 summary.done += 1

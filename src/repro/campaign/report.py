@@ -14,7 +14,7 @@ of the same scenario compete and the best score wins; the campaign-wide
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.campaign.store import (
     STATUS_DONE,
@@ -23,7 +23,44 @@ from repro.campaign.store import (
     StoredRun,
 )
 from repro.errors import StoreError
-from repro.explore.pareto import ParetoPoint, pareto_front
+from repro.explore.pareto import ParetoPoint, hypervolume_2d, pareto_front
+
+
+def _scenario_points(members: List[StoredRun]) -> List[ParetoPoint]:
+    """Every (panel cm^2, latency s) point a scenario cell contributed.
+
+    A scalar run contributes its winner; an ``objective: pareto`` run
+    contributes its whole stored front.
+    """
+    points: List[ParetoPoint] = []
+    for row in members:
+        if row.status != STATUS_DONE:
+            continue
+        if row.front:
+            points.extend(
+                ParetoPoint(values=(entry["panel_cm2"], entry["latency_s"]),
+                            payload=row)
+                for entry in row.front)
+        elif row.panel_cm2 is not None and row.latency_s is not None:
+            points.append(ParetoPoint(values=(row.panel_cm2, row.latency_s),
+                                      payload=row))
+    return points
+
+
+def _hypervolume_reference(
+    points_by_cell: Dict[str, List[ParetoPoint]],
+) -> Optional[Tuple[float, float]]:
+    """Shared worst-corner reference: 1.1x the campaign-wide nadir.
+
+    One reference across every scenario keeps the per-scenario
+    hypervolumes comparable; the 10% margin keeps nadir points from
+    contributing exactly zero.
+    """
+    everything = [p for points in points_by_cell.values() for p in points]
+    if not everything:
+        return None
+    return (1.1 * max(p.values[0] for p in everything),
+            1.1 * max(p.values[1] for p in everything))
 
 
 @dataclass(frozen=True)
@@ -37,6 +74,10 @@ class ScenarioSummary:
     best: Optional[StoredRun]  # lowest-score finished run, if any
     #: Runs that burned through ``max_attempts`` and will never retry.
     exhausted: int = 0
+    #: Dominated (panel, latency) hypervolume of this scenario's points
+    #: against the campaign-wide reference; only computed on request
+    #: (``campaign report --hypervolume``).
+    hypervolume: Optional[float] = None
 
     def as_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
@@ -46,6 +87,8 @@ class ScenarioSummary:
             "failed": self.failed,
             "exhausted": self.exhausted,
         }
+        if self.hypervolume is not None:
+            data["hypervolume"] = self.hypervolume
         if self.best is not None:
             data["winner"] = {
                 "run_hash": self.best.run_hash,
@@ -65,12 +108,16 @@ class CampaignReport:
     counts: Dict[str, int]
     scenarios: List[ScenarioSummary] = field(default_factory=list)
     front: List[ParetoPoint] = field(default_factory=list)
+    #: The shared worst-corner reference the per-scenario hypervolumes
+    #: were computed against (``None`` unless they were requested).
+    hypervolume_reference: Optional[Tuple[float, float]] = None
 
     # -- construction --------------------------------------------------------
 
     @classmethod
     def from_store(cls, store: ResultStore,
-                   campaign: Optional[str] = None) -> "CampaignReport":
+                   campaign: Optional[str] = None, *,
+                   hypervolume: bool = False) -> "CampaignReport":
         """Build the report from stored rows only.
 
         With ``campaign=None`` the store must hold exactly one campaign
@@ -91,12 +138,20 @@ class CampaignReport:
         cells: Dict[str, List[StoredRun]] = {}
         for row in rows:
             cells.setdefault(row.scenario_label, []).append(row)
+        points_by_cell = ({label: _scenario_points(members)
+                           for label, members in cells.items()}
+                          if hypervolume else {})
+        reference = (_hypervolume_reference(points_by_cell)
+                     if hypervolume else None)
         scenarios = []
         for label in sorted(cells):
             members = cells[label]
             finished = [r for r in members
                         if r.status == STATUS_DONE and r.score is not None]
             best = min(finished, key=lambda r: r.score) if finished else None
+            cell_hv = None
+            if reference is not None and points_by_cell.get(label):
+                cell_hv = hypervolume_2d(points_by_cell[label], reference)
             scenarios.append(ScenarioSummary(
                 scenario=label,
                 runs=len(members),
@@ -105,12 +160,14 @@ class CampaignReport:
                 exhausted=sum(1 for r in members
                               if r.status == STATUS_EXHAUSTED),
                 best=best,
+                hypervolume=cell_hv,
             ))
         return cls(
             campaign=campaign,
             counts=store.status_counts(campaign),
             scenarios=scenarios,
             front=pareto_front(store.pareto_points(campaign)),
+            hypervolume_reference=reference,
         )
 
     # -- renderings ----------------------------------------------------------
@@ -121,7 +178,7 @@ class CampaignReport:
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-compatible form (``repro campaign report --json``)."""
-        return {
+        data: Dict[str, Any] = {
             "campaign": self.campaign,
             "counts": dict(self.counts),
             "scenarios": [s.as_dict() for s in self.scenarios],
@@ -135,6 +192,12 @@ class CampaignReport:
                 for point in self.front
             ],
         }
+        if self.hypervolume_reference is not None:
+            data["hypervolume_reference"] = {
+                "panel_cm2": self.hypervolume_reference[0],
+                "latency_s": self.hypervolume_reference[1],
+            }
+        return data
 
     def render_markdown(self) -> str:
         done = self.counts.get(STATUS_DONE, 0)
@@ -149,18 +212,37 @@ class CampaignReport:
             "",
             "## Per-scenario winners",
             "",
-            "| scenario | runs | best score | panel cm^2 | latency s |",
-            "|---|---|---|---|---|",
         ]
+        with_hv = self.hypervolume_reference is not None
+        if with_hv:
+            reference = self.hypervolume_reference
+            lines += [
+                f"Hypervolume reference (1.1x campaign nadir): "
+                f"panel {reference[0]:.2f} cm^2, "
+                f"latency {reference[1]:.4g} s",
+                "",
+                "| scenario | runs | best score | panel cm^2 | latency s "
+                "| hypervolume |",
+                "|---|---|---|---|---|---|",
+            ]
+        else:
+            lines += [
+                "| scenario | runs | best score | panel cm^2 | latency s |",
+                "|---|---|---|---|---|",
+            ]
         for summary in self.scenarios:
+            hv_cell = ""
+            if with_hv:
+                hv_cell = (" - |" if summary.hypervolume is None
+                           else f" {summary.hypervolume:.4g} |")
             if summary.best is None:
                 lines.append(f"| {summary.scenario} | {summary.runs} | "
-                             f"(no finished run) | - | - |")
+                             f"(no finished run) | - | - |" + hv_cell)
                 continue
             best = summary.best
             lines.append(
                 f"| {summary.scenario} | {summary.runs} | {best.score:.4g} "
-                f"| {best.panel_cm2:.2f} | {best.latency_s:.4g} |")
+                f"| {best.panel_cm2:.2f} | {best.latency_s:.4g} |" + hv_cell)
         lines += [
             "",
             "## Pareto front (panel area vs latency)",

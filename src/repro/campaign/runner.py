@@ -41,7 +41,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.campaign.spec import CampaignSpec, RunKey
+from repro.campaign.spec import PARETO_KIND, CampaignSpec, RunKey
 from repro.campaign.store import (
     STATUS_DONE,
     STATUS_EXHAUSTED,
@@ -70,6 +70,8 @@ def execute_search(key: RunKey, workers: int = 1,
     fleet results bit-identical to single-process results.
     """
     network = zoo.workload_by_name(key.workload)
+    if key.objective.kind == PARETO_KIND:
+        return _execute_pareto(key, network)
     tool = Chrysalis(
         network,
         setup=key.setup,
@@ -85,16 +87,57 @@ def execute_search(key: RunKey, workers: int = 1,
     return solution, tool.last_result
 
 
+def _execute_pareto(key: RunKey, network,
+                    ) -> Tuple[AuTSolution, Optional[SearchResult]]:
+    """One NSGA-II multi-objective run for an ``objective: pareto`` key.
+
+    The stored scalar solution is the front's representative point (the
+    smallest panel x latency product); the whole front is persisted via
+    :func:`success_payload`'s ``front`` entry.
+    """
+    from repro.explore.nsga2 import ParetoExplorer
+
+    tool = Chrysalis(network, setup=key.setup,
+                     environments=key.resolve_environments())
+    explorer = ParetoExplorer(
+        network, tool.space,
+        environments=key.resolve_environments(),
+        ga_config=GAConfig(population_size=key.population,
+                           generations=key.generations,
+                           seed=key.seed),
+    )
+    result = explorer.search()
+    solution = AuTSolution.from_search(
+        result, network, objective_label="pareto (panel x latency front)")
+    return solution, result
+
+
 def success_payload(solution: AuTSolution,
-                    result: Optional[SearchResult]) -> Dict[str, Any]:
+                    result: Optional[SearchResult],
+                    key: Optional[RunKey] = None) -> Dict[str, Any]:
     """The ``record_success`` keyword payload for a finished search.
 
     One construction path for every executor (single-process runner and
     fleet workers), so the persisted ``solution_json`` bytes are
-    identical no matter who ran the search.
+    identical no matter who ran the search.  For ``objective: pareto``
+    runs (``key`` given) the payload additionally carries the whole
+    front as ``front`` rows of ``{panel_cm2, latency_s, design}``.
     """
     metrics = solution.average_metrics
     latency = metrics.sustained_period or metrics.e2e_latency
+    front = None
+    if (key is not None and key.objective.kind == PARETO_KIND
+            and result is not None):
+        from repro.serialize import design_to_dict
+
+        front = [
+            {
+                "panel_cm2": point.values[0],
+                "latency_s": point.values[1],
+                "design": design_to_dict(point.payload),
+            }
+            for point in result.evaluated
+        ]
     return {
         "score": solution.score,
         "panel_cm2": solution.solar_panel_cm2,
@@ -104,6 +147,7 @@ def success_payload(solution: AuTSolution,
         "failures": (None if result is None else
                      [dataclasses.asdict(record)
                       for record in result.failures]),
+        "front": front,
     }
 
 
@@ -283,7 +327,7 @@ class CampaignRunner:
                 wall_seconds=wall,
                 campaign=self.spec.name,
                 obs=obs_blob,
-                **success_payload(solution, result),
+                **success_payload(solution, result, key),
             )
             outcome = RunOutcome(key=key, status=STATUS_DONE,
                                  score=solution.score, wall_seconds=wall)

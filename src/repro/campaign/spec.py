@@ -85,16 +85,29 @@ def resolve_environments(label: str) -> Tuple[LightEnvironment, ...]:
 # ---------------------------------------------------------------------------
 
 
+#: Campaign-level objective kind that is not a scalar
+#: :class:`ObjectiveKind`: the run executes the NSGA-II explorer and
+#: persists the whole (panel, latency) Pareto front next to a
+#: representative scalar solution.
+PARETO_KIND = "pareto"
+
+
 @dataclass(frozen=True)
 class ObjectiveSpec:
-    """A serializable description of one of the paper's objectives."""
+    """A serializable description of one run objective.
 
-    kind: str  # "lat" | "sp" | "lat*sp"
+    The three scalar kinds mirror the paper's objectives; the extra
+    ``"pareto"`` kind requests a multi-objective NSGA-II search whose
+    result is a front, not a point (see
+    :func:`repro.campaign.runner.execute_search`).
+    """
+
+    kind: str  # "lat" | "sp" | "lat*sp" | "pareto"
     sp_cap_cm2: Optional[float] = None
     lat_cap_s: Optional[float] = None
 
     def __post_init__(self) -> None:
-        kinds = tuple(k.value for k in ObjectiveKind)
+        kinds = tuple(k.value for k in ObjectiveKind) + (PARETO_KIND,)
         if self.kind not in kinds:
             raise ConfigurationError(
                 f"unknown objective kind {self.kind!r}; expected one of {kinds}"

@@ -58,7 +58,7 @@ from repro.errors import StoreError
 from repro.explore.pareto import ParetoPoint, pareto_front
 from repro.obs.state import OBS
 
-_SCHEMA_VERSION = 3
+_SCHEMA_VERSION = 4
 
 #: Default lease time-to-live; also the liveness horizon ``campaign
 #: status`` assumes for workers that did not record their own TTL.
@@ -112,7 +112,8 @@ CREATE TABLE IF NOT EXISTS runs (
     lease_owner    TEXT,
     lease_deadline REAL,
     retry_at       REAL,
-    attempts_json  TEXT
+    attempts_json  TEXT,
+    front_json     TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_runs_campaign ON runs (campaign, status);
 CREATE TABLE IF NOT EXISTS workers (
@@ -166,6 +167,9 @@ class StoredRun:
     retry_at: Optional[float] = None
     #: Audit trail of every attempt: claim owner, outcome, error, time.
     attempt_history: List[Dict[str, Any]] = field(default_factory=list)
+    #: Serialized Pareto front of a multi-objective ("pareto" kind) run
+    #: (schema v4): a list of ``{panel_cm2, latency_s, design}`` dicts.
+    front: Optional[List[Dict[str, Any]]] = None
 
     @property
     def scenario_label(self) -> str:
@@ -316,7 +320,8 @@ class ResultStore:
                     "INSERT INTO campaign_meta (key, value) VALUES (?, ?)",
                     ("schema_version", str(_SCHEMA_VERSION)))
                 version = _SCHEMA_VERSION
-            migrations = {1: self._migrate_1_to_2, 2: self._migrate_2_to_3}
+            migrations = {1: self._migrate_1_to_2, 2: self._migrate_2_to_3,
+                          3: self._migrate_3_to_4}
             while version in migrations:
                 migrations[version]()
                 version += 1
@@ -347,6 +352,11 @@ class ResultStore:
         # idempotent _SCHEMA script).
         self._add_run_columns("lease_owner TEXT", "lease_deadline REAL",
                               "retry_at REAL", "attempts_json TEXT")
+
+    def _migrate_3_to_4(self) -> None:
+        # v3 -> v4: the serialized Pareto front of multi-objective
+        # ("pareto" kind) runs.  Purely additive.
+        self._add_run_columns("front_json TEXT")
 
     def close(self) -> None:
         self._conn.close()
@@ -459,7 +469,8 @@ class ResultStore:
                        wall_seconds: float = 0.0,
                        campaign: str = "",
                        obs: Optional[Dict[str, Any]] = None,
-                       worker_id: Optional[str] = None) -> bool:
+                       worker_id: Optional[str] = None,
+                       front: Optional[List[Dict[str, Any]]] = None) -> bool:
         """Upsert a finished run (idempotent; works without register).
 
         With ``worker_id`` the write is lease-guarded: if another
@@ -478,7 +489,9 @@ class ResultStore:
                            else json.dumps(failures)),
             error=None, wall_seconds=wall_seconds,
             obs_json=None if obs is None else json.dumps(obs),
-            worker_id=worker_id) is not None
+            worker_id=worker_id,
+            front_json=None if front is None else json.dumps(front),
+            ) is not None
 
     def record_failure(self, key: RunKey, error: str,
                        failures: Optional[List[Dict[str, Any]]] = None,
@@ -512,7 +525,8 @@ class ResultStore:
                 stats_json, failures_json, error, wall_seconds,
                 obs_json, worker_id: Optional[str],
                 max_attempts: Optional[int] = None,
-                retry_delay_s: Optional[float] = None) -> Optional[str]:
+                retry_delay_s: Optional[float] = None,
+                front_json: Optional[str] = None) -> Optional[str]:
         now = self._now(None)
 
         def body() -> Optional[str]:
@@ -554,9 +568,9 @@ class ResultStore:
                 "panel_cm2, latency_s, solution_json, stats_json, "
                 "failures_json, error, wall_seconds, attempts, updated_at, "
                 "obs_json, lease_owner, lease_deadline, retry_at, "
-                "attempts_json) "
+                "attempts_json, front_json) "
                 "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
-                "?, 1, ?, ?, NULL, NULL, ?, ?) "
+                "?, 1, ?, ?, NULL, NULL, ?, ?, ?) "
                 "ON CONFLICT(run_hash) DO UPDATE SET "
                 "status=excluded.status, score=excluded.score, "
                 "panel_cm2=excluded.panel_cm2, "
@@ -570,13 +584,14 @@ class ResultStore:
                 "obs_json=excluded.obs_json, "
                 "lease_owner=NULL, lease_deadline=NULL, "
                 "retry_at=excluded.retry_at, "
-                "attempts_json=excluded.attempts_json",
+                "attempts_json=excluded.attempts_json, "
+                "front_json=excluded.front_json",
                 (key.run_hash, campaign, key.workload, key.setup,
                  key.environment, key.objective.label(), key.seed,
                  json.dumps(key.as_dict(), sort_keys=True), final_status,
                  score, panel_cm2, latency_s, solution_json, stats_json,
                  failures_json, error, wall_seconds, now, obs_json,
-                 retry_at, json.dumps(history)))
+                 retry_at, json.dumps(history), front_json))
             if worker_id is not None:
                 column = ("runs_done" if final_status == STATUS_DONE
                           else "runs_failed")
@@ -870,6 +885,34 @@ class ResultStore:
             params.append(campaign)
         return self._execute(sql, params).fetchone()["n"]
 
+    def solutions_for_training(self, campaign: Optional[str] = None,
+                               workload: Optional[str] = None,
+                               ) -> List[StoredRun]:
+        """Rows that carry surrogate training signal, deterministically.
+
+        ``done`` rows contribute their winning (design, score) pair plus
+        any absorbed candidate failures; ``failed`` / ``exhausted`` rows
+        contribute their failure log as censored labels.  Rows with
+        neither a solution nor failures are omitted.  Ordering is total
+        (grid order with the run hash as final tiebreaker), which is one
+        half of the byte-identical-feature-matrix guarantee pinned by
+        ``tests/test_surrogate.py`` — the other half is the featurizer.
+        """
+        sql = ("SELECT * FROM runs WHERE status IN (?, ?, ?) "
+               "AND (solution_json IS NOT NULL "
+               "OR failures_json IS NOT NULL)")
+        params: List[Any] = [STATUS_DONE, STATUS_FAILED, STATUS_EXHAUSTED]
+        if campaign is not None:
+            sql += " AND campaign=?"
+            params.append(campaign)
+        if workload is not None:
+            sql += " AND workload=?"
+            params.append(workload)
+        sql += (" ORDER BY workload, setup, environment, objective, seed, "
+                "run_hash")
+        return [self._to_stored(row)
+                for row in self._execute(sql, params).fetchall()]
+
     # -- Pareto slices -------------------------------------------------------
 
     def pareto_points(self, campaign: Optional[str] = None,
@@ -931,4 +974,5 @@ class ResultStore:
             lease_deadline=_col("lease_deadline"),
             retry_at=_col("retry_at"),
             attempt_history=_history(_col("attempts_json")),
+            front=_loads(_col("front_json")),
         )

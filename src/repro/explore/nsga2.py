@@ -221,12 +221,41 @@ class ParetoExplorer:
     def run(self) -> List[ParetoPoint]:
         """The (panel cm^2, sustained latency s) front; payloads are the
         lowered :class:`~repro.design.AuTDesign` objects."""
+        return self.search().evaluated
+
+    def search(self):
+        """Run NSGA-II and package the outcome as a ``SearchResult``.
+
+        The scalar slots hold a *representative* point — the front
+        member with the smallest panel x latency product, i.e. the
+        ``lat*sp`` sweet spot — fully priced per environment, while the
+        whole front rides in ``evaluated``.  This is the shape campaign
+        stores persist for ``objective: pareto`` runs.
+        """
+        from repro.explore.bilevel import SearchResult
+        from repro.explore.ga import GAHistory
+
         algorithm = NSGA2(self._bilevel.space, self._fitness,
                           config=self.ga_config,
                           seeds=self._bilevel.space.seed_genomes())
         front = algorithm.run()
-        return [
+        lowered = [
             ParetoPoint(values=point.values,
                         payload=self._bilevel.lower_genome(point.payload))
             for point in front
         ]
+        best = min(lowered,
+                   key=lambda p: (p.values[0] * p.values[1], p.values))
+        design = best.payload
+        evaluator = self._bilevel.evaluator
+        return SearchResult(
+            design=design,
+            score=best.values[0] * best.values[1],
+            average=evaluator.evaluate_average(design),
+            metrics_by_env={
+                env.name: evaluator.evaluate(design, env)
+                for env in self._bilevel.environments
+            },
+            history=GAHistory(evaluations=algorithm.evaluations),
+            evaluated=lowered,
+        )

@@ -1,0 +1,41 @@
+"""Learned ranking over the design space (surrogate-guided DSE).
+
+The subsystem has three layers, each usable alone:
+
+* :mod:`repro.surrogate.features` — deterministic, versioned
+  featurization of ``(EnergyDesign, InferenceDesign)`` candidates plus
+  their scenario;
+* :mod:`repro.surrogate.model` — numpy-only ridge / boosted-stump
+  regressors with censored-label handling and uncertainty-aware
+  ranking;
+* :mod:`repro.surrogate.dataset` — training-set extraction straight
+  from the campaign result store.
+
+The consumer is :class:`repro.explore.guided.SurrogateGuidedExplorer`,
+which prices only the surrogate's top slice of each GA generation; the
+CLI front ends are ``repro surrogate fit|rank`` and ``repro search
+--surrogate``.  See docs/EXPLORATION.md.
+"""
+
+from repro.surrogate.dataset import (TrainingSet, build_training_set,
+                                     fit_from_store, parse_candidate)
+from repro.surrogate.features import (FEATURE_NAMES, FEATURE_SCHEMA_VERSION,
+                                      FeatureContext, FeatureSchema,
+                                      Featurizer, genome_designs)
+from repro.surrogate.model import SurrogateModel, load_model, save_model
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FEATURE_SCHEMA_VERSION",
+    "FeatureContext",
+    "FeatureSchema",
+    "Featurizer",
+    "SurrogateModel",
+    "TrainingSet",
+    "build_training_set",
+    "fit_from_store",
+    "genome_designs",
+    "load_model",
+    "parse_candidate",
+    "save_model",
+]

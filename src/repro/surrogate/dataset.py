@@ -1,0 +1,180 @@
+"""Training-set extraction from the campaign result store.
+
+Every finished campaign run is free surrogate training data:
+
+* a ``done`` row contributes its winning design with the run's scalar
+  score as the label;
+* absorbed candidate failures (on any row) and ``failed`` /
+  ``exhausted`` rows contribute *censored* examples — the candidate's
+  genome is recovered from the failure record's canonical
+  ``describe_genome`` rendering, and its label is only known to be "at
+  least as bad as anything that priced" (see
+  :class:`~repro.surrogate.model.SurrogateModel` for how censoring is
+  fit).
+
+Extraction is deterministic end to end: the store query orders rows
+totally, examples within a row keep recorded order, and the featurizer
+is pure arithmetic — so the same store yields a byte-identical feature
+matrix in every process.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.explore.space import Genome
+from repro.surrogate.features import (FeatureContext, FeatureSchema,
+                                      Featurizer, genome_designs)
+from repro.surrogate.model import SurrogateModel
+
+
+def parse_candidate(text: str) -> Optional[Genome]:
+    """Invert :func:`repro.explore.failures.describe_genome`.
+
+    The canonical rendering is space-separated ``name=value`` pairs
+    with sorted names, ``%.6g`` floats, and enums rendered by
+    ``.value`` (no gene name or value ever contains whitespace).
+    Returns ``None`` for strings that do not parse back to a genome
+    (foreign formats, or candidates missing the energy genes every
+    design needs) — callers simply skip those examples.
+    """
+    genome: Genome = {}
+    if not text.strip():
+        return None
+    for chunk in text.split():
+        name, separator, raw = chunk.partition("=")
+        if not separator or not name:
+            return None
+        value: object
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        genome[name] = value
+    if "panel_area_cm2" not in genome or "capacitance_f" not in genome:
+        return None
+    return genome
+
+
+@dataclass(frozen=True)
+class TrainingSet:
+    """A fitted-shape training set with provenance.
+
+    ``labels`` are raw objective scores (lower is better); censored
+    examples carry ``inf`` there and ``True`` in :attr:`censored`.
+    ``provenance`` names the store row each example came from.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    censored: np.ndarray
+    schema: FeatureSchema
+    provenance: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def n_censored(self) -> int:
+        return int(self.censored.sum())
+
+    def summary(self) -> str:
+        return (f"{len(self)} example(s) ({len(self) - self.n_censored} "
+                f"priced, {self.n_censored} censored), "
+                f"{self.schema.width} feature(s) "
+                f"[schema v{self.schema.version}]")
+
+
+def _design_from_solution(solution: Mapping[str, Any]):
+    from repro.serialize import design_from_dict
+
+    try:
+        return design_from_dict(dict(solution["design"]))
+    except (KeyError, TypeError):
+        return None
+
+
+def build_training_set(store, campaign: Optional[str] = None,
+                       workload: Optional[str] = None,
+                       featurizer: Optional[Featurizer] = None,
+                       ) -> TrainingSet:
+    """Extract every usable training example from a result store.
+
+    ``store`` is a :class:`~repro.campaign.store.ResultStore` (typed
+    loosely to keep this module importable without the campaign
+    subsystem).
+    """
+    featurizer = featurizer or Featurizer()
+    rows: List[np.ndarray] = []
+    labels: List[float] = []
+    censored: List[bool] = []
+    provenance: List[str] = []
+    for run in store.solutions_for_training(campaign=campaign,
+                                            workload=workload):
+        try:
+            context = FeatureContext.from_run_key(run.key)
+        except ConfigurationError:
+            continue  # e.g. a workload this build no longer knows
+        if run.solution is not None and run.score is not None:
+            design = _design_from_solution(run.solution)
+            if design is not None:
+                rows.append(featurizer.vector(design.energy,
+                                              design.inference, context))
+                labels.append(float(run.score))
+                censored.append(False)
+                provenance.append(run.run_hash)
+        for record in run.failures or ():
+            genome = parse_candidate(str(record.get("candidate", "")))
+            if genome is None:
+                continue
+            try:
+                energy, inference = genome_designs(genome)
+            except Exception:  # noqa: BLE001 - out-of-range relics skip
+                continue
+            rows.append(featurizer.vector(energy, inference, context))
+            labels.append(math.inf)
+            censored.append(True)
+            provenance.append(run.run_hash)
+    if rows:
+        features = np.stack(rows)
+    else:
+        features = np.empty((0, featurizer.schema.width), dtype=np.float64)
+    return TrainingSet(
+        features=features,
+        labels=np.asarray(labels, dtype=np.float64),
+        censored=np.asarray(censored, dtype=bool),
+        schema=featurizer.schema,
+        provenance=tuple(provenance),
+    )
+
+
+def fit_from_store(store, campaign: Optional[str] = None,
+                   workload: Optional[str] = None, *,
+                   kind: str = "ridge", seed: int = 0,
+                   **model_options: Any,
+                   ) -> Tuple[SurrogateModel, TrainingSet]:
+    """Build a training set from ``store`` and fit a surrogate on it."""
+    training = build_training_set(store, campaign=campaign,
+                                  workload=workload)
+    if len(training) == 0:
+        raise ConfigurationError(
+            "the store has no finished runs to train a surrogate on")
+    model = SurrogateModel(kind, seed=seed, **model_options)
+    model.fit(training.features, training.labels, training.censored)
+    return model, training
+
+
+__all__ = [
+    "TrainingSet",
+    "build_training_set",
+    "fit_from_store",
+    "parse_candidate",
+]

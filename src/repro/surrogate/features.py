@@ -1,0 +1,210 @@
+"""Deterministic featurization of design candidates.
+
+The surrogate never sees a genome dict directly: every candidate is
+projected to its canonical ``(EnergyDesign, InferenceDesign)`` pair —
+the same projection :meth:`DesignSpace.to_design` applies before
+pricing — and rendered as a fixed-width ``float64`` vector together
+with its *scenario* (environments, objective, workload).  Fixing the
+projection point makes the feature map independent of which design
+space proposed the candidate, so a model fit on ``existing`` campaign
+rows still scores ``future`` genomes (the family one-hot and
+accelerator genes simply light up).
+
+Determinism is a contract, not an accident: the same store must yield a
+byte-identical feature matrix in every process (pinned by
+``tests/test_surrogate.py``), because campaign workers fit surrogates
+independently and their rankings must agree.  Everything here is pure
+float arithmetic on canonical values — no dict iteration order, no
+hashing, no randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.design import EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.errors import ConfigurationError
+from repro.explore.objectives import Objective, ObjectiveKind
+from repro.explore.space import Genome
+from repro.hardware.accelerators import AcceleratorFamily
+from repro.workloads.network import Network
+
+#: Bump when the feature layout changes; a model fit under one version
+#: refuses feature matrices from another.
+FEATURE_SCHEMA_VERSION = 1
+
+_FAMILIES = (AcceleratorFamily.MSP430, AcceleratorFamily.TPU,
+             AcceleratorFamily.EYERISS)
+_OBJECTIVES = (ObjectiveKind.LATENCY, ObjectiveKind.SOLAR_PANEL,
+               ObjectiveKind.LATENCY_X_PANEL)
+
+#: Ordered feature names of schema version 1.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "panel_area_cm2",
+    "log10_capacitance_f",
+    *(f"family_{family.value}" for family in _FAMILIES),
+    "log2_n_pes",
+    "log2_cache_bytes_per_pe",
+    "log2_clock_scale",
+    "env_count",
+    "log10_mean_k_eh",
+    "log10_min_k_eh",
+    *(f"objective_{kind.name.lower()}" for kind in _OBJECTIVES),
+    "sp_cap_cm2",
+    "lat_cap_s",
+    "log10_network_macs",
+    "log10_network_params",
+    "network_layers",
+)
+
+
+@dataclass(frozen=True)
+class FeatureSchema:
+    """The versioned shape of the surrogate's input space.
+
+    Round-trippable through :meth:`to_dict` / :meth:`from_dict` so a
+    persisted model can verify, at load time, that it was fit against
+    the feature layout this build of the library produces.
+    """
+
+    version: int = FEATURE_SCHEMA_VERSION
+    names: Tuple[str, ...] = FEATURE_NAMES
+
+    @property
+    def width(self) -> int:
+        return len(self.names)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"version": self.version, "names": list(self.names)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FeatureSchema":
+        try:
+            version = int(data["version"])
+            names = tuple(str(name) for name in data["names"])
+        except (KeyError, TypeError) as error:
+            raise ConfigurationError(
+                f"invalid feature-schema record: {error}") from None
+        return cls(version=version, names=names)
+
+    def check_compatible(self, other: "FeatureSchema") -> None:
+        if self != other:
+            raise ConfigurationError(
+                f"feature schema mismatch: model was fit under version "
+                f"{other.version} ({other.width} features), this build "
+                f"produces version {self.version} ({self.width} features)")
+
+
+@dataclass(frozen=True)
+class FeatureContext:
+    """The scenario half of a feature vector.
+
+    Candidates within one search share a context (same workload,
+    environments, objective); campaign-store training rows each carry
+    their own.
+    """
+
+    network: Network
+    environments: Tuple[LightEnvironment, ...]
+    objective: Objective
+
+    @classmethod
+    def from_run_key(cls, key) -> "FeatureContext":
+        """Context of a campaign :class:`~repro.campaign.spec.RunKey`."""
+        from repro.workloads import zoo
+
+        return cls(network=zoo.workload_by_name(key.workload),
+                   environments=tuple(key.resolve_environments()),
+                   objective=key.to_objective())
+
+
+def genome_designs(genome: Genome) -> Tuple[EnergyDesign, InferenceDesign]:
+    """Canonical ``(energy, inference)`` projection of a HW genome.
+
+    The same dispatch :meth:`DesignSpace.to_design` applies (MSP430
+    collapses the accelerator genes; absent genes take the lowering
+    defaults), without requiring mappings or a space instance.
+    """
+    family = genome.get("family", AcceleratorFamily.MSP430)
+    if not isinstance(family, AcceleratorFamily):
+        family = AcceleratorFamily(str(family))
+    if family is AcceleratorFamily.MSP430:
+        inference = InferenceDesign.msp430()
+    else:
+        inference = InferenceDesign(
+            family=family,
+            n_pes=int(genome.get("n_pes", 64)),
+            cache_bytes_per_pe=int(genome.get("cache_bytes_per_pe", 512)),
+            clock_scale=float(genome.get("clock_scale", 1.0)),
+        )
+    energy = EnergyDesign(
+        panel_area_cm2=float(genome["panel_area_cm2"]),
+        capacitance_f=float(genome["capacitance_f"]),
+    )
+    return energy, inference
+
+
+class Featurizer:
+    """Maps candidates + scenario to fixed-width ``float64`` vectors."""
+
+    def __init__(self, schema: Optional[FeatureSchema] = None) -> None:
+        self.schema = schema or FeatureSchema()
+        FeatureSchema().check_compatible(self.schema)
+
+    # -- single vectors ------------------------------------------------------
+
+    def vector(self, energy: EnergyDesign, inference: InferenceDesign,
+               context: FeatureContext) -> np.ndarray:
+        """One ``(width,)`` float64 feature vector."""
+        k_ehs = [env.k_eh for env in context.environments]
+        objective = context.objective
+        values = [
+            energy.panel_area_cm2,
+            math.log10(energy.capacitance_f),
+            *(1.0 if inference.family is family else 0.0
+              for family in _FAMILIES),
+            math.log2(max(inference.n_pes, 1)),
+            math.log2(max(inference.cache_bytes_per_pe, 1)),
+            math.log2(inference.clock_scale),
+            float(len(context.environments)),
+            math.log10(sum(k_ehs) / len(k_ehs)) if k_ehs else 0.0,
+            math.log10(min(k_ehs)) if k_ehs else 0.0,
+            *(1.0 if objective.kind is kind else 0.0
+              for kind in _OBJECTIVES),
+            float(objective.sp_constraint_cm2 or 0.0),
+            float(objective.latency_constraint_s or 0.0),
+            math.log10(max(context.network.macs, 1)),
+            math.log10(max(context.network.params, 1)),
+            float(len(context.network)),
+        ]
+        return np.asarray(values, dtype=np.float64)
+
+    def vector_for_genome(self, genome: Genome,
+                          context: FeatureContext) -> np.ndarray:
+        energy, inference = genome_designs(genome)
+        return self.vector(energy, inference, context)
+
+    # -- batches -------------------------------------------------------------
+
+    def matrix_for_genomes(self, genomes: Sequence[Genome],
+                           context: FeatureContext) -> np.ndarray:
+        """A ``(len(genomes), width)`` feature matrix."""
+        if not genomes:
+            return np.empty((0, self.schema.width), dtype=np.float64)
+        return np.stack([self.vector_for_genome(genome, context)
+                         for genome in genomes])
+
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FEATURE_SCHEMA_VERSION",
+    "FeatureContext",
+    "FeatureSchema",
+    "Featurizer",
+    "genome_designs",
+]

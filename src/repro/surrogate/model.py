@@ -1,0 +1,326 @@
+"""Dependency-free surrogate regressors over candidate features.
+
+Two model families, both numpy-only, seeded, and deterministic:
+
+* ``ridge`` (default) — closed-form L2-regularised linear regression on
+  standardized features.  Cheap enough to refit inside a search loop
+  every couple of generations.
+* ``stumps`` — gradient-boosted depth-1 regression trees (quantile
+  thresholds, shrinkage).  Captures the threshold-y structure of the
+  design space (a capacitor below the per-inference energy need is a
+  cliff, not a slope) at a few milliseconds per fit.
+
+Labels are objective scores, *lower is better*, spanning twelve decades
+(milliseconds to the ``1e9`` penalty band), so models fit in
+``asinh``-transformed label space.  Censored labels (failed/infeasible
+candidates whose true score is only known to be "at least as bad as
+anything finite") are floored at one asinh-unit above the worst finite
+label and lifted to the model's own prediction when it is worse — a
+single hinge-style refit, the standard trick for right-censored
+targets.
+
+Ranking is uncertainty-aware: :meth:`SurrogateModel.rank` orders
+candidates by predicted (transformed) score minus an exploration bonus
+proportional to the candidate's distance from the training set, so the
+guided explorer keeps pricing regions the model has never seen.
+
+Persistence follows :mod:`repro.serialize`: plain dicts with a schema
+version, validated on load.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.surrogate.features import FeatureSchema
+
+_MODEL_SCHEMA_VERSION = 1
+
+_KINDS = ("ridge", "stumps")
+
+#: Asinh-space gap between the worst finite label and the censored
+#: floor (one unit ~ a factor of e in raw score).
+_CENSOR_MARGIN = 1.0
+
+
+class SurrogateModel:
+    """A seeded, picklable-as-dict score regressor with ranking."""
+
+    def __init__(self, kind: str = "ridge", *, l2: float = 1e-2,
+                 rounds: int = 80, learning_rate: float = 0.15,
+                 n_thresholds: int = 16, seed: int = 0) -> None:
+        if kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown surrogate kind {kind!r}; expected one of {_KINDS}")
+        if l2 <= 0:
+            raise ConfigurationError("l2 must be positive")
+        if rounds < 1:
+            raise ConfigurationError("rounds must be at least 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ConfigurationError("learning_rate must be in (0, 1]")
+        if n_thresholds < 2:
+            raise ConfigurationError("n_thresholds must be at least 2")
+        self.kind = kind
+        self.l2 = float(l2)
+        self.rounds = int(rounds)
+        self.learning_rate = float(learning_rate)
+        self.n_thresholds = int(n_thresholds)
+        self.seed = int(seed)
+        # Fitted state.
+        self._mu: Optional[np.ndarray] = None
+        self._sigma: Optional[np.ndarray] = None
+        self._z_mean: float = 0.0
+        self._weights: Optional[np.ndarray] = None  # ridge
+        self._stumps: Tuple[Tuple[int, float, float, float], ...] = ()
+        self._train_std: Optional[np.ndarray] = None  # standardized X
+
+    # -- fitting -------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._mu is not None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray,
+            censored: Optional[np.ndarray] = None) -> "SurrogateModel":
+        """Fit on raw (lower-is-better) labels; returns ``self``.
+
+        ``censored[i]`` marks a right-censored label: the candidate
+        failed outright, so its true score is unknown but no better
+        than any observed one.  Non-finite labels are treated as
+        censored regardless of the mask.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if features.ndim != 2 or len(features) != len(labels):
+            raise ConfigurationError(
+                f"need matching 2-D features and 1-D labels, got "
+                f"{features.shape} and {labels.shape}")
+        if censored is None:
+            censored = np.zeros(len(labels), dtype=bool)
+        else:
+            censored = np.asarray(censored, dtype=bool).copy()
+        censored |= ~np.isfinite(labels)
+        if bool(censored.all()):
+            raise ConfigurationError(
+                "cannot fit a surrogate on censored labels only")
+        self._mu = features.mean(axis=0)
+        sigma = features.std(axis=0)
+        self._sigma = np.where(sigma > 0.0, sigma, 1.0)
+        standardized = (features - self._mu) / self._sigma
+        z = np.arcsinh(np.where(np.isfinite(labels), labels, 0.0))
+        floor = float(z[~censored].max()) + _CENSOR_MARGIN
+        z = np.where(censored, floor, z)
+        self._fit_transformed(standardized, z)
+        if bool(censored.any()):
+            # Hinge refit: a censored candidate the model already ranks
+            # worse than the floor keeps its own prediction as target,
+            # so censoring never drags confident pessimism back up.
+            predicted = self._predict_standardized(standardized)
+            z = np.where(censored, np.maximum(predicted, floor), z)
+            self._fit_transformed(standardized, z)
+        self._train_std = standardized
+        return self
+
+    def _fit_transformed(self, standardized: np.ndarray,
+                         z: np.ndarray) -> None:
+        self._z_mean = float(z.mean())
+        centered = z - self._z_mean
+        if self.kind == "ridge":
+            gram = standardized.T @ standardized
+            gram += self.l2 * len(standardized) * np.eye(gram.shape[0])
+            self._weights = np.linalg.solve(gram, standardized.T @ centered)
+        else:
+            self._stumps = self._boost(standardized, centered)
+
+    def _boost(self, standardized: np.ndarray, centered: np.ndarray,
+               ) -> Tuple[Tuple[int, float, float, float], ...]:
+        quantiles = np.linspace(0.0, 1.0, self.n_thresholds + 2)[1:-1]
+        thresholds = np.quantile(standardized, quantiles, axis=0)
+        prediction = np.zeros(len(centered))
+        stumps = []
+        for _ in range(self.rounds):
+            residual = centered - prediction
+            best: Optional[Tuple[float, int, float, float, float]] = None
+            for feature_index in range(standardized.shape[1]):
+                column = standardized[:, feature_index]
+                for threshold in np.unique(thresholds[:, feature_index]):
+                    left = column <= threshold
+                    n_left = int(left.sum())
+                    if n_left == 0 or n_left == len(column):
+                        continue
+                    left_mean = float(residual[left].mean())
+                    right_mean = float(residual[~left].mean())
+                    gain = (n_left * left_mean * left_mean
+                            + (len(column) - n_left) * right_mean * right_mean)
+                    if best is None or gain > best[0]:
+                        best = (gain, feature_index, float(threshold),
+                                left_mean, right_mean)
+            if best is None:  # constant features: nothing to split on
+                break
+            _, feature_index, threshold, left_mean, right_mean = best
+            left_value = self.learning_rate * left_mean
+            right_value = self.learning_rate * right_mean
+            stumps.append((feature_index, threshold, left_value, right_value))
+            column = standardized[:, feature_index]
+            prediction += np.where(column <= threshold,
+                                   left_value, right_value)
+        return tuple(stumps)
+
+    # -- prediction ----------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise ConfigurationError("surrogate model is not fitted")
+
+    def _standardize(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        if features.shape[1] != self._mu.shape[0]:
+            raise ConfigurationError(
+                f"feature width {features.shape[1]} does not match the "
+                f"fitted width {self._mu.shape[0]}")
+        return (features - self._mu) / self._sigma
+
+    def _predict_standardized(self, standardized: np.ndarray) -> np.ndarray:
+        """Predictions in asinh label space."""
+        if self.kind == "ridge":
+            return standardized @ self._weights + self._z_mean
+        prediction = np.full(len(standardized), self._z_mean)
+        for feature_index, threshold, left_value, right_value in self._stumps:
+            column = standardized[:, feature_index]
+            prediction += np.where(column <= threshold,
+                                   left_value, right_value)
+        return prediction
+
+    def predict_transformed(self, features: np.ndarray) -> np.ndarray:
+        """Vectorized prediction in asinh(score) space (rank-preserving)."""
+        self._require_fitted()
+        return self._predict_standardized(self._standardize(features))
+
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        """Vectorized prediction in raw score space."""
+        return np.sinh(self.predict_transformed(features))
+
+    def predict(self, feature_vector: np.ndarray) -> float:
+        """Scalar prediction in raw score space."""
+        return float(self.predict_batch(np.asarray(feature_vector))[0])
+
+    def uncertainty(self, features: np.ndarray) -> np.ndarray:
+        """Dimension-normalized distance to the nearest training row.
+
+        Zero on (a duplicate of) a training row, growing as candidates
+        leave the region the model has evidence for — the exploration
+        bonus of :meth:`rank`.
+        """
+        self._require_fitted()
+        standardized = self._standardize(features)
+        deltas = standardized[:, None, :] - self._train_std[None, :, :]
+        distances = np.sqrt((deltas * deltas).sum(axis=2))
+        return distances.min(axis=1) / math.sqrt(standardized.shape[1])
+
+    def rank(self, features: np.ndarray,
+             explore_weight: float = 0.0) -> np.ndarray:
+        """Candidate indices, most promising first.
+
+        Orders by predicted transformed score minus
+        ``explore_weight * uncertainty``: low predicted score is
+        promising, and so is distance from anything the model was fit
+        on.  Stable sort, so equal keys keep input order.
+        """
+        key = self.predict_transformed(features)
+        if explore_weight:
+            key = key - explore_weight * self.uncertainty(features)
+        return np.argsort(key, kind="stable")
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        self._require_fitted()
+        return {
+            "schema_version": _MODEL_SCHEMA_VERSION,
+            "kind": self.kind,
+            "l2": self.l2,
+            "rounds": self.rounds,
+            "learning_rate": self.learning_rate,
+            "n_thresholds": self.n_thresholds,
+            "seed": self.seed,
+            "mu": self._mu.tolist(),
+            "sigma": self._sigma.tolist(),
+            "z_mean": self._z_mean,
+            "weights": (None if self._weights is None
+                        else self._weights.tolist()),
+            "stumps": [list(stump) for stump in self._stumps],
+            "train_std": self._train_std.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SurrogateModel":
+        version = data.get("schema_version")
+        if version != _MODEL_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported surrogate-model schema version {version!r} "
+                f"(expected {_MODEL_SCHEMA_VERSION})")
+        try:
+            model = cls(str(data["kind"]), l2=float(data["l2"]),
+                        rounds=int(data["rounds"]),
+                        learning_rate=float(data["learning_rate"]),
+                        n_thresholds=int(data["n_thresholds"]),
+                        seed=int(data["seed"]))
+            model._mu = np.asarray(data["mu"], dtype=np.float64)
+            model._sigma = np.asarray(data["sigma"], dtype=np.float64)
+            model._z_mean = float(data["z_mean"])
+            weights = data["weights"]
+            model._weights = (None if weights is None
+                              else np.asarray(weights, dtype=np.float64))
+            model._stumps = tuple(
+                (int(f), float(t), float(lv), float(rv))
+                for f, t, lv, rv in data["stumps"])
+            model._train_std = np.asarray(data["train_std"],
+                                          dtype=np.float64)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"invalid surrogate-model record: {error}") from None
+        return model
+
+
+def save_model(path, model: SurrogateModel,
+               schema: Optional[FeatureSchema] = None) -> None:
+    """Persist a fitted model (+ its feature schema) as JSON."""
+    payload = {
+        "schema_version": _MODEL_SCHEMA_VERSION,
+        "feature_schema": (schema or FeatureSchema()).to_dict(),
+        "model": model.to_dict(),
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_model(path) -> Tuple[SurrogateModel, FeatureSchema]:
+    """Load a model persisted by :func:`save_model`, validating the
+    feature schema against this build's."""
+    path = pathlib.Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read surrogate model {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"invalid surrogate-model JSON in {path}: {error}") from None
+    try:
+        schema = FeatureSchema.from_dict(data["feature_schema"])
+        model = SurrogateModel.from_dict(data["model"])
+    except (KeyError, TypeError) as error:
+        raise ConfigurationError(
+            f"invalid surrogate-model record in {path}: {error}") from None
+    FeatureSchema().check_compatible(schema)
+    return model, schema
+
+
+__all__ = ["SurrogateModel", "load_model", "save_model"]

@@ -247,3 +247,71 @@ class TestObservability:
     def test_disabled_runs_store_no_blob(self, store, solved):
         StubRunner(make_spec(seeds=(0,)), store, solved=solved).run()
         assert store.runs(status=STATUS_DONE)[0].obs is None
+
+
+class TestParetoCampaign:
+    """A real (tiny) multi-objective campaign, end to end."""
+
+    @pytest.fixture(scope="class")
+    def pareto_store(self, tmp_path_factory):
+        spec = CampaignSpec(
+            name="pareto-camp", workloads=("har",),
+            objectives=(ObjectiveSpec(kind="pareto"),),
+            environments=("indoor",), seeds=(0,),
+            population=4, generations=2)
+        path = tmp_path_factory.mktemp("pareto") / "camp.sqlite"
+        with ResultStore(path) as s:
+            CampaignRunner(spec, s).run()
+            yield s
+
+    def test_run_completes_and_persists_front(self, pareto_store):
+        rows = pareto_store.runs(status=STATUS_DONE)
+        assert len(rows) == 1
+        front = rows[0].front
+        assert front, "pareto run must persist its front"
+        for entry in front:
+            assert entry["panel_cm2"] > 0
+            assert entry["latency_s"] > 0
+            assert "design" in entry
+
+    def test_front_is_nondominated(self, pareto_store):
+        front = pareto_store.runs(status=STATUS_DONE)[0].front
+        points = [(e["panel_cm2"], e["latency_s"]) for e in front]
+        for a in points:
+            assert not any(b != a and b[0] <= a[0] and b[1] <= a[1]
+                           and b < a for b in points)
+
+    def test_front_designs_deserialize(self, pareto_store):
+        from repro.serialize import design_from_dict
+
+        front = pareto_store.runs(status=STATUS_DONE)[0].front
+        for entry in front:
+            design = design_from_dict(dict(entry["design"]))
+            assert design.energy.panel_area_cm2 == \
+                pytest.approx(entry["panel_cm2"])
+
+    def test_report_computes_hypervolume(self, pareto_store):
+        from repro.campaign.report import CampaignReport
+
+        report = CampaignReport.from_store(pareto_store,
+                                           hypervolume=True)
+        assert report.hypervolume_reference is not None
+        summary = report.scenarios[0]
+        assert summary.hypervolume is not None
+        assert summary.hypervolume > 0
+        # The reference sits 10% beyond the nadir of the stored points.
+        front = pareto_store.runs(status=STATUS_DONE)[0].front
+        worst_panel = max(e["panel_cm2"] for e in front)
+        assert report.hypervolume_reference[0] == \
+            pytest.approx(1.1 * worst_panel)
+        rendered = report.render_markdown()
+        assert "hypervolume" in rendered
+        assert "Hypervolume reference" in rendered
+
+    def test_report_without_flag_skips_hypervolume(self, pareto_store):
+        from repro.campaign.report import CampaignReport
+
+        report = CampaignReport.from_store(pareto_store)
+        assert report.hypervolume_reference is None
+        assert report.scenarios[0].hypervolume is None
+        assert "hypervolume" not in report.render_markdown()

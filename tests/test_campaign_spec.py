@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.campaign.spec import (
+    PARETO_KIND,
     CampaignSpec,
     ObjectiveSpec,
     RunKey,
@@ -170,3 +171,32 @@ class TestCampaignSpec:
         parallel = self._spec(workers=4).expand()
         assert [k.run_hash for k in serial] == \
             [k.run_hash for k in parallel]
+
+
+class TestParetoObjective:
+    def test_pareto_kind_accepted_without_caps(self):
+        spec = ObjectiveSpec(kind="pareto")
+        assert spec.kind == PARETO_KIND
+
+    def test_round_trip(self):
+        spec = ObjectiveSpec(kind="pareto")
+        assert ObjectiveSpec.from_dict(spec.to_dict()) == spec
+
+    def test_label(self):
+        assert ObjectiveSpec(kind="pareto").label() == "pareto"
+
+    def test_to_objective_falls_back_to_scalar(self):
+        # The scalar objective prices individual candidates inside the
+        # multi-objective search (and labels store rows); the front
+        # itself is the real output.
+        objective = ObjectiveSpec(kind="pareto").to_objective()
+        assert objective.kind.value == "lat*sp"
+
+    def test_expands_in_a_campaign_grid(self):
+        spec = CampaignSpec(
+            name="mixed", workloads=("har",),
+            objectives=(ObjectiveSpec(kind="lat*sp"),
+                        ObjectiveSpec(kind="pareto")),
+            environments=("indoor",), seeds=(0,))
+        kinds = sorted(key.objective.kind for key in spec.expand())
+        assert kinds == ["lat*sp", "pareto"]

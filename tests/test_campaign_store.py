@@ -238,11 +238,11 @@ class TestObsBlobs:
                      "WHERE key='schema_version'")
         conn.commit()
         conn.close()
-        with ResultStore(path) as store:  # reopening migrates (to v3)
+        with ResultStore(path) as store:  # reopening migrates (to v4)
             row = store._conn.execute(
                 "SELECT value FROM campaign_meta "
                 "WHERE key='schema_version'").fetchone()
-            assert row[0] == "3"
+            assert row[0] == "4"
             store.record_success(make_key(), score=1.0, panel_cm2=4.0,
                                  latency_s=1.0, solution=SOLUTION,
                                  campaign="camp", obs={"version": 1})

@@ -1,0 +1,331 @@
+"""Tests for the surrogate subsystem: features, model, dataset.
+
+Covers the tentpole guarantees: the featurizer is deterministic and
+schema-versioned (same store -> byte-identical feature matrix across
+processes), the model fit is seeded-deterministic and numpy-only, the
+ranking is monotone on data the regressors can represent, and censored
+labels (absorbed failures) are folded in without poisoning the fit.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.campaign.spec import ObjectiveSpec, RunKey
+from repro.campaign.store import ResultStore
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.errors import ConfigurationError
+from repro.explore.failures import describe_genome
+from repro.explore.objectives import Objective
+from repro.serialize import design_to_dict
+from repro.surrogate import (
+    FEATURE_NAMES,
+    FEATURE_SCHEMA_VERSION,
+    FeatureContext,
+    FeatureSchema,
+    Featurizer,
+    SurrogateModel,
+    TrainingSet,
+    build_training_set,
+    fit_from_store,
+    genome_designs,
+    load_model,
+    parse_candidate,
+    save_model,
+)
+from repro.units import uF
+from repro.workloads import zoo
+
+
+def make_context():
+    from repro.energy.environment import LightEnvironment
+
+    return FeatureContext(
+        network=zoo.har_cnn(),
+        environments=tuple(LightEnvironment.paper_environments()),
+        objective=Objective.lat_sp(),
+    )
+
+
+class TestFeatureSchema:
+    def test_round_trips_through_dict(self):
+        schema = FeatureSchema()
+        again = FeatureSchema.from_dict(schema.to_dict())
+        assert again == schema
+        assert again.version == FEATURE_SCHEMA_VERSION
+        assert again.width == len(FEATURE_NAMES)
+
+    def test_incompatible_schema_rejected(self):
+        schema = FeatureSchema()
+        stale = FeatureSchema(version=schema.version + 1,
+                              names=schema.names)
+        with pytest.raises(ConfigurationError):
+            schema.check_compatible(stale)
+
+    def test_renamed_feature_rejected(self):
+        schema = FeatureSchema()
+        renamed = FeatureSchema(
+            version=schema.version,
+            names=("bogus",) + tuple(schema.names[1:]))
+        with pytest.raises(ConfigurationError):
+            schema.check_compatible(renamed)
+
+
+class TestFeaturizer:
+    def test_vector_width_matches_schema(self):
+        genome = {"panel_area_cm2": 8.0, "capacitance_f": uF(470),
+                  "family": "msp430"}
+        vector = Featurizer().vector_for_genome(genome, make_context())
+        assert vector.shape == (len(FEATURE_NAMES),)
+        assert vector.dtype == np.float64
+
+    def test_vector_is_deterministic(self):
+        genome = {"panel_area_cm2": 8.0, "capacitance_f": uF(470),
+                  "family": "tpu", "n_pes": 32, "cache_bytes_per_pe": 512}
+        a = Featurizer().vector_for_genome(genome, make_context())
+        b = Featurizer().vector_for_genome(genome, make_context())
+        assert a.tobytes() == b.tobytes()
+
+    def test_enum_and_string_family_agree(self):
+        from repro.hardware.accelerators import AcceleratorFamily
+
+        base = {"panel_area_cm2": 8.0, "capacitance_f": uF(470),
+                "n_pes": 32, "cache_bytes_per_pe": 512}
+        via_enum = Featurizer().vector_for_genome(
+            dict(base, family=AcceleratorFamily.EYERISS), make_context())
+        via_str = Featurizer().vector_for_genome(
+            dict(base, family="eyeriss"), make_context())
+        assert via_enum.tobytes() == via_str.tobytes()
+
+    def test_matrix_stacks_vectors(self):
+        genomes = [
+            {"panel_area_cm2": 4.0, "capacitance_f": uF(100),
+             "family": "msp430"},
+            {"panel_area_cm2": 12.0, "capacitance_f": uF(940),
+             "family": "msp430"},
+        ]
+        context = make_context()
+        matrix = Featurizer().matrix_for_genomes(genomes, context)
+        assert matrix.shape == (2, len(FEATURE_NAMES))
+        assert matrix[0].tobytes() == \
+            Featurizer().vector_for_genome(genomes[0], context).tobytes()
+
+    def test_empty_matrix_keeps_width(self):
+        matrix = Featurizer().matrix_for_genomes([], make_context())
+        assert matrix.shape == (0, len(FEATURE_NAMES))
+
+    def test_genome_designs_matches_explicit_designs(self):
+        genome = {"panel_area_cm2": 8.0, "capacitance_f": uF(470),
+                  "family": "msp430"}
+        energy, inference = genome_designs(genome)
+        assert isinstance(energy, EnergyDesign)
+        assert isinstance(inference, InferenceDesign)
+        assert energy.panel_area_cm2 == 8.0
+
+
+class TestParseCandidate:
+    def test_round_trips_describe_genome(self):
+        from repro.hardware.accelerators import AcceleratorFamily
+
+        genome = {"panel_area_cm2": 12.345678, "capacitance_f": uF(470),
+                  "family": AcceleratorFamily.TPU, "n_pes": 64,
+                  "cache_bytes_per_pe": 512, "clock_scale": 0.75}
+        back = parse_candidate(describe_genome(genome))
+        assert back is not None
+        assert back["family"] == "tpu"
+        assert back["n_pes"] == 64
+        assert back["panel_area_cm2"] == pytest.approx(12.345678, rel=1e-5)
+        # And the parsed genome still lowers to designs.
+        energy, inference = genome_designs(back)
+        assert inference.n_pes == 64
+
+    def test_rejects_foreign_strings(self):
+        assert parse_candidate("") is None
+        assert parse_candidate("not a genome") is None
+        assert parse_candidate("n_pes=64") is None  # no energy genes
+
+
+def _synthetic(seed=0, n=80):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(-1.0, 1.0, size=(n, 4))
+    labels = 3.0 * features[:, 0] + 5.0
+    return features, labels
+
+
+class TestSurrogateModel:
+    @pytest.mark.parametrize("kind", ["ridge", "stumps"])
+    def test_seeded_fit_is_deterministic(self, kind):
+        features, labels = _synthetic()
+        a = SurrogateModel(kind, seed=7)
+        b = SurrogateModel(kind, seed=7)
+        a.fit(features, labels)
+        b.fit(features, labels)
+        probe, _ = _synthetic(seed=1, n=16)
+        assert a.predict_batch(probe).tobytes() == \
+            b.predict_batch(probe).tobytes()
+
+    @pytest.mark.parametrize("kind", ["ridge", "stumps"])
+    def test_dict_round_trip_preserves_predictions(self, kind):
+        features, labels = _synthetic()
+        model = SurrogateModel(kind, seed=0)
+        model.fit(features, labels)
+        clone = SurrogateModel.from_dict(model.to_dict())
+        probe, _ = _synthetic(seed=2, n=16)
+        assert clone.predict_batch(probe).tobytes() == \
+            model.predict_batch(probe).tobytes()
+        # And the dict is JSON-serializable (the save_model contract).
+        json.dumps(model.to_dict())
+
+    def test_ranking_monotone_on_linear_data(self):
+        features, labels = _synthetic()
+        model = SurrogateModel("ridge", seed=0)
+        model.fit(features, labels)
+        probe, probe_labels = _synthetic(seed=3, n=32)
+        order = model.rank(probe)
+        # Regularization + the asinh label transform keep the fit from
+        # being exact, so check rank correlation rather than identity.
+        predicted_rank = np.empty(len(order))
+        predicted_rank[order] = np.arange(len(order))
+        true_rank = np.empty(len(order))
+        true_rank[np.argsort(probe_labels, kind="stable")] = \
+            np.arange(len(order))
+        rho = float(np.corrcoef(predicted_rank, true_rank)[0, 1])
+        assert rho > 0.9
+        # The single most promising candidate is genuinely near the top.
+        assert true_rank[order[0]] <= 3
+
+    def test_stumps_beat_the_mean_baseline(self):
+        features, labels = _synthetic()
+        model = SurrogateModel("stumps", seed=0)
+        model.fit(features, labels)
+        predictions = model.predict_batch(features)
+        sse_model = float(np.sum((predictions - labels) ** 2))
+        sse_mean = float(np.sum((labels - labels.mean()) ** 2))
+        assert sse_model < 0.5 * sse_mean
+
+    def test_censored_labels_rank_behind_finite_ones(self):
+        features, labels = _synthetic(n=40)
+        censored = np.zeros(40, dtype=bool)
+        censored[labels > np.median(labels)] = True
+        shown = labels.copy()
+        shown[censored] = np.inf
+        model = SurrogateModel("ridge", seed=0)
+        model.fit(features, shown, censored)
+        predictions = model.predict_transformed(features)
+        assert predictions[censored].mean() > predictions[~censored].mean()
+
+    def test_all_censored_is_an_error(self):
+        features, labels = _synthetic(n=10)
+        with pytest.raises(ConfigurationError):
+            SurrogateModel("ridge").fit(features,
+                                        np.full(10, np.inf))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SurrogateModel("forest")
+
+    def test_uncertainty_zero_on_training_rows(self):
+        features, labels = _synthetic()
+        model = SurrogateModel("ridge", seed=0)
+        model.fit(features, labels)
+        assert model.uncertainty(features[:5]).max() == pytest.approx(0.0)
+
+    def test_save_load_round_trip(self, tmp_path):
+        features, labels = _synthetic()
+        model = SurrogateModel("ridge", seed=0)
+        model.fit(features, labels)
+        path = tmp_path / "model.json"
+        save_model(path, model)
+        loaded, schema = load_model(path)
+        assert schema == FeatureSchema()
+        probe, _ = _synthetic(seed=4, n=8)
+        assert loaded.predict_batch(probe).tobytes() == \
+            model.predict_batch(probe).tobytes()
+
+
+def _design_dict():
+    design = AuTDesign(
+        energy=EnergyDesign(panel_area_cm2=8.0, capacitance_f=uF(470)),
+        inference=InferenceDesign.msp430(),
+        mappings=(),
+    )
+    return design_to_dict(design)
+
+
+def _populate_store(store):
+    """One done run (with an absorbed failure) and one failed run."""
+    key = RunKey(workload="har", setup="existing", environment="paper",
+                 objective=ObjectiveSpec(kind="lat*sp"), seed=0,
+                 population=4, generations=2)
+    store.register("camp", [key])
+    store.mark_running(key)
+    failure = {
+        "candidate": describe_genome(
+            {"panel_area_cm2": 2.0, "capacitance_f": uF(5),
+             "family": "msp430"}),
+        "family": "InfeasibleDesignError",
+        "message": "stub", "penalty": float("inf"), "stage": "hw-fitness",
+    }
+    store.record_success(
+        key, score=2.5, panel_cm2=8.0, latency_s=0.4,
+        solution={"design": _design_dict()},
+        failures=[failure], campaign="camp")
+    return key
+
+
+class TestTrainingExtraction:
+    def test_done_and_censored_rows_extracted(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            _populate_store(store)
+            training = build_training_set(store)
+        assert len(training) == 2
+        assert training.n_censored == 1
+        assert np.isfinite(training.labels[~training.censored]).all()
+        assert np.isinf(training.labels[training.censored]).all()
+        assert training.schema == FeatureSchema()
+        assert "2 example(s)" in training.summary()
+
+    def test_fit_from_store_round_trip(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            _populate_store(store)
+            model, training = fit_from_store(store, kind="ridge", seed=0)
+        assert model.is_fitted
+        assert isinstance(training, TrainingSet)
+        assert np.isfinite(
+            model.predict_batch(training.features)).all()
+
+    def test_empty_store_raises(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            with pytest.raises(ConfigurationError):
+                fit_from_store(store)
+
+    def test_feature_matrix_identical_across_processes(self, tmp_path):
+        """Same store -> byte-identical feature matrix, any process."""
+        db = tmp_path / "s.sqlite"
+        with ResultStore(db) as store:
+            _populate_store(store)
+            training = build_training_set(store)
+        local = (training.features.tobytes().hex(),
+                 training.labels.tobytes().hex(),
+                 training.schema.version)
+        script = textwrap.dedent(f"""
+            from repro.campaign.store import ResultStore
+            from repro.surrogate import build_training_set
+            with ResultStore({str(db)!r}) as store:
+                training = build_training_set(store)
+            print(training.features.tobytes().hex())
+            print(training.labels.tobytes().hex())
+            print(training.schema.version)
+        """)
+        result = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, check=True, env=dict(os.environ))
+        lines = result.stdout.strip().splitlines()
+        assert lines[0] == local[0]
+        assert lines[1] == local[1]
+        assert int(lines[2]) == local[2]
