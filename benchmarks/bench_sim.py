@@ -38,6 +38,7 @@ from typing import List, Optional
 
 from repro.design import AuTDesign, EnergyDesign, InferenceDesign
 from repro.energy.environment import LightEnvironment
+from repro.energy.traces import TraceEnvironment, TraceSegment
 from repro.sim.engine import FAST_REL_TOL, SimulationResult
 from repro.sim.evaluator import ChrysalisEvaluator
 from repro.sim.trace import EventKind
@@ -59,11 +60,33 @@ _SUITE = [
     ("kws", 144, uF(4.7), "darker"),
 ]
 
+
+def _bench_trace(name: str, durations) -> TraceEnvironment:
+    """A four-level piecewise trace scaled off the darker preset."""
+    dark = LightEnvironment.darker().k_eh
+    scales = (1.0, 0.6, 0.8, 0.45)
+    return TraceEnvironment(name, tuple(
+        TraceSegment(d, s * dark) for d, s in zip(durations, scales)))
+
+
 _ENVIRONMENTS = {
     "brighter": LightEnvironment.brighter,
     "darker": LightEnvironment.darker,
     "indoor": LightEnvironment.indoor,
+    # Piecewise-constant traces with segment boundaries mid-run: the
+    # segment-aware fast path must re-arm across every boundary.
+    "trace-slow": lambda: _bench_trace("trace-slow", (2.2, 1.6, 2.8, 1.8)),
+    "trace-fast": lambda: _bench_trace("trace-fast", (1.1, 0.8, 1.4, 0.9)),
 }
+
+#: Trace cases, timed and gated separately (``--min-trace-speedup``):
+#: exact stepping pays the per-step harvest lookup on every step, the
+#: fast path only within the cycles it cannot replay.
+_TRACE_SUITE = [
+    ("har", 128, uF(10), "trace-slow"),
+    ("kws", 144, uF(2.2), "trace-fast"),
+    ("kws", 144, uF(3.3), "trace-fast"),
+]
 
 
 def _build(workload: str, n_tiles: int, cap_f: float):
@@ -128,17 +151,23 @@ def main(argv: Optional[list] = None) -> int:
                         help="timed runs per case; fastest is reported")
     parser.add_argument("--steps-per-tile", type=int, default=16)
     parser.add_argument("--output", default="BENCH_sim.json")
+    parser.add_argument("--min-trace-speedup", type=float, default=3.0,
+                        help="fail below this aggregate fast-vs-exact "
+                             "speedup on the trace cases")
     args = parser.parse_args(argv)
     if args.smoke:
         args.repeats = 2
 
-    print(f"benchmarking step simulator, {len(_SUITE)} cases, "
+    suite = [(case, False) for case in _SUITE] + \
+            [(case, True) for case in _TRACE_SUITE]
+    print(f"benchmarking step simulator, {len(suite)} cases, "
           f"steps_per_tile={args.steps_per_tile}, repeats={args.repeats}")
 
     cases = []
     total_exact = total_fast = 0.0
+    trace_exact = trace_fast = 0.0
     failures = []
-    for workload, n_tiles, cap_f, envname in _SUITE:
+    for (workload, n_tiles, cap_f, envname), is_trace in suite:
         network, design = _build(workload, n_tiles, cap_f)
         environment = _ENVIRONMENTS[envname]()
         evaluator = ChrysalisEvaluator(network,
@@ -150,10 +179,15 @@ def main(argv: Optional[list] = None) -> int:
         errors = _identity_errors(exact, fast)
         label = f"{workload}/{n_tiles}t/{cap_f * 1e6:g}uF/{envname}"
         speedup = exact_s / fast_s if fast_s > 0 else 0.0
-        total_exact += exact_s
-        total_fast += fast_s
+        if is_trace:
+            trace_exact += exact_s
+            trace_fast += fast_s
+        else:
+            total_exact += exact_s
+            total_fast += fast_s
         cases.append({
             "case": label,
+            "trace": is_trace,
             "feasible": exact.metrics.feasible,
             "exact_seconds": exact_s,
             "fast_seconds": fast_s,
@@ -174,6 +208,7 @@ def main(argv: Optional[list] = None) -> int:
             failures.append((label, errors))
 
     overall = total_exact / total_fast if total_fast > 0 else 0.0
+    trace_speedup = trace_exact / trace_fast if trace_fast > 0 else 0.0
     report = {
         "steps_per_tile": args.steps_per_tile,
         "repeats": args.repeats,
@@ -182,6 +217,9 @@ def main(argv: Optional[list] = None) -> int:
         "total_exact_seconds": total_exact,
         "total_fast_seconds": total_fast,
         "speedup_overall": overall,
+        "trace_exact_seconds": trace_exact,
+        "trace_fast_seconds": trace_fast,
+        "speedup_trace": trace_speedup,
         "metrics_identical": not failures,
     }
     path = pathlib.Path(args.output)
@@ -189,6 +227,8 @@ def main(argv: Optional[list] = None) -> int:
 
     print(f"  overall: exact {total_exact:.3f} s vs fast {total_fast:.3f} s "
           f"-> {overall:.2f}x")
+    print(f"  traces : exact {trace_exact:.3f} s vs fast {trace_fast:.3f} s "
+          f"-> {trace_speedup:.2f}x")
     print(f"report written to {path}")
 
     if failures:
@@ -198,6 +238,10 @@ def main(argv: Optional[list] = None) -> int:
     if overall < 5.0:
         print(f"ERROR: overall speedup {overall:.2f}x below the 5x bar",
               file=sys.stderr)
+        return 1
+    if trace_speedup < args.min_trace_speedup:
+        print(f"ERROR: trace speedup {trace_speedup:.2f}x below the "
+              f"{args.min_trace_speedup:g}x bar", file=sys.stderr)
         return 1
     return 0
 

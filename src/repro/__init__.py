@@ -45,9 +45,16 @@ from repro.api import (FIDELITIES, EvalRequest, EvaluationReport, evaluate,
 from repro.campaign import CampaignSpec, ResultStore, run_campaign
 from repro.core.chrysalis import Chrysalis
 from repro.core.result import AuTSolution
-from repro.core.scenarios import SCENARIOS, Scenario, scenario_by_name
+from repro.core.scenarios import Scenario
 from repro.design import AuTDesign, EnergyDesign, InferenceDesign
 from repro.energy.environment import LightEnvironment
+from repro.energy.traces import TraceEnvironment
+from repro.environments import (
+    EnvironmentSpec,
+    ScenarioGenerator,
+    environment_by_name,
+    register_environment,
+)
 from repro.explore.objectives import Objective, ObjectiveKind
 from repro.explore.space import DesignSpace
 from repro.faults import FaultConfig, run_faults_sweep
@@ -65,6 +72,7 @@ __all__ = [
     "ChrysalisEvaluator",
     "DesignSpace",
     "EnergyDesign",
+    "EnvironmentSpec",
     "EvalRequest",
     "EvaluationReport",
     "FIDELITIES",
@@ -74,16 +82,18 @@ __all__ = [
     "Objective",
     "ObjectiveKind",
     "ResultStore",
-    "SCENARIOS",
     "Scenario",
+    "ScenarioGenerator",
+    "TraceEnvironment",
     "__version__",
+    "environment_by_name",
     "evaluate",
     "evaluate_batch",
     "evaluate_many",
     "obs",
+    "register_environment",
     "run_campaign",
     "run_faults_sweep",
-    "scenario_by_name",
     "serve",
     "zoo",
 ]
@@ -102,6 +112,8 @@ _DEPRECATED = {
     "FaultInjector": ("repro.faults", "FaultInjector"),
     "ResilienceReport": ("repro.faults", "ResilienceReport"),
     "ParetoExplorer": ("repro.explore.nsga2", "ParetoExplorer"),
+    "SCENARIOS": ("repro.core.scenarios", "SCENARIOS"),
+    "scenario_by_name": ("repro.core.scenarios", "scenario_by_name"),
     "WorkloadMix": ("repro.sim.mix", "WorkloadMix"),
     "early_exit_mix": ("repro.sim.mix", "early_exit_mix"),
     "grid_sweep": ("repro.explore.sweeps", "grid_sweep"),

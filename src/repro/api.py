@@ -27,9 +27,10 @@ from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence,
                     Tuple, Union)
 
-from repro.core.scenarios import Scenario, scenario_by_name
+from repro.core.scenarios import Scenario
 from repro.design import AuTDesign
 from repro.energy.environment import LightEnvironment
+from repro.environments import environment_by_name
 from repro.errors import ConfigurationError
 from repro.hardware.checkpoint import CheckpointModel
 from repro.obs import state as obs_state
@@ -96,9 +97,12 @@ def _resolve_environments(
         return tuple(environments)
     if scenario is not None:
         if isinstance(scenario, str):
-            scenario = scenario_by_name(scenario)
+            # A string resolves through the unified registry, so any
+            # environment label works here: scenario names, presets,
+            # "scenario:<name>", registered traces.
+            return environment_by_name(scenario)
         return tuple(scenario.environments)
-    return tuple(LightEnvironment.paper_environments())
+    return environment_by_name("paper")
 
 
 def evaluate(design: AuTDesign,
@@ -124,10 +128,12 @@ def evaluate(design: AuTDesign,
         A :class:`~repro.workloads.network.Network` or a zoo name
         (``"har_cnn"``, ``"kws_dscnn"``, ...).
     scenario:
-        Optional SWaP :class:`~repro.core.scenarios.Scenario` (or its
-        name); supplies the lighting environments.  Mutually exclusive
-        with ``environments``; with neither, the paper's
-        brighter/darker pair is used.
+        Optional SWaP :class:`~repro.core.scenarios.Scenario`, or any
+        environment label the registry resolves
+        (:func:`repro.environments.environment_by_name`): a scenario
+        name, a preset (``"brighter"``), or a registered trace label.
+        Mutually exclusive with ``environments``; with neither, the
+        paper's brighter/darker pair is used.
     fidelity:
         ``"step"`` (default) runs the step-based intermittent simulator;
         ``"analytical"`` the closed-form Eqs. 1-9 model.  Results are

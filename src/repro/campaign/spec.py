@@ -27,24 +27,18 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.scenarios import scenario_by_name
-from repro.energy.environment import LightEnvironment
+# SCENARIO_PREFIX is re-exported here for backward compatibility; its
+# canonical home is the unified registry in repro.environments.
+from repro.environments import (
+    SCENARIO_PREFIX,
+    Environment,
+    ScenarioGenerator,
+    environment_by_name,
+)
 from repro.errors import ConfigurationError
 from repro.explore.objectives import Objective, ObjectiveKind
 
 _SPEC_SCHEMA_VERSION = 1
-
-#: Prefix marking an environment label that names a SWaP scenario preset
-#: (the scenario supplies both the environments and the objective).
-SCENARIO_PREFIX = "scenario:"
-
-#: Named environment sets a run can qualify in.  ``paper`` is the
-#: brighter/darker pair every search in the paper averages over.
-_ENVIRONMENT_SETS = {
-    "paper": LightEnvironment.paper_environments,
-    "brighter": lambda: (LightEnvironment.brighter(),),
-    "darker": lambda: (LightEnvironment.darker(),),
-    "indoor": lambda: (LightEnvironment.indoor(),),
-}
 
 _SETUPS = ("existing", "future")
 
@@ -67,17 +61,14 @@ def expand_grid(axes: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
     return cells
 
 
-def resolve_environments(label: str) -> Tuple[LightEnvironment, ...]:
-    """The concrete environments an environment label qualifies in."""
-    if label.startswith(SCENARIO_PREFIX):
-        return scenario_by_name(label[len(SCENARIO_PREFIX):]).environments
-    try:
-        return tuple(_ENVIRONMENT_SETS[label]())
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown environment {label!r}; expected one of "
-            f"{sorted(_ENVIRONMENT_SETS)} or '{SCENARIO_PREFIX}<name>'"
-        ) from None
+def resolve_environments(label: str) -> Tuple[Environment, ...]:
+    """The concrete environments an environment label qualifies in.
+
+    A thin delegate to the unified registry
+    (:func:`repro.environments.environment_by_name`), kept as the
+    campaign layer's historical entry point.
+    """
+    return environment_by_name(label)
 
 
 # ---------------------------------------------------------------------------
@@ -232,7 +223,7 @@ class RunKey:
     def to_objective(self) -> Objective:
         return self.objective.to_objective()
 
-    def resolve_environments(self) -> Tuple[LightEnvironment, ...]:
+    def resolve_environments(self) -> Tuple[Environment, ...]:
         return resolve_environments(self.environment)
 
 
@@ -248,7 +239,11 @@ class CampaignSpec:
     The grid is ``workloads x setups x conditions x seeds`` where a
     *condition* is either an explicit (environment, objective) pair from
     the cartesian product of :attr:`environments` and :attr:`objectives`,
-    or a named SWaP scenario preset (which supplies both).
+    or a named SWaP scenario preset (which supplies both).  An optional
+    :attr:`generator` contributes seeded trace-scenario labels to the
+    environment axis: expanding the same spec in any process registers
+    byte-identical content-addressed scenarios, so run hashes stay
+    stable across workers and machines.
     """
 
     name: str
@@ -267,6 +262,10 @@ class CampaignSpec:
     #: ``exhausted``.  Result-neutral — a retry of a deterministic run
     #: recomputes the same result — so it stays out of the run hash.
     max_attempts: int = 3
+    #: Optional seeded trace-scenario generator whose labels join the
+    #: environment axis (crossed with :attr:`objectives` like any other
+    #: environment label).
+    generator: Optional[ScenarioGenerator] = None
 
     def __post_init__(self) -> None:
         from repro.workloads import zoo
@@ -298,14 +297,22 @@ class CampaignSpec:
             scenario_by_name(scenario)
         for environment in self.environments:
             resolve_environments(environment)
+        if self.generator is not None:
+            # Register the generated scenarios eagerly so every process
+            # that loads this spec (runner, fleet worker, reporter) can
+            # resolve the labels its run keys carry.
+            self.generator.expand()
 
     # -- expansion -----------------------------------------------------------
 
     def conditions(self) -> List[Tuple[str, ObjectiveSpec]]:
         """All (environment label, objective) cells of this campaign."""
         conditions: List[Tuple[str, ObjectiveSpec]] = []
+        env_labels = list(self.environments)
+        if self.generator is not None:
+            env_labels.extend(self.generator.expand())
         if self.objectives:
-            for cell in expand_grid({"environment": self.environments,
+            for cell in expand_grid({"environment": env_labels,
                                      "objective": self.objectives}):
                 conditions.append((cell["environment"], cell["objective"]))
         for scenario in self.scenarios:
@@ -357,6 +364,8 @@ class CampaignSpec:
         }
         if self.candidate_time_budget_s is not None:
             data["candidate_time_budget_s"] = self.candidate_time_budget_s
+        if self.generator is not None:
+            data["generator"] = self.generator.to_dict()
         return data
 
     def to_json(self, indent: int = 2) -> str:
@@ -378,6 +387,7 @@ class CampaignSpec:
                 f"campaign spec is missing field {missing}") from None
         ga = data.get("ga", {})
         budget = data.get("candidate_time_budget_s")
+        generator = data.get("generator")
         return cls(
             name=str(name),
             workloads=tuple(str(w) for w in workloads),
@@ -393,6 +403,8 @@ class CampaignSpec:
             workers=int(ga.get("workers", 1)),
             candidate_time_budget_s=None if budget is None else float(budget),
             max_attempts=int(data.get("max_attempts", 3)),
+            generator=(None if generator is None
+                       else ScenarioGenerator.from_dict(generator)),
         )
 
     @classmethod

@@ -79,6 +79,7 @@ from repro.core.chrysalis import Chrysalis
 from repro.core.describer import describe_design
 from repro.design import AuTDesign, EnergyDesign, InferenceDesign
 from repro.energy.environment import LightEnvironment
+from repro.environments import environment_by_name
 from repro.errors import ChrysalisError
 from repro.explore.ga import GAConfig
 from repro.explore.mapper_search import MappingOptimizer
@@ -105,13 +106,6 @@ from repro.serve import (
 )
 from repro.sim.report import render_faults_sweep
 from repro.workloads import zoo
-
-
-_ENVIRONMENTS = {
-    "brighter": LightEnvironment.brighter,
-    "darker": LightEnvironment.darker,
-    "indoor": LightEnvironment.indoor,
-}
 
 
 class _DeprecatedAlias(argparse.Action):
@@ -283,11 +277,11 @@ def cmd_describe(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     network = zoo.workload_by_name(args.workload)
     design = _explicit_design(args, network)
-    environment = _ENVIRONMENTS[args.environment]()
+    environments = environment_by_name(args.environment)
     obs_on = _obs_begin(args)
     # The unified front door (results are bit-identical to driving
     # ChrysalisEvaluator.simulate directly).
-    report = api_evaluate(design, network, environments=(environment,),
+    report = api_evaluate(design, network, environments=environments,
                           fidelity="step", fast_forward=not args.exact)
     metrics = report.metrics
     if not metrics.feasible:
@@ -295,7 +289,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if obs_on:
             _obs_finish(args, report.obs)
         return 1
-    result = report.simulations[environment.name]
+    result = report.simulations[environments[0].name]
     print(f"e2e latency      : {metrics.e2e_latency:.4f} s "
           f"(busy {metrics.busy_time:.4f} s, "
           f"charge {metrics.charge_time:.4f} s)")
@@ -641,7 +635,9 @@ def _serve_bench(args: argparse.Namespace) -> int:
 
 def cmd_faults_sweep(args: argparse.Namespace) -> int:
     network = zoo.workload_by_name(args.workload)
-    environment = _ENVIRONMENTS[args.environment]()
+    # A multi-environment label stresses its first environment (the
+    # sweep is per-environment by construction).
+    environment = environment_by_name(args.environment)[0]
     # Map the design for the environment being stressed: sweeping a
     # design that is nominally infeasible there tells you nothing.
     design = _explicit_design(args, network, environments=(environment,))
@@ -735,9 +731,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser("simulate",
                               help="step-simulate an explicit design")
     add_design_args(simulate)
-    simulate.add_argument("--environment",
-                          choices=("brighter", "darker", "indoor"),
-                          default="brighter")
+    simulate.add_argument("--environment", default="brighter",
+                          help="environment label (a preset such as "
+                               "brighter/darker/indoor, a registered "
+                               "trace, or scenario:<name>)")
     simulate.add_argument("--trace", type=int, default=10,
                           help="trace events to print")
     simulate.add_argument("--exact", action="store_true",
@@ -939,9 +936,10 @@ def build_parser() -> argparse.ArgumentParser:
         "faults-sweep",
         help="stress a design across fault-injection intensities")
     add_design_args(faults)
-    faults.add_argument("--environment",
-                        choices=("brighter", "darker", "indoor"),
-                        default="brighter")
+    faults.add_argument("--environment", default="brighter",
+                        help="environment label (a preset such as "
+                             "brighter/darker/indoor, a registered "
+                             "trace, or scenario:<name>)")
     faults.add_argument("--intensities", type=float, nargs="+",
                         default=[0.0, 0.5, 1.0, 2.0],
                         help="fault-rate multipliers applied to the "

@@ -212,6 +212,9 @@ class EnergyController:
             OBS.registry.counter("energy.controller.charge_fastforwards").inc()
         if self.faults is not None and self.faults.perturbs_charging:
             return self._fast_forward_windowed(max_wait)
+        next_change = getattr(self.harvester, "next_change_after", None)
+        if next_change is not None:
+            return self._fast_forward_segmented(next_change, max_wait)
         harvested_power = self.harvester.power_at(self.time)
         charge_power = self.pmic.charge_power(harvested_power)
         wait = self.capacitor.time_to_reach(self.pmic.v_on, charge_power)
@@ -226,6 +229,42 @@ class EnergyController:
     #: an unbounded ``max_wait`` on a hopeless (leakage-bound) design.
     MAX_CHARGE_WINDOWS = 1_000_000
 
+    def _fast_forward_segmented(self, next_change, max_wait: float) -> float:
+        """Charge to ``v_on`` under a piecewise-constant harvester.
+
+        The closed-form charging solution is applied per constant
+        segment of the harvester (``next_change(t)`` is the absolute
+        time of the next power change).  A segment whose power cannot
+        reach ``v_on`` is not hopeless by itself — an indoor night ends
+        when the lights come on — so the charge simply advances through
+        it; only ``max_wait`` (or an infinite wait in an endless
+        segment) declares failure.  Like the fault-windowed path, a
+        failed (``inf``) fast-forward may leave the partially-charged
+        state behind — callers treat ``inf`` as terminal anyway.
+        """
+        waited = 0.0
+        obs_on = OBS.enabled
+        for _ in range(self.MAX_CHARGE_WINDOWS):
+            if obs_on:
+                OBS.registry.counter("energy.controller.charge_windows").inc()
+            if waited >= max_wait:
+                return math.inf
+            harvested_power = self.harvester.power_at(self.time)
+            charge_power = self.pmic.charge_power(harvested_power)
+            wait = self.capacitor.time_to_reach(self.pmic.v_on, charge_power)
+            window = max(next_change(self.time) - self.time, 1e-9)
+            if wait <= window:
+                if math.isinf(wait) or waited + wait > max_wait:
+                    return math.inf
+                self._advance(wait, harvested_power, charge_power, 0.0, 0.0)
+                self._snap_to_on()
+                self._transition(v_before=0.0)
+                return waited + wait
+            chunk = min(window, max_wait - waited)
+            self._advance(chunk, harvested_power, charge_power, 0.0, 0.0)
+            waited += chunk
+        return math.inf
+
     def _fast_forward_windowed(self, max_wait: float) -> float:
         """Charge to ``v_on`` when faults vary the input over time.
 
@@ -237,6 +276,7 @@ class EnergyController:
         """
         faults, waited = self.faults, 0.0
         obs_on = OBS.enabled
+        probe = getattr(self.harvester, "next_change_after", None)
         for _ in range(self.MAX_CHARGE_WINDOWS):
             if obs_on:
                 OBS.registry.counter("energy.controller.charge_windows").inc()
@@ -247,7 +287,13 @@ class EnergyController:
             harvested_power = (self.harvester.power_at(self.time)
                                * faults.harvest_factor(self.time))
             charge_power = self.pmic.charge_power(harvested_power)
-            window = max(faults.window_end(self.time) - self.time, 1e-9)
+            window_end = faults.window_end(self.time)
+            if probe is not None:
+                # A piecewise-constant harvester contributes its own
+                # window boundaries: charge power is constant only up
+                # to the nearer of the two changes.
+                window_end = min(window_end, probe(self.time))
+            window = max(window_end - self.time, 1e-9)
             wait = self.capacitor.time_to_reach(self.pmic.v_on, charge_power)
             if wait <= window:
                 if waited + wait > max_wait:

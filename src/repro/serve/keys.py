@@ -23,23 +23,23 @@ import json
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.design import AuTDesign
-from repro.energy.environment import LightEnvironment
+from repro.environments import Environment
+from repro.environments import environment_to_dict as _environment_content
 from repro.hardware.checkpoint import CheckpointModel
 from repro.serialize import design_to_dict
 from repro.workloads.network import Network
 
 
-def environment_to_dict(environment: LightEnvironment) -> Dict[str, Any]:
-    """Value content of one lighting environment (hash input)."""
-    return {
-        "cloudiness": environment.cloudiness,
-        "panel_efficiency": environment.panel_efficiency,
-        "peak_elevation_deg": environment.peak_elevation_deg,
-        "deployment_factor": environment.deployment_factor,
-        "ambient_temp_c": environment.ambient_temp_c,
-        "temp_coefficient": environment.temp_coefficient,
-        "name": environment.name,
-    }
+def environment_to_dict(environment: Environment) -> Dict[str, Any]:
+    """Full value content of one environment (hash input).
+
+    Delegates to :func:`repro.environments.environment_to_dict`: the
+    hash covers the *complete resolved spec* — for a trace environment
+    that is every segment, not just the label — so two different traces
+    registered under the same name can never coalesce onto one cached
+    evaluation.
+    """
+    return _environment_content(environment)
 
 
 def checkpoint_to_dict(checkpoint: Optional[CheckpointModel]
@@ -61,7 +61,7 @@ def _digest(payload: Dict[str, Any]) -> str:
 
 
 def request_key(design: AuTDesign, network: Network,
-                environments: Sequence[LightEnvironment], fidelity: str,
+                environments: Sequence[Environment], fidelity: str,
                 checkpoint: Optional[CheckpointModel] = None
                 ) -> Tuple[str, str]:
     """``(key, group)`` content hashes of one evaluation request.

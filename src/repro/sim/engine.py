@@ -34,6 +34,22 @@ one), near the end of the run, and whenever faults, variable harvest or
 a non-repeating state (e.g. JIT progress carried across cycles)
 disable the fast path.  Replayed cycles advance the trace's per-kind
 counters in bulk; individual events are not materialised.
+
+Piecewise-constant harvest
+--------------------------
+
+A harvester that exposes ``next_change_after(t)`` (its output is
+constant on ``[t, next_change_after(t))`` — e.g.
+:class:`~repro.energy.traces.TraceHarvester`) keeps the fast path: the
+cycle pattern is periodic *within each constant segment*, so the
+observer additionally stamps every boundary snapshot with the absolute
+time of the next harvest change.  Snapshots from different segments
+never pair into a candidate delta, and a replay is capped so that it
+ends at or before the current segment boundary — every harvest sample
+of the replayed span therefore sees exactly the power the observed
+cycle saw, preserving the exact-vs-fast identity.  At a segment
+boundary the matcher re-arms (two fresh in-segment cycles must match
+again before the next skip).
 """
 
 from __future__ import annotations
@@ -130,6 +146,11 @@ class _CycleSnapshot:
     fail_streak: int
     #: last_fail_key relative to (layer_index, tile_index); None if unset.
     fail_key_rel: Optional[Tuple[int, int]]
+    #: Absolute time of the next harvest-power change (``math.inf`` for
+    #: a constant harvester).  Strictly increasing across segments, so
+    #: an exact compare pins both snapshots to the same constant
+    #: stretch of a piecewise harvester.
+    next_change: float
     trace_counts: Dict[EventKind, int]
     floats: Tuple[float, ...]  # see _FLOAT_FIELDS for the layout
 
@@ -171,11 +192,14 @@ class _CycleDelta:
                 b: "_CycleSnapshot") -> Optional["_CycleDelta"]:
         """Delta ``b - a``, or ``None`` if the pair cannot repeat.
 
-        The skip stays strictly inside one layer, so a boundary pair
-        spanning a layer change — or one that made no whole-tile
-        progress — is not a candidate cycle.
+        The skip stays strictly inside one layer and one constant
+        harvest segment, so a boundary pair spanning a layer change or
+        a harvest change — or one that made no whole-tile progress —
+        is not a candidate cycle.
         """
         if b.layer_index != a.layer_index:
+            return None
+        if b.next_change != a.next_change:
             return None
         tiles = b.tile_index - a.tile_index
         if tiles <= 0:
@@ -263,12 +287,25 @@ class _CycleObserver:
         different costs and skips the final in-layer checkpoint, so it
         is always simulated exactly.  A ``max_steps`` budget caps the
         skip as well, preserving the exact path's timeout semantics.
+        Under a piecewise-constant harvester the replay must also end
+        at or before the current segment boundary: the cycle straddling
+        the harvest change sees a different power profile, so it is
+        simulated exactly (and the matcher then re-arms).
         """
         simulator = self.simulator
         layer = simulator.inference.plan[at.layer_index]
         m = (layer.n_tiles - 1 - at.tile_index) // delta.tiles
         if simulator.max_steps is not None:
             m = min(m, (simulator.max_steps - self.state.steps) // delta.steps)
+        if not math.isinf(at.next_change):
+            cycle_time = delta.floats[0]
+            if cycle_time <= 0.0:
+                return 0
+            now = simulator.energy.time
+            fit = int((at.next_change - now) / cycle_time)
+            while fit > 0 and now + fit * cycle_time > at.next_change:
+                fit -= 1  # floating-point guard at the boundary
+            m = min(m, fit)
         return m
 
     def _apply(self, at: _CycleSnapshot, delta: _CycleDelta, m: int) -> None:
@@ -324,6 +361,8 @@ class _CycleObserver:
         energy, inference = simulator.energy, simulator.inference
         acct = energy.accounting
         breakdown = inference.breakdown
+        probe = getattr(energy.harvester, "next_change_after", None)
+        next_change = (probe(energy.time) if probe is not None else math.inf)
         key = st.last_fail_key
         fail_key_rel = (None if key is None else
                         (key[0] - inference.layer_index,
@@ -339,6 +378,7 @@ class _CycleObserver:
             checkpoint_retries=inference.checkpoint_retries,
             fail_streak=st.fail_streak,
             fail_key_rel=fail_key_rel,
+            next_change=next_change,
             trace_counts=simulator.trace.counts(),
             floats=(
                 energy.time, st.busy_time, st.charge_time,
@@ -398,21 +438,28 @@ class StepSimulator:
         self.trace = Trace(capacity=trace_capacity)
 
     def _fast_path_allowed(self) -> bool:
-        """Cycle skipping needs time-invariant dynamics.
+        """Cycle skipping needs (piecewise-)time-invariant dynamics.
 
         An attached injector with any non-zero rate perturbs harvest,
-        leakage or the checkpoint machinery, and a time-varying
-        harvester breaks the constant-charge-power premise; both force
-        the exact path.  An *inert* injector (all rates zero) is
-        numerically identical to no injector at all — the invariant the
-        fault tests pin — so it keeps the fast path.
+        leakage or the checkpoint machinery and forces the exact path.
+        An *inert* injector (all rates zero) is numerically identical
+        to no injector at all — the invariant the fault tests pin — so
+        it keeps the fast path.  A constant harvester qualifies
+        outright; a piecewise-constant one (it exposes
+        ``next_change_after``) qualifies too, with every skip confined
+        to one constant segment by the observer.  Anything else — e.g.
+        stochastically fluctuating harvest — is conservatively
+        simulated step by step.
         """
         if not self.fast_forward:
             return False
         faults = self.energy.faults
         if faults is not None and faults.enabled:
             return False
-        return bool(getattr(self.energy.harvester, "constant_power", False))
+        harvester = self.energy.harvester
+        if getattr(harvester, "constant_power", False):
+            return True
+        return callable(getattr(harvester, "next_change_after", None))
 
     def run(self) -> SimulationResult:
         """Simulate until the inference finishes or proves infeasible.

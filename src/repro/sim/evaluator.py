@@ -19,6 +19,7 @@ from repro.design import AuTDesign
 from repro.energy.controller import EnergyController
 from repro.energy.environment import LightEnvironment
 from repro.energy.harvester import SolarHarvester
+from repro.energy.traces import TraceEnvironment, TraceHarvester
 from repro.errors import ConfigurationError
 from repro.hardware.checkpoint import CheckpointModel
 from repro.obs.state import span
@@ -37,6 +38,19 @@ class EvaluationMode(enum.Enum):
 
     ANALYTICAL = "analytical"
     STEP = "step"
+
+
+def build_harvester(design: AuTDesign, environment):
+    """The harvester matching ``environment``'s kind.
+
+    A :class:`~repro.energy.traces.TraceEnvironment` drives the panel
+    through its piecewise-constant trace; anything else (the static
+    lighting presets) uses the paper's constant-power solar harvester.
+    """
+    panel = design.energy.build_panel()
+    if isinstance(environment, TraceEnvironment):
+        return TraceHarvester(panel=panel, trace=environment)
+    return SolarHarvester(panel=panel, environment=environment)
 
 
 class ChrysalisEvaluator:
@@ -66,8 +80,9 @@ class ChrysalisEvaluator:
         self.max_steps = max_steps
         self.time_budget_s = time_budget_s
         #: Enable the step simulator's cycle-skipping fast path (it
-        #: engages only on constant-harvest, fault-free runs anyway;
-        #: disable it to force exact stepping, e.g. for full traces).
+        #: engages on constant-harvest and piecewise-constant-trace
+        #: runs, fault-free; disable it to force exact stepping, e.g.
+        #: when the complete per-step event trace matters).
         self.fast_forward = fast_forward
 
     # -- single environment ------------------------------------------------------
@@ -101,9 +116,7 @@ class ChrysalisEvaluator:
         """
         model = self._analytical(design, environment)
         plan = model.plan()
-        harvester = SolarHarvester(
-            panel=design.energy.build_panel(), environment=environment
-        )
+        harvester = build_harvester(design, environment)
         if initial_voltage is None:
             initial_voltage = design.energy.pmic.v_on
         injector = faults if faults is not None else self.faults

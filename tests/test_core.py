@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro import SCENARIOS, Chrysalis, Objective, Scenario, zoo
+from repro import Chrysalis, Objective, Scenario, zoo
+from repro.core.scenarios import SCENARIOS
 from repro.core.describer import describe_design
 from repro.core.result import AuTSolution
 from repro.energy.environment import LightEnvironment

@@ -1,0 +1,252 @@
+"""Tests for the unified environment registry and scenario generator."""
+
+import subprocess
+import sys
+import textwrap
+import warnings
+
+import pytest
+
+import repro
+from repro.campaign.spec import (
+    CampaignSpec,
+    ObjectiveSpec,
+    resolve_environments,
+)
+from repro.core.scenarios import SCENARIOS
+from repro.design import AuTDesign, EnergyDesign, InferenceDesign
+from repro.energy.environment import LightEnvironment
+from repro.energy.traces import TraceEnvironment, TraceSegment
+from repro.environments import (
+    GENERATED_KINDS,
+    EnvironmentSpec,
+    ScenarioGenerator,
+    environment_by_name,
+    environment_spec,
+    register_environment,
+    registered_environments,
+)
+from repro.errors import ConfigurationError
+from repro.serve.keys import request_key
+from repro.units import uF
+from repro.workloads import zoo
+
+
+class TestRegistryResolution:
+    def test_presets_match_the_legacy_sets(self):
+        assert [e.name for e in environment_by_name("paper")] == \
+            [e.name for e in LightEnvironment.paper_environments()]
+        assert environment_by_name("brighter") == \
+            (LightEnvironment.brighter(),)
+        assert environment_by_name("darker") == (LightEnvironment.darker(),)
+        assert environment_by_name("indoor") == (LightEnvironment.indoor(),)
+
+    def test_scenario_prefix_and_bare_name(self):
+        assert environment_by_name("scenario:uav") == \
+            tuple(SCENARIOS["uav"].environments)
+        assert environment_by_name("uav") == \
+            tuple(SCENARIOS["uav"].environments)
+
+    def test_unknown_label_lists_whats_available(self):
+        with pytest.raises(ConfigurationError, match="unknown environment"):
+            environment_by_name("nope")
+        with pytest.raises(ConfigurationError, match="scenario"):
+            environment_by_name("scenario:nope")
+
+    def test_campaign_resolve_delegates_to_the_registry(self):
+        assert resolve_environments("paper") == environment_by_name("paper")
+        with pytest.raises(ConfigurationError, match="environment"):
+            resolve_environments("bogus")
+
+    def test_builtin_presets_are_registered(self):
+        labels = registered_environments()
+        assert {"paper", "brighter", "darker", "indoor"} <= set(labels)
+        assert environment_spec("paper").kind == "preset"
+
+
+class TestRegistration:
+    def test_register_resolve_round_trip(self):
+        spec = EnvironmentSpec.create(
+            "test:office", "schedule", k_on=4e-5, on_hour=9.0, off_hour=17.0)
+        register_environment(spec)
+        (env,) = environment_by_name("test:office")
+        assert isinstance(env, TraceEnvironment)
+        assert env.k_eh_at_s(10.0 * 3600.0) == 4e-5
+
+    def test_identical_reregistration_is_idempotent(self):
+        spec = EnvironmentSpec.create("test:idem", "trickle", k_eh=1e-5)
+        register_environment(spec)
+        register_environment(EnvironmentSpec.create(
+            "test:idem", "trickle", k_eh=1e-5))
+
+    def test_conflicting_reregistration_is_refused(self):
+        register_environment(EnvironmentSpec.create(
+            "test:conflict", "trickle", k_eh=1e-5))
+        with pytest.raises(ConfigurationError, match="different content"):
+            register_environment(EnvironmentSpec.create(
+                "test:conflict", "trickle", k_eh=2e-5))
+
+    def test_invalid_specs_fail_at_registration(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            EnvironmentSpec.create("x", "wat")
+        with pytest.raises(ConfigurationError, match="k_on"):
+            register_environment(
+                EnvironmentSpec.create("test:bad", "schedule"))
+
+    def test_spec_json_round_trip_preserves_hash(self):
+        spec = EnvironmentSpec.create(
+            "test:rt", "cloudy", cloudiness=0.3, sigma=0.4, seed=11)
+        back = EnvironmentSpec.from_json(spec.to_json())
+        assert back == spec
+        assert back.content_hash == spec.content_hash
+
+
+class TestScenarioGenerator:
+    def test_expands_to_at_least_100_resolvable_scenarios(self):
+        gen = ScenarioGenerator(name="big", seed=5, count=120)
+        labels = gen.expand()
+        assert len(labels) == 120
+        assert len(set(labels)) == 120
+        for family in GENERATED_KINDS:
+            assert any(f"trace:{family}-" in label for label in labels)
+        for label in labels[:8]:
+            envs = environment_by_name(label)
+            assert len(envs) == 1
+
+    def test_same_seed_same_labels(self):
+        a = ScenarioGenerator(name="a", seed=9, count=12).expand()
+        b = ScenarioGenerator(name="b", seed=9, count=12).expand()
+        c = ScenarioGenerator(name="c", seed=10, count=12).specs()
+        assert a == b  # name is not part of the draw
+        assert tuple(s.name for s in c) != a
+
+    def test_round_trip(self):
+        gen = ScenarioGenerator(name="rt", seed=3, count=7,
+                                families=("schedule", "trickle"))
+        back = ScenarioGenerator.from_dict(gen.to_dict())
+        assert back == gen
+        assert back.expand() == gen.expand()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="count"):
+            ScenarioGenerator(name="x", count=0)
+        with pytest.raises(ConfigurationError, match="family"):
+            ScenarioGenerator(name="x", families=("wat",))
+
+    def test_cross_process_determinism(self):
+        # PR 9 style: the same generator spec must register byte-identical
+        # scenarios and campaign run hashes in any process.
+        script = textwrap.dedent("""
+            from repro.campaign.spec import CampaignSpec
+
+            spec = CampaignSpec.from_json('''{
+                "name": "gen", "workloads": ["har"],
+                "environments": [],
+                "objectives": [{"kind": "lat*sp"}],
+                "seeds": [0], "ga": {"population": 4, "generations": 2},
+                "generator": {"name": "g", "seed": 13, "count": 10}
+            }''')
+            for key in spec.expand():
+                print(key.environment, key.run_hash)
+        """)
+        outputs = [
+            subprocess.run([sys.executable, "-c", script],
+                           capture_output=True, text=True, check=True,
+                           env={"PYTHONPATH": "src"}, cwd=".").stdout
+            for _ in range(2)
+        ]
+        assert outputs[0] == outputs[1]
+        assert len(outputs[0].strip().splitlines()) == 10
+
+
+class TestCampaignIntegration:
+    def test_generator_labels_join_the_grid(self):
+        spec = CampaignSpec(
+            name="gen", workloads=("har",),
+            objectives=(ObjectiveSpec(kind="lat*sp"),),
+            environments=(),
+            generator=ScenarioGenerator(name="g", seed=2, count=6),
+        )
+        keys = spec.expand()
+        assert len(keys) == 6
+        for key in keys:
+            assert key.environment.startswith("trace:")
+            (env,) = key.resolve_environments()
+            assert isinstance(env, TraceEnvironment)
+
+    def test_spec_round_trip_with_generator(self):
+        spec = CampaignSpec.from_json("""{
+            "name": "gen", "workloads": ["har"],
+            "environments": ["paper"],
+            "objectives": [{"kind": "lat*sp"}],
+            "generator": {"name": "g", "seed": 1, "count": 4,
+                          "families": ["schedule"]}
+        }""")
+        back = CampaignSpec.from_json(spec.to_json())
+        assert back == spec
+        assert [k.run_hash for k in back.expand()] == \
+            [k.run_hash for k in spec.expand()]
+
+    def test_old_specs_load_and_serialize_unchanged(self):
+        spec = CampaignSpec.from_path("examples/campaign_spec.json")
+        assert spec.generator is None
+        assert "generator" not in spec.to_dict()
+        keys = spec.expand()
+        assert len(keys) == 4  # 2 workloads x 2 scenarios
+        for key in keys:
+            key.resolve_environments()
+
+
+class TestServeKeys:
+    def _design(self):
+        network = zoo.workload_by_name("har")
+        design = AuTDesign.with_default_mappings(
+            EnergyDesign(panel_area_cm2=1.0, capacitance_f=uF(10)),
+            InferenceDesign.msp430(), network, n_tiles=128)
+        return design, network
+
+    def test_different_traces_same_name_never_coalesce(self):
+        # The bug this PR fixes: hashing only the environment *name*
+        # would coalesce two different traces onto one cached result.
+        design, network = self._design()
+        a = TraceEnvironment("same-name", (TraceSegment(10.0, 1e-4),))
+        b = TraceEnvironment("same-name", (TraceSegment(10.0, 2e-4),))
+        key_a, group_a = request_key(design, network, (a,), "analytical")
+        key_b, group_b = request_key(design, network, (b,), "analytical")
+        assert key_a != key_b
+        assert group_a != group_b
+
+    def test_trace_and_light_under_same_name_are_distinct(self):
+        design, network = self._design()
+        light = LightEnvironment.darker()
+        trace = TraceEnvironment(light.name, (TraceSegment(10.0, 1e-4),))
+        key_l, _ = request_key(design, network, (light,), "analytical")
+        key_t, _ = request_key(design, network, (trace,), "analytical")
+        assert key_l != key_t
+
+    def test_equal_environments_still_coalesce(self):
+        design, network = self._design()
+        a = TraceEnvironment("t", (TraceSegment(10.0, 1e-4),))
+        b = TraceEnvironment("t", (TraceSegment(10.0, 1e-4),))
+        key_a, group_a = request_key(design, network, (a,), "analytical")
+        key_b, group_b = request_key(design, network, (b,), "analytical")
+        assert key_a == key_b
+        assert group_a == group_b
+
+
+class TestDeprecations:
+    @pytest.mark.parametrize("name", ["SCENARIOS", "scenario_by_name"])
+    def test_demoted_names_warn_and_resolve(self, name):
+        import repro.core.scenarios as canonical
+
+        repro.__dict__.pop(name, None)
+        repro._warned.discard(name)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            value = getattr(repro, name)
+        assert value is getattr(canonical, name)
+        messages = [str(w.message) for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        assert messages == [
+            f"repro.{name} is deprecated; import it from "
+            f"repro.core.scenarios instead"]

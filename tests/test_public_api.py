@@ -24,6 +24,7 @@ PUBLIC_API = [
     "ChrysalisEvaluator",
     "DesignSpace",
     "EnergyDesign",
+    "EnvironmentSpec",
     "EvalRequest",
     "EvaluationReport",
     "FIDELITIES",
@@ -33,16 +34,18 @@ PUBLIC_API = [
     "Objective",
     "ObjectiveKind",
     "ResultStore",
-    "SCENARIOS",
     "Scenario",
+    "ScenarioGenerator",
+    "TraceEnvironment",
     "__version__",
+    "environment_by_name",
     "evaluate",
     "evaluate_batch",
     "evaluate_many",
     "obs",
+    "register_environment",
     "run_campaign",
     "run_faults_sweep",
-    "scenario_by_name",
     "serve",
     "zoo",
 ]
